@@ -1,0 +1,112 @@
+"""Experiment: amortizing one facet analysis over many specializations.
+
+The offline strategy's break-even: analysis cost is paid once per
+binding-time *pattern*, specialization cost per *instance*.  This bench
+measures both and prints the crossover — after how many
+specializations the offline pipeline (analysis + k cheap
+specializations) beats k online specializations.  Paper shape: a small
+constant.
+"""
+
+import time
+
+import pytest
+
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.values import VECTOR
+from repro.lattice.bt import BT
+from repro.offline.analysis import analyze
+from repro.offline.specializer import OfflineSpecializer
+from repro.online import OnlineSpecializer
+from repro.workloads import WORKLOADS
+
+SIZES = list(range(2, 18))
+
+
+@pytest.fixture
+def program():
+    return WORKLOADS["poly_eval"].program()
+
+
+def test_online_burst(benchmark, report, program, size_suite):
+    def burst():
+        total = 0
+        for size in SIZES:
+            inputs = [size_suite.input(VECTOR, size=size),
+                      size_suite.unknown("float")]
+            result = OnlineSpecializer(
+                program, size_suite).specialize(inputs)
+            total += result.stats.facet_evaluations
+        return total
+
+    total = benchmark(burst)
+    report(f"online burst over {len(SIZES)} sizes: "
+           f"{total} facet evaluations")
+
+
+def test_offline_burst(benchmark, report, program, size_suite):
+    abstract_suite = AbstractSuite(size_suite)
+    pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                    size=STATIC_SIZE),
+               abstract_suite.dynamic("float")]
+    analysis = analyze(program, pattern, abstract_suite)
+
+    def burst():
+        total = 0
+        for size in SIZES:
+            inputs = [size_suite.input(VECTOR, size=size),
+                      size_suite.unknown("float")]
+            result = OfflineSpecializer(
+                analysis, size_suite).specialize(inputs)
+            total += result.stats.facet_evaluations
+        return total
+
+    total = benchmark(burst)
+    report(f"offline burst over {len(SIZES)} sizes: "
+           f"{total} facet evaluations (analysis done once)")
+
+
+def test_crossover_point(report, program, size_suite, benchmark):
+    abstract_suite = AbstractSuite(size_suite)
+    pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                    size=STATIC_SIZE),
+               abstract_suite.dynamic("float")]
+
+    def measure():
+        start = time.perf_counter()
+        analysis = analyze(program, pattern, abstract_suite)
+        analysis_cost = time.perf_counter() - start
+
+        online_costs = []
+        offline_costs = []
+        for size in SIZES:
+            inputs = [size_suite.input(VECTOR, size=size),
+                      size_suite.unknown("float")]
+            start = time.perf_counter()
+            OnlineSpecializer(program, size_suite).specialize(inputs)
+            online_costs.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            OfflineSpecializer(analysis, size_suite).specialize(inputs)
+            offline_costs.append(time.perf_counter() - start)
+        return analysis_cost, online_costs, offline_costs
+
+    analysis_cost, online_costs, offline_costs = benchmark(measure)
+    cumulative_online = 0.0
+    cumulative_offline = analysis_cost
+    crossover = None
+    for k, (online_cost, offline_cost) in enumerate(
+            zip(online_costs, offline_costs), start=1):
+        cumulative_online += online_cost
+        cumulative_offline += offline_cost
+        if crossover is None and cumulative_offline \
+                <= cumulative_online:
+            crossover = k
+    report(f"analysis cost {analysis_cost * 1e3:.2f} ms; "
+           f"mean online spec "
+           f"{1e3 * sum(online_costs) / len(SIZES):.2f} ms; "
+           f"mean offline spec "
+           f"{1e3 * sum(offline_costs) / len(SIZES):.2f} ms; "
+           f"offline pays off after "
+           f"{crossover if crossover else '>%d' % len(SIZES)} "
+           f"specializations")

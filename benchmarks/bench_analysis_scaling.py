@@ -1,0 +1,63 @@
+"""Experiment: facet-analysis cost scaling.
+
+The paper guarantees termination through finite-height lattices; the
+practical question is how analysis cost grows with (a) program size and
+(b) the number of facets in the product.  Shape: roughly linear in
+program size for a fixed division, and linear in the facet count (each
+product operator evaluates one operator per facet).
+"""
+
+import pytest
+
+from repro.facets import (
+    FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract import AbstractSuite
+from repro.lang.ast import Call, Const, FunDef, If, Prim, Var
+from repro.lang.program import Program
+from repro.offline.analysis import analyze
+
+
+def _chain_program(depth: int) -> Program:
+    """``f0 -> f1 -> ... -> f_depth``, each doing a little arithmetic
+    on a static counter and a dynamic payload."""
+    defs = []
+    for i in range(depth):
+        body = Call(f"f{i + 1}", (
+            Prim("-", (Var("n"), Const(1))),
+            Prim("+", (Var("x"), Var("x")))))
+        test = Prim("<=", (Var("n"), Const(0)))
+        defs.append(FunDef(f"f{i}", ("n", "x"),
+                           If(test, Var("x"), body)))
+    defs.append(FunDef(f"f{depth}", ("n", "x"),
+                       Prim("*", (Var("x"), Var("x")))))
+    return Program(tuple(defs))
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_scaling_with_program_size(benchmark, report, depth):
+    program = _chain_program(depth)
+    suite = AbstractSuite(FacetSuite([SignFacet(), ParityFacet()]))
+    inputs = [suite.static("int"), suite.dynamic("int")]
+
+    analysis = benchmark(analyze, program, inputs, suite)
+
+    assert len(analysis.signatures) == depth + 1
+    report(f"depth {depth:3d}: functions={len(analysis.signatures)}, "
+           f"h iterations={analysis.stats.iterations}, "
+           f"zeta evaluations={analysis.stats.evaluations}")
+
+
+@pytest.mark.parametrize("facet_count", [0, 1, 2, 4])
+def test_scaling_with_facet_count(benchmark, report, facet_count):
+    from repro.workloads import WORKLOADS
+    program = WORKLOADS["inner_product"].program()
+    all_facets = [SignFacet(), ParityFacet(), IntervalFacet(),
+                  VectorSizeFacet()]
+    suite = AbstractSuite(FacetSuite(all_facets[:facet_count]))
+    inputs = [suite.dynamic("vector")] * 2
+
+    analysis = benchmark(analyze, program, inputs, suite)
+
+    report(f"{facet_count} facets: "
+           f"h iterations={analysis.stats.iterations}, "
+           f"zeta evaluations={analysis.stats.evaluations}")

@@ -1,0 +1,97 @@
+"""Ablation: constraint propagation (the Section 4.4 extension).
+
+Measures what propagating predicate properties into branches buys on
+programs whose branch conditions encode facet information (sign tests,
+range guards).  Shape: with propagation on, downstream tests fold and
+residuals shrink; the specialization itself costs slightly more (the
+refinement work) — the classic precision/effort trade.
+"""
+
+import pytest
+
+from repro.facets import FacetSuite, IntervalFacet, SignFacet
+from repro.lang.ast import If, walk
+from repro.lang.parser import parse_program
+from repro.lang.interp import Interpreter, run_program
+from repro.online import PEConfig, specialize_online
+
+ABS_CLASSIFY_SRC = """
+(define (main x)
+  (if (< x 0)
+      (classify (neg x))
+      (classify x)))
+(define (classify y)
+  (if (< y 0) -1 (if (> y 0) 1 0)))
+"""
+
+GUARDED_CHAIN_SRC = """
+(define (main i)
+  (if (>= i 1)
+      (if (<= i 100)
+          (step i)
+          0)
+      0))
+(define (step i)
+  (if (>= i 1)
+      (if (<= i 100)
+          (* i 2)
+          -1)
+      -1))
+"""
+
+
+def _conditionals(program):
+    return sum(1 for d in program.defs
+               for n in walk(d.body) if isinstance(n, If))
+
+
+@pytest.fixture
+def suite():
+    return FacetSuite([SignFacet(), IntervalFacet()])
+
+
+@pytest.mark.parametrize("enabled", [False, True],
+                         ids=["off", "on"])
+def test_abs_classify(benchmark, report, suite, enabled):
+    program = parse_program(ABS_CLASSIFY_SRC)
+    config = PEConfig(propagate_constraints=enabled)
+    inputs = [suite.unknown("int")]
+
+    result = benchmark(specialize_online, program, inputs, suite,
+                       config)
+
+    conditionals = _conditionals(result.program)
+    report(f"abs_classify, propagation {'on' if enabled else 'off'}: "
+           f"{conditionals} residual conditionals, "
+           f"{result.stats.constraint_refinements} refinements")
+    for x in (-3, 0, 3):
+        assert Interpreter(result.program).run(x) \
+            == run_program(program, x)
+    if enabled:
+        assert conditionals <= 2
+        assert result.stats.constraint_refinements > 0
+    else:
+        assert conditionals >= 3
+
+
+@pytest.mark.parametrize("enabled", [False, True],
+                         ids=["off", "on"])
+def test_guarded_chain(benchmark, report, suite, enabled):
+    program = parse_program(GUARDED_CHAIN_SRC)
+    config = PEConfig(propagate_constraints=enabled)
+    inputs = [suite.unknown("int")]
+
+    result = benchmark(specialize_online, program, inputs, suite,
+                       config)
+
+    conditionals = _conditionals(result.program)
+    report(f"guarded_chain, propagation {'on' if enabled else 'off'}: "
+           f"{conditionals} residual conditionals")
+    for i in (0, 1, 50, 100, 101):
+        assert Interpreter(result.program).run(i) \
+            == run_program(program, i)
+    if enabled:
+        # The re-checks inside `step` must be gone.
+        assert conditionals == 2
+    else:
+        assert conditionals == 4

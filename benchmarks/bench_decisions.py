@@ -1,0 +1,73 @@
+"""Experiment: decision-cost accounting across all three evaluators.
+
+The paper's introduction ranks the strategies by PE-time work: Redfun-
+style online systems are "computationally expensive" (limitation iii);
+offline systems move the decisions into the analysis.  This bench runs
+Figure 2's simple PE, online PPE and offline PPE over a workload matrix
+and prints the counter table; asserted shape per workload:
+
+    offline facet evals  <  online facet evals
+    offline decisions    <  online decisions
+    simple PE folds      <= online PPE folds (facets only add folds)
+"""
+
+import pytest
+
+from repro.baselines.simple_pe import DYN, specialize_simple
+from repro.facets import FacetSuite, SignFacet, VectorSizeFacet
+from repro.lang.values import INT, VECTOR
+from repro.offline.specializer import specialize_offline
+from repro.online import PEConfig, UnfoldStrategy, specialize_online
+from repro.workloads import WORKLOADS
+
+CONFIG = PEConfig(unfold_strategy=UnfoldStrategy.STATIC_ARGS)
+NEVER = PEConfig(unfold_strategy=UnfoldStrategy.NEVER)
+
+
+def _matrix():
+    suite_size = FacetSuite([VectorSizeFacet()])
+    suite_sign = FacetSuite([SignFacet()])
+    return [
+        ("inner_product",
+         WORKLOADS["inner_product"].program(), suite_size,
+         [suite_size.input(VECTOR, size=8)] * 2, [DYN, DYN], CONFIG),
+        ("poly_eval",
+         WORKLOADS["poly_eval"].program(), suite_size,
+         [suite_size.input(VECTOR, size=6),
+          suite_size.unknown("float")], [DYN, DYN], CONFIG),
+        ("sign_pipeline",
+         WORKLOADS["sign_pipeline"].program(), suite_sign,
+         [suite_sign.input(INT, sign="pos"),
+          suite_sign.input(INT, sign="pos")], [DYN, DYN], NEVER),
+    ]
+
+
+def test_decision_table(benchmark, report):
+    def run():
+        rows = []
+        for name, program, suite, inputs, simple_inputs, config \
+                in _matrix():
+            simple = specialize_simple(program, simple_inputs, config)
+            online = specialize_online(program, inputs, suite, config)
+            offline = specialize_offline(program, inputs, suite,
+                                         config=config)
+            rows.append((name, simple.stats, online.stats,
+                         offline.stats))
+        return rows
+
+    rows = benchmark(run)
+
+    lines = ["workload        | evaluator | facet evals | decisions "
+             "| folds",
+             "-" * 66]
+    for name, simple, online, offline in rows:
+        for label, stats in (("simple", simple), ("online", online),
+                             ("offline", offline)):
+            lines.append(
+                f"{name:15} | {label:9} | {stats.facet_evaluations:11d}"
+                f" | {stats.decisions:9d} | {stats.prim_folds:5d}")
+        assert offline.facet_evaluations < online.facet_evaluations, \
+            name
+        assert offline.decisions < online.decisions, name
+        assert simple.prim_folds <= online.prim_folds, name
+    report(*lines)

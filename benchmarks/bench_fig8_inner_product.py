@@ -1,0 +1,55 @@
+"""Experiment: Figures 7-8 — online PPE of the inner product.
+
+Regenerates Figure 8 (and asserts it exactly for size 3), then times
+online specialization as the static vector size grows.  Paper shape:
+the residual is straight-line code of ``2n`` vrefs with no recursion,
+and specialization cost grows linearly in the size.
+"""
+
+import pytest
+
+from repro.lang.ast import Call, Prim, walk
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.values import VECTOR
+from repro.online import specialize_online
+from repro.workloads import WORKLOADS
+
+FIGURE_8 = """
+(define (iprod A B)
+  (+ (* (vref A 3) (vref B 3))
+     (+ (* (vref A 2) (vref B 2))
+        (* (vref A 1) (vref B 1)))))
+"""
+
+
+@pytest.fixture
+def program():
+    return WORKLOADS["inner_product"].program()
+
+
+def test_fig8_exact(benchmark, report, program, size_suite):
+    inputs = [size_suite.input(VECTOR, size=3)] * 2
+
+    result = benchmark(specialize_online, program, inputs, size_suite)
+
+    assert result.program == parse_program(FIGURE_8)
+    report("Figure 8 — residual inner product (size 3):",
+           pretty_program(result.program),
+           f"facet folds: {dict(result.stats.folds_by_facet)}")
+
+
+@pytest.mark.parametrize("size", [4, 16, 64])
+def test_fig8_scaling(benchmark, report, program, size_suite, size):
+    inputs = [size_suite.input(VECTOR, size=size)] * 2
+
+    result = benchmark(specialize_online, program, inputs, size_suite)
+
+    vrefs = sum(1 for n in walk(result.program.main.body)
+                if isinstance(n, Prim) and n.op == "vref")
+    calls = sum(1 for d in result.program.defs
+                for n in walk(d.body) if isinstance(n, Call))
+    assert vrefs == 2 * size, "straight-line residual expected"
+    assert calls == 0, "recursion must be fully unfolded"
+    report(f"size {size:3d}: residual vrefs={vrefs}, calls={calls}, "
+           f"PE steps={result.stats.steps}")

@@ -1,0 +1,53 @@
+"""Experiment: Figure 9 — the facet analysis of the inner product.
+
+Regenerates the paper's Figure 9 table (abstract facet values of the
+main expressions, given dynamic vectors of static size) and times the
+analysis.  Paper shape: ``n`` is Static inside ``dotProd``; size-facet
+computation is needed in ``iprod`` only.
+"""
+
+import pytest
+
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.values import VECTOR
+from repro.lattice.bt import BT
+from repro.offline.analysis import analyze
+from repro.offline.report import facet_table
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture
+def program():
+    return WORKLOADS["inner_product"].program()
+
+
+def test_fig9_table(benchmark, report, program, size_suite):
+    suite = AbstractSuite(size_suite)
+    inputs = [suite.input(VECTOR, bt=BT.DYNAMIC, size=STATIC_SIZE)] * 2
+
+    analysis = benchmark(analyze, program, inputs, suite)
+
+    # The figure's key facts.
+    assert analysis.signatures["dotprod"].args[2].bt is BT.STATIC
+    assert analysis.needed_facets["iprod"] == {"size"}
+    assert analysis.needed_facets["dotprod"] == frozenset()
+    report(facet_table(analysis,
+                       title="Figure 9 — facet analysis of iprod"))
+
+
+def test_fig9_with_all_facets(benchmark, report, program, rich_suite):
+    """Same analysis with the full facet suite attached: the extra
+    facets must not disturb the Figure 9 facts, only add columns."""
+    suite = AbstractSuite(rich_suite)
+    inputs = [suite.input(VECTOR, bt=BT.DYNAMIC, size=STATIC_SIZE)] * 2
+
+    analysis = benchmark(analyze, program, inputs, suite)
+
+    assert analysis.signatures["dotprod"].args[2].bt is BT.STATIC
+    assert "size" in analysis.needed_facets["iprod"]
+    report(f"with 4 facets: needed(iprod)="
+           f"{sorted(analysis.needed_facets['iprod'])}, "
+           f"needed(dotprod)="
+           f"{sorted(analysis.needed_facets['dotprod'])}, "
+           f"h iterations={analysis.stats.iterations}")

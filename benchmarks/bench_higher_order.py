@@ -1,0 +1,78 @@
+"""Experiment: Figures 5-6 — higher-order facet analysis cost.
+
+Times the higher-order analysis on the corpus's higher-order programs
+and on a generated tower of ``compose`` applications.  Shape: cost
+grows with the closure-flow depth but stays bounded by the Hudak-Young
+depth restriction; binding times match the first-order analysis on the
+first-order fragment.
+"""
+
+import pytest
+
+from repro.facets import FacetSuite, SignFacet, VectorSizeFacet
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.parser import parse_program
+from repro.lattice.bt import BT
+from repro.offline.higher_order import analyze_higher_order
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture
+def suite():
+    return AbstractSuite(FacetSuite([SignFacet(), VectorSizeFacet()]))
+
+
+def test_ho_pipeline(benchmark, report, suite):
+    program = WORKLOADS["ho_pipeline"].program()
+    inputs = [suite.input("vector", bt=BT.DYNAMIC, size=STATIC_SIZE),
+              suite.static("float")]
+
+    result = benchmark(analyze_higher_order, program, inputs, suite)
+
+    assert result.bt_of_result() is BT.DYNAMIC
+    fold_args, _ = result.signatures["fold"]
+    assert fold_args[3].bt is BT.STATIC
+    report(f"ho_pipeline: {len(result.signatures)} signatures, "
+           f"{result.stats.evaluations} closure-cell evaluations")
+
+
+def test_ho_select_dynamic_flag(benchmark, report, suite):
+    program = WORKLOADS["ho_select"].program()
+    inputs = [suite.dynamic("int"),
+              suite.input("bool", bt=BT.DYNAMIC)]
+
+    result = benchmark(analyze_higher_order, program, inputs, suite)
+
+    assert result.bt_of_result() is BT.DYNAMIC
+    report("ho_select (dynamic flag): result "
+           f"{result.result} — T_C path exercised")
+
+
+def _compose_tower(depth: int) -> str:
+    lines = ["(define (main x)"]
+    expr = "(lambda (v) (+ v 1))"
+    for _ in range(depth):
+        expr = f"(compose {expr} (lambda (v) (* v 2)))"
+    lines.append(f"  ({expr} x))")
+    lines.append("(define (compose f g) (lambda (a) (f (g a))))")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("depth", [2, 6, 12])
+def test_compose_tower_scaling(benchmark, report, suite, depth):
+    from repro.offline.higher_order import HOConfig
+    program = parse_program(_compose_tower(depth))
+    inputs = [suite.static("int")]
+    # Memo-cell churn grows superlinearly with the closure-flow depth
+    # (each fixpoint growth of a captured value mints a fresh abstract
+    # closure); give the analysis a budget proportional to the tower.
+    config = HOConfig(max_apply_depth=16 * depth,
+                      max_cells_per_closure=64 * depth)
+
+    result = benchmark(analyze_higher_order, program, inputs, suite,
+                       config)
+
+    assert result.bt_of_result() is BT.STATIC
+    report(f"compose tower depth {depth:2d}: "
+           f"{result.stats.evaluations} closure-cell evaluations")

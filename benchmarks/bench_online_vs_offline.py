@@ -1,0 +1,91 @@
+"""Experiment: Section 1/5 claim — offline specialization is cheaper.
+
+The paper's argument for the offline strategy: the online specializer
+"must analyze the context of the computation ... repeatedly ... when
+processing recursive functions", while facet analysis hoists that work
+out of specialization.  We time one *specialization* under each
+strategy (the offline analysis is performed once outside the timed
+region, as its cost amortizes over all specializations of the same
+division) and assert the shape: offline does strictly fewer facet
+evaluations, and wall-clock specialization is at least as fast.
+"""
+
+import pytest
+
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.values import VECTOR
+from repro.lattice.bt import BT
+from repro.offline.analysis import analyze
+from repro.offline.specializer import OfflineSpecializer
+from repro.online import OnlineSpecializer
+from repro.workloads import WORKLOADS
+
+SIZE = 24
+
+
+@pytest.fixture
+def program():
+    return WORKLOADS["inner_product"].program()
+
+
+@pytest.fixture
+def offline_analysis(program, size_suite):
+    suite = AbstractSuite(size_suite)
+    pattern = [suite.input(VECTOR, bt=BT.DYNAMIC,
+                           size=STATIC_SIZE)] * 2
+    return analyze(program, pattern, suite)
+
+
+def test_online_specialization(benchmark, report, program, size_suite):
+    inputs = [size_suite.input(VECTOR, size=SIZE)] * 2
+
+    result = benchmark(
+        lambda: OnlineSpecializer(program, size_suite).specialize(
+            inputs))
+
+    report(f"online : facet evaluations="
+           f"{result.stats.facet_evaluations}, "
+           f"decisions={result.stats.decisions}")
+
+
+def test_offline_specialization(benchmark, report, program, size_suite,
+                                offline_analysis):
+    inputs = [size_suite.input(VECTOR, size=SIZE)] * 2
+
+    result = benchmark(
+        lambda: OfflineSpecializer(offline_analysis,
+                                   size_suite).specialize(inputs))
+
+    report(f"offline: facet evaluations="
+           f"{result.stats.facet_evaluations}, "
+           f"decisions={result.stats.decisions}")
+
+
+def test_shape_offline_does_less_facet_work(report, program, size_suite,
+                                            offline_analysis,
+                                            benchmark):
+    """The headline comparison, asserted (and its rows printed)."""
+    inputs = [size_suite.input(VECTOR, size=SIZE)] * 2
+
+    def both():
+        online = OnlineSpecializer(program, size_suite).specialize(
+            inputs)
+        offline = OfflineSpecializer(offline_analysis,
+                                     size_suite).specialize(inputs)
+        return online, offline
+
+    online, offline = benchmark(both)
+    assert offline.program == online.program
+    assert offline.stats.facet_evaluations \
+        < online.stats.facet_evaluations
+    assert offline.stats.decisions < online.stats.decisions
+    ratio = online.stats.facet_evaluations \
+        / max(1, offline.stats.facet_evaluations)
+    report(
+        "strategy | facet evals | PE-time decisions",
+        f"online   | {online.stats.facet_evaluations:11d} | "
+        f"{online.stats.decisions:17d}",
+        f"offline  | {offline.stats.facet_evaluations:11d} | "
+        f"{offline.stats.decisions:17d}",
+        f"facet-evaluation ratio: {ratio:.1f}x (size {SIZE})")

@@ -1,0 +1,48 @@
+"""Experiment: Figure 2 — the conventional-PE baseline.
+
+Times ``SPE`` on its classic wins (static gcd, power with a static
+exponent) and documents its loss on the paper's motivating example:
+with dynamic vectors it achieves no folds at all on the inner product,
+while the facet-parameterized evaluator (bench_fig8) folds the whole
+recursion away from the size alone.
+"""
+
+import pytest
+
+from repro.baselines.simple_pe import DYN, specialize_simple
+from repro.lang.interp import Interpreter
+from repro.workloads import WORKLOADS
+
+
+def test_gcd_fully_static(benchmark, report):
+    program = WORKLOADS["gcd"].program()
+
+    result = benchmark(specialize_simple, program, [1071, 462])
+
+    assert str(result.program).strip() == "(define (gcd) 21)"
+    report(f"gcd(1071, 462) folded to a constant in "
+           f"{result.stats.steps} PE steps")
+
+
+def test_power_static_exponent(benchmark, report):
+    program = WORKLOADS["power"].program()
+
+    result = benchmark(specialize_simple, program, [DYN, 16])
+
+    assert Interpreter(result.program).run(2) == 65536
+    report(f"power specialized on n=16: folds={result.stats.prim_folds},"
+           f" unfoldings={result.stats.unfoldings}")
+
+
+def test_inner_product_gets_nothing(benchmark, report):
+    """The motivating negative result (Section 1 / Section 6)."""
+    program = WORKLOADS["inner_product"].program()
+
+    result = benchmark(specialize_simple, program, [DYN, DYN])
+
+    assert result.stats.prim_folds == 0
+    assert result.stats.if_reductions == 0
+    report("simple PE on iprod with dynamic vectors: "
+           f"folds={result.stats.prim_folds}, "
+           f"if reductions={result.stats.if_reductions} "
+           "(nothing — the Size facet is what the paper adds)")

@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Each benchmark file regenerates one figure/claim of the paper (see
+DESIGN.md's per-experiment index).  Besides timing via
+``pytest-benchmark``, every experiment prints the rows the paper-shape
+comparison needs; the ``report`` fixture writes them to the live
+terminal (bypassing capture) so ``pytest benchmarks/ --benchmark-only``
+shows them inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.facets import (
+    FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment rows to the real terminal."""
+
+    def emit(*lines: str) -> None:
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return emit
+
+
+@pytest.fixture
+def size_suite():
+    return FacetSuite([VectorSizeFacet()])
+
+
+@pytest.fixture
+def rich_suite():
+    return FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
+                       VectorSizeFacet()])

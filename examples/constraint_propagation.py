@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The Section 4.4 extension: propagating predicate constraints.
+
+The paper notes that Redfun propagates properties extracted from a
+conditional's predicate (and their negation) into the branches, and
+leaves incorporating this into parameterized PE as future work.  This
+example turns the extension on (``PEConfig(propagate_constraints=True)``)
+and shows what it buys on an absolute-value pipeline: inside the
+``x < 0`` branch the specializer *knows* ``x`` is negative, so the
+downstream sign dispatches fold even though ``x`` itself arrived with
+no facet information at all.
+
+Run:  python examples/constraint_propagation.py
+"""
+
+from repro import (
+    FacetSuite, Interpreter, IntervalFacet, PEConfig, SignFacet,
+    parse_program, pretty_program, specialize_online)
+from repro.lang.interp import run_program
+
+SRC = """
+(define (main x)
+  (if (< x 0)
+      (classify (neg x))
+      (classify x)))
+
+(define (classify y)
+  (if (< y 0) -1 (if (> y 0) 1 0)))
+"""
+
+
+def main() -> None:
+    program = parse_program(SRC)
+    suite = FacetSuite([SignFacet(), IntervalFacet()])
+    inputs = [suite.unknown("int")]   # x: nothing known at all
+
+    plain = specialize_online(program, inputs, suite)
+    print("Without constraint propagation:")
+    print(pretty_program(plain.program))
+
+    extended = specialize_online(
+        program, inputs, suite,
+        PEConfig(propagate_constraints=True))
+    print("With constraint propagation (Section 4.4 extension):")
+    print(pretty_program(extended.program))
+    print(f"variables refined at branch points: "
+          f"{extended.stats.constraint_refinements}")
+
+    # classify's negative arm is provably dead on both paths: in the
+    # then-branch x < 0 makes neg(x) positive; in the else-branch the
+    # negated test makes x non-negative.
+    assert "-1" not in str(extended.program)
+    assert "-1" in str(plain.program)
+
+    for x in (-9, -1, 0, 1, 9):
+        want = run_program(program, x)
+        assert Interpreter(plain.program).run(x) == want
+        assert Interpreter(extended.program).run(x) == want
+    print("\nboth residuals verified; the extension removed the dead "
+          "branch ✓")
+
+
+if __name__ == "__main__":
+    main()

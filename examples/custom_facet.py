@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Tutorial: defining your own facet, end to end.
+
+The framework is *parameterized*: any safe abstraction of a semantic
+algebra plugs in.  This example builds a "multiple-of-3" facet from
+scratch — domain, abstraction, closed and open operators — then
+
+1. verifies the paper's obligations with the shipped checkers
+   (Definition 2's conditions as executable tests), and
+2. uses it to specialize a program no other facet can help with.
+
+Run:  python examples/custom_facet.py
+"""
+
+from repro import FacetSuite, Interpreter, parse_program, \
+    pretty_program, specialize_online
+from repro.algebra import check_facet_monotonicity, check_facet_safety
+from repro.facets.base import Facet
+from repro.lang.interp import run_program
+from repro.lattice.flat import FlatLattice
+from repro.lattice.laws import check_lattice
+from repro.lattice.pevalue import PEValue
+
+MULT = "mult3"      # divisible by 3
+OTHER = "other"     # provably not divisible by 3
+
+
+class MultipleOf3Facet(Facet):
+    """Tracks divisibility by 3 over the int algebra."""
+
+    name = "mod3"
+    carrier = "int"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.domain = FlatLattice(self.name, [MULT, OTHER])
+        top = self.domain.top
+
+        def add(a, b):
+            # mult+mult stays mult; mult+other stays other; two
+            # "others" can cancel (1+2), so that case is top.
+            if a == MULT and b == MULT:
+                return MULT
+            if {a, b} == {MULT, OTHER}:
+                return OTHER
+            return top
+
+        def mul(a, b):
+            if a == MULT or b == MULT:
+                return MULT
+            if a == OTHER and b == OTHER:
+                return OTHER  # 3 is prime: no factors of 3 appear
+            return top
+
+        def neg(a):
+            return a
+
+        self.closed_ops = {"+": add, "-": add, "*": mul, "neg": neg,
+                           "abs": neg}
+
+        def eq(a, b):
+            # A multiple of 3 never equals a non-multiple.
+            if {a, b} == {MULT, OTHER}:
+                return PEValue.const(False)
+            return PEValue.top()
+
+        self.open_ops = {
+            "=": eq,
+            "!=": lambda a, b: (PEValue.const(True)
+                                if {a, b} == {MULT, OTHER}
+                                else PEValue.top()),
+        }
+
+    def abstract(self, value):
+        return MULT if value % 3 == 0 else OTHER
+
+
+def main() -> None:
+    facet = MultipleOf3Facet()
+
+    # -- obligations: Definition 2, executable --------------------------
+    law_violations = check_lattice(facet.domain)
+    safety_violations = check_facet_safety(facet)
+    monotonicity_violations = check_facet_monotonicity(facet)
+    print(f"lattice laws:  {len(law_violations)} violations")
+    print(f"safety (Property 1/2): {len(safety_violations)} violations")
+    print(f"monotonicity:  {len(monotonicity_violations)} violations")
+    assert not (law_violations or safety_violations
+                or monotonicity_violations)
+
+    # -- use it -----------------------------------------------------------
+    # A fixed-point check in modular arithmetic: if x is a multiple of
+    # 3 and y is not, `x = y` is decidable without knowing either.
+    program = parse_program("""
+        (define (main x y)
+          (if (= (* 3 x) (+ (* 3 y) 1))
+              (expensive x)
+              x))
+        (define (expensive x) (* x (* x (* x x))))
+    """)
+    suite = FacetSuite([facet])
+    inputs = [suite.unknown("int"), suite.unknown("int")]
+    result = specialize_online(program, inputs, suite)
+    print("\nResidual with the mod3 facet:")
+    print(pretty_program(result.program))
+    assert str(result.program).strip() == "(define (main x y) x)"
+
+    for x, y in [(0, 0), (5, -2), (100, 7)]:
+        assert Interpreter(result.program).run(x, y) \
+            == run_program(program, x, y)
+    print("the unreachable branch is gone; semantics verified ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Generating extensions: compile a program's specializer once, use it
+many times.
+
+The offline pipeline splits work into three stages:
+
+    facet analysis  (once per binding-time pattern)
+      -> staging    (once: compile the annotated program to closures)
+        -> specialization  (once per concrete/abstract input instance)
+
+This example builds the generating extension of the polynomial
+evaluator and mass-produces specialized evaluators for a family of
+degrees, checking each against the offline specializer and the source.
+
+Run:  python examples/generating_extension.py
+"""
+
+import time
+
+from repro import (
+    AbstractSuite, BT, FacetSuite, Interpreter, VectorSizeFacet,
+    Vector, analyze, parse_program, pretty_program)
+from repro.lang.interp import run_program
+from repro.offline.cogen import make_generating_extension
+from repro.offline.specializer import OfflineSpecializer
+from repro.workloads import POLY_EVAL_SRC
+
+DEGREES = list(range(1, 11))
+
+
+def main() -> None:
+    program = parse_program(POLY_EVAL_SRC)
+    suite = FacetSuite([VectorSizeFacet()])
+    abstract_suite = AbstractSuite(suite)
+    pattern = [abstract_suite.input("vector", bt=BT.DYNAMIC, size="s"),
+               abstract_suite.dynamic("float")]
+
+    start = time.perf_counter()
+    analysis = analyze(program, pattern, abstract_suite)
+    analysis_ms = (time.perf_counter() - start) * 1e3
+
+    start = time.perf_counter()
+    genext = make_generating_extension(analysis, suite)
+    staging_ms = (time.perf_counter() - start) * 1e3
+    print(f"analysis: {analysis_ms:.2f} ms (once per pattern); "
+          f"staging: {staging_ms:.2f} ms (once per program)\n")
+
+    specializer = OfflineSpecializer(analysis, suite)
+    for degree in DEGREES:
+        inputs = [suite.input("vector", size=degree),
+                  suite.unknown("float")]
+        staged = genext.specialize(inputs)
+        unstaged = specializer.specialize(inputs)
+        assert staged.program == unstaged.program
+        coefficients = Vector.of([float(i + 1) for i in range(degree)])
+        want = run_program(program, coefficients, 2.0)
+        got = Interpreter(staged.program).run(coefficients, 2.0)
+        assert want == got
+
+    print(f"{len(DEGREES)} specialized evaluators produced; every "
+          f"residual matches the unstaged offline specializer and the "
+          f"source semantics ✓\n")
+    print("Degree-3 residual:")
+    inputs = [suite.input("vector", size=3), suite.unknown("float")]
+    print(pretty_program(genext.specialize(inputs).program))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim so `pip install -e .` works without network access
+(the sandbox has no `wheel` package, which PEP 517 editable builds need)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — Parameterized Partial Evaluation (Consel & Khoo, PLDI 1991).
+
+A complete reproduction of the paper: a first-order-plus-lambda strict
+functional language (Figure 1), conventional partial evaluation
+(Figure 2), the facet framework (Definitions 2-7), online parameterized
+partial evaluation (Figure 3), abstract facets and the binding-time
+facet (Definitions 8-10), facet analysis (Figure 4), the offline
+specializer it drives, and the higher-order analysis of Figures 5-6 —
+plus a facet library (Sign, Parity, Interval, Vector-Size), safety
+checkers for the paper's properties, a program corpus, and benchmarks
+regenerating every figure.
+
+Quickstart::
+
+    from repro import (FacetSuite, VectorSizeFacet, parse_program,
+                       specialize_online)
+    from repro.workloads import INNER_PRODUCT_SRC
+
+    program = parse_program(INNER_PRODUCT_SRC)
+    suite = FacetSuite([VectorSizeFacet()])
+    inputs = [suite.input("vector", size=3)] * 2
+    residual = specialize_online(program, inputs, suite).program
+    print(residual)            # Figure 8
+
+See README.md for the guided tour and DESIGN.md for the paper-to-module
+map.
+"""
+
+from repro.lang import (
+    Interpreter, Program, Vector, parse_expr, parse_program, pretty,
+    pretty_program, run_program)
+from repro.lattice import BT, PEValue
+from repro.facets import (
+    ConstSetFacet, Facet, FacetSuite, FacetVector, IntervalFacet,
+    ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract import AbstractFacet, AbstractSuite, \
+    AbstractVector
+from repro.online import (
+    OnlineSpecializer, PEConfig, PEStats, SpecializationResult,
+    UnfoldStrategy, specialize_online)
+from repro.offline import (
+    AnalysisResult, FacetAnalyzer, OfflineResult, OfflineSpecializer,
+    analyze, analyze_higher_order, facet_table, specialize_offline)
+from repro.baselines import DYN, bta, specialize_simple
+from repro.workloads import WORKLOADS, generate_program, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Interpreter", "Program", "Vector", "parse_expr", "parse_program",
+    "pretty", "pretty_program", "run_program",
+    "BT", "PEValue",
+    "ConstSetFacet", "Facet", "FacetSuite", "FacetVector",
+    "IntervalFacet",
+    "ParityFacet", "SignFacet", "VectorSizeFacet",
+    "AbstractFacet", "AbstractSuite", "AbstractVector",
+    "OnlineSpecializer", "PEConfig", "PEStats", "SpecializationResult",
+    "UnfoldStrategy", "specialize_online",
+    "AnalysisResult", "FacetAnalyzer", "OfflineResult",
+    "OfflineSpecializer", "analyze", "analyze_higher_order",
+    "facet_table", "specialize_offline",
+    "DYN", "bta", "specialize_simple",
+    "WORKLOADS", "generate_program", "get_workload",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""The algebraic framework of Section 3: semantic algebras, abstraction
+functions between the three levels, and executable safety criteria."""
+
+from repro.algebra.abstraction import (
+    bt_of_args, tau_full, tau_offline, tau_online)
+from repro.algebra.safety import (
+    DEFAULT_SAMPLES, check_abstract_facet_safety, check_facet_safety,
+    check_facet_monotonicity)
+from repro.algebra.semantic import (
+    Operation, SemanticAlgebra, algebra_of, all_algebras)
+
+__all__ = [
+    "bt_of_args", "tau_full", "tau_offline", "tau_online",
+    "DEFAULT_SAMPLES", "check_abstract_facet_safety",
+    "check_facet_safety", "check_facet_monotonicity",
+    "Operation", "SemanticAlgebra", "algebra_of", "all_algebras",
+]

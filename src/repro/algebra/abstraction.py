@@ -1,0 +1,55 @@
+"""The abstraction functions relating the three semantic levels
+(Section 3.2).
+
+The paper stacks three algebras for every domain:
+
+* **standard semantics** — concrete values ``d in D``;
+* **online partial evaluation** — elements of the flat ``Values``
+  lattice: ``tau_online`` maps a value to the constant denoting it (the
+  paper's ``T^ = K^-1``, the "textual representation");
+* **offline partial evaluation** — binding times: ``tau_offline`` maps a
+  ``Values`` element to ``Static`` exactly when it is a constant (the
+  paper's ``T~``).
+
+Their composite ``tau_offline . tau_online`` abstracts standard values
+straight to binding times, used by the Gamma functions of Figure 4's
+``K~``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.values import Value, is_value
+from repro.lattice.bt import BT
+from repro.lattice.pevalue import PEValue
+
+
+def tau_online(value: Value) -> PEValue:
+    """``T^ : Values -> Values^`` — concrete value to its constant."""
+    if not is_value(value):
+        raise TypeError(f"not an object-language value: {value!r}")
+    return PEValue.const(value)
+
+
+def tau_offline(pe: PEValue) -> BT:
+    """``T~ : Values^ -> Values~`` — constants are Static, top is
+    Dynamic, bottom stays bottom."""
+    if pe.is_bottom:
+        return BT.BOT
+    if pe.is_const:
+        return BT.STATIC
+    return BT.DYNAMIC
+
+
+def tau_full(value: Value) -> BT:
+    """``T~ . T^`` — any proper concrete value is Static."""
+    return tau_offline(tau_online(value))
+
+
+def bt_of_args(args: list[BT]) -> BT:
+    """The uniform binding-time rule (Definition 10's operator body):
+    bottom-strict, Static when all arguments are Static, else Dynamic."""
+    if any(arg.is_bottom for arg in args):
+        return BT.BOT
+    if all(arg.is_static for arg in args):
+        return BT.STATIC
+    return BT.DYNAMIC

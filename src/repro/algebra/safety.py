@@ -1,0 +1,242 @@
+"""Executable safety criteria: Definition 2 condition 5, Properties 1,
+2 and 6, and operator monotonicity — the obligations a user-defined
+facet must meet, as checkers the test suite runs on every shipped facet.
+
+All checkers sample: concrete values come from per-sort default sample
+sets (overridable), abstract values from each facet's
+``sample_abstract_values``.  A checker returns human-readable violation
+strings; an empty list means the sampled obligation holds.  The
+hypothesis suites drive the same checkers with randomized samples.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian
+from typing import Mapping, Sequence
+
+from repro.lang.errors import EvalError
+from repro.lang.primitives import PrimSig, apply_primitive
+from repro.lang.values import BOOL, FLOAT, INT, VECTOR, Value, Vector
+from repro.lattice.bt import BT
+from repro.lattice.pevalue import PEValue
+from repro.algebra.abstraction import tau_offline, tau_online
+from repro.algebra.semantic import algebra_of
+from repro.facets.abstract.base import AbstractFacet
+from repro.facets.base import Facet
+
+#: Default concrete sample values per sort — small but adversarial
+#: (zero, signs, parities, singleton and empty vectors).
+DEFAULT_SAMPLES: dict[str, tuple[Value, ...]] = {
+    INT: (-7, -2, -1, 0, 1, 2, 3, 8),
+    FLOAT: (-2.5, -1.0, 0.0, 0.5, 1.0, 3.25),
+    BOOL: (True, False),
+    VECTOR: (Vector.of([]), Vector.of([1.0]), Vector.of([1.0, -2.0]),
+             Vector.of([0.5, 2.0, -3.0])),
+}
+
+
+def _concrete_tuples(sig: PrimSig,
+                     samples: Mapping[str, Sequence[Value]],
+                     limit: int) -> list[tuple[Value, ...]]:
+    pools = [samples.get(sort, ()) for sort in sig.arg_sorts]
+    tuples = []
+    for combo in cartesian(*pools):
+        tuples.append(combo)
+        if len(tuples) >= limit:
+            break
+    return tuples
+
+
+def _abstract_candidates(facet: Facet, sort: str,
+                         value: Value) -> list[object]:
+    """Abstract arguments related to ``value`` by the logical relation:
+    the exact abstraction plus everything above it (sampled)."""
+    if sort == facet.carrier:
+        exact = facet.abstract(value)
+        above = [a for a in facet.sample_abstract_values()
+                 if facet.domain.leq(exact, a)]
+        return above or [exact]
+    return [PEValue.const(value), PEValue.top()]
+
+
+def check_facet_safety(facet: Facet,
+                       samples: Mapping[str, Sequence[Value]]
+                       | None = None,
+                       per_op_limit: int = 4_096) -> list[str]:
+    """Definition 2 condition 5 / Property 1 for one facet, sampled.
+
+    Closed:  ``alpha(p(d...)) <= p^(a...)``  whenever ``alpha(d) <= a``.
+    Open:    ``tau(p(d...))  <= p^(a...)``  in the flat Values order —
+    equivalently Property 2: a constant answer must be *the* constant.
+    """
+    samples = dict(DEFAULT_SAMPLES) if samples is None else dict(samples)
+    violations: list[str] = []
+    algebra = algebra_of(facet.carrier)
+    for op in algebra.operations:
+        table = facet.closed_ops if op.is_closed else facet.open_ops
+        if op.name not in table:
+            continue  # defaults are trivially safe
+        for concrete in _concrete_tuples(op.sig, samples, per_op_limit):
+            try:
+                result = apply_primitive(op.name, concrete)
+            except EvalError:
+                continue  # p(d...) = bottom: vacuously safe
+            candidate_lists = [
+                _abstract_candidates(facet, sort, value)
+                for sort, value in zip(op.sig.arg_sorts, concrete)]
+            for abstract_args in cartesian(*candidate_lists):
+                if op.is_closed:
+                    got = facet.apply_closed(op.name, op.sig,
+                                             list(abstract_args))
+                    want = facet.abstract(result)
+                    if not facet.domain.leq(want, got):
+                        violations.append(
+                            f"{facet.name}.{op.name}{concrete}: "
+                            f"alpha(result)={want!r} not below "
+                            f"{got!r} for abstract args "
+                            f"{abstract_args!r}")
+                else:
+                    got_pe = facet.apply_open(op.name, op.sig,
+                                              list(abstract_args))
+                    if got_pe.is_const and \
+                            got_pe != tau_online(result):
+                        violations.append(
+                            f"{facet.name}.{op.name}{concrete}: open "
+                            f"operator produced {got_pe} but the "
+                            f"concrete result is {result!r} (args "
+                            f"{abstract_args!r})")
+                    if got_pe.is_bottom:
+                        violations.append(
+                            f"{facet.name}.{op.name}{concrete}: open "
+                            f"operator produced bottom on non-bottom "
+                            f"arguments {abstract_args!r}")
+    return violations
+
+
+def check_facet_monotonicity(facet: Facet,
+                             per_op_limit: int = 20_000) -> list[str]:
+    """Definition 2 condition 2 for one facet, sampled exhaustively over
+    the facet's abstract-value sample (plus PE values for foreign
+    positions)."""
+    violations: list[str] = []
+    abstract = list(facet.sample_abstract_values())
+    pe_samples = [PEValue.bottom(), PEValue.const(1), PEValue.const(2),
+                  PEValue.top()]
+    pe_lattice = PEValue.bottom()  # placeholder; order checked via leq
+    from repro.lattice.pevalue import PE_LATTICE
+    algebra = algebra_of(facet.carrier)
+    for op in algebra.operations:
+        table = facet.closed_ops if op.is_closed else facet.open_ops
+        if op.name not in table:
+            continue
+        pools = []
+        for sort in op.sig.arg_sorts:
+            pools.append(abstract if sort == facet.carrier
+                         else pe_samples)
+        combos = []
+        for combo in cartesian(*pools):
+            combos.append(combo)
+            if len(combos) * len(combos) > per_op_limit:
+                break
+
+        def arg_leq(sorts, left, right) -> bool:
+            for sort, l, r in zip(sorts, left, right):
+                if sort == facet.carrier:
+                    if not facet.domain.leq(l, r):
+                        return False
+                elif not PE_LATTICE.leq(l, r):
+                    return False
+            return True
+
+        for left in combos:
+            for right in combos:
+                if not arg_leq(op.sig.arg_sorts, left, right):
+                    continue
+                if op.is_closed:
+                    out_l = facet.apply_closed(op.name, op.sig,
+                                               list(left))
+                    out_r = facet.apply_closed(op.name, op.sig,
+                                               list(right))
+                    if not facet.domain.leq(out_l, out_r):
+                        violations.append(
+                            f"{facet.name}.{op.name}: not monotone at "
+                            f"{left!r} <= {right!r}: {out_l!r} !<= "
+                            f"{out_r!r}")
+                else:
+                    out_l = facet.apply_open(op.name, op.sig, list(left))
+                    out_r = facet.apply_open(op.name, op.sig,
+                                             list(right))
+                    if not PE_LATTICE.leq(out_l, out_r):
+                        violations.append(
+                            f"{facet.name}.{op.name}: not monotone at "
+                            f"{left!r} <= {right!r}: {out_l} !<= "
+                            f"{out_r}")
+    return violations
+
+
+def check_abstract_facet_safety(abstract: AbstractFacet,
+                                per_op_limit: int = 4_096) -> list[str]:
+    """Property 6, sampled: where the abstract facet answers Static, the
+    online facet must answer a constant, for every online argument tuple
+    related under ``alpha~``; and the abstract operators must abstract
+    the online closed operators (Definition 8's safety)."""
+    online = abstract.online
+    violations: list[str] = []
+    online_samples = list(online.sample_abstract_values())
+    pe_samples = [PEValue.const(0), PEValue.const(2), PEValue.top()]
+    algebra = algebra_of(online.carrier)
+    for op in algebra.operations:
+        table = abstract.closed_ops if op.is_closed \
+            else abstract.open_ops
+        if op.name not in table:
+            continue
+        pools = []
+        for sort in op.sig.arg_sorts:
+            pools.append(online_samples if sort == online.carrier
+                         else pe_samples)
+        combos = []
+        for combo in cartesian(*pools):
+            combos.append(combo)
+            if len(combos) >= per_op_limit:
+                break
+        for online_args in combos:
+            if any(_online_arg_is_bottom(online, op.sig, i, a)
+                   for i, a in enumerate(online_args)):
+                continue
+            abstract_args = [
+                abstract.abstract_of_facet(a)
+                if sort == online.carrier else tau_offline(a)
+                for sort, a in zip(op.sig.arg_sorts, online_args)]
+            if op.is_open:
+                got = abstract.apply_open(op.name, op.sig,
+                                          abstract_args)
+                if got is BT.STATIC:
+                    online_out = online.apply_open(op.name, op.sig,
+                                                   list(online_args))
+                    if not (online_out.is_const
+                            or online_out.is_bottom):
+                        violations.append(
+                            f"{abstract.name}.{op.name}: Static at "
+                            f"{abstract_args!r} but the online facet "
+                            f"answers {online_out} at "
+                            f"{online_args!r}")
+            else:
+                got = abstract.apply_closed(op.name, op.sig,
+                                            abstract_args)
+                online_out = online.apply_closed(op.name, op.sig,
+                                                 list(online_args))
+                want = abstract.abstract_of_facet(online_out)
+                if not abstract.domain.leq(want, got):
+                    violations.append(
+                        f"{abstract.name}.{op.name}: "
+                        f"alpha~(online result)={want!r} not below "
+                        f"{got!r} at {online_args!r}")
+    return violations
+
+
+def _online_arg_is_bottom(online: Facet, sig: PrimSig, index: int,
+                          arg: object) -> bool:
+    if sig.arg_sorts[index] == online.carrier:
+        return online.domain.leq(arg, online.domain.bottom)
+    assert isinstance(arg, PEValue)
+    return arg.is_bottom

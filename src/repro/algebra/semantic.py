@@ -1,0 +1,89 @@
+"""Semantic algebras (Definition 1) as first-class objects.
+
+A semantic algebra ``[D; O]`` is a carrier plus the operations on it.
+For this language the carriers are the value sorts and the operations
+are the primitive instances whose carrier matches — Section 3.2's
+open/closed split falls out of each instance's signature.  These objects
+exist so the safety checkers in :mod:`repro.algebra.safety` can speak
+the paper's vocabulary, and so users defining new facets can enumerate
+exactly the operators their facet may abstract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.lang.primitives import (
+    PRIMITIVES, PrimSig, primitives_for_carrier)
+from repro.lang.values import SORTS, Value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operator of a semantic algebra: a primitive instance."""
+
+    name: str
+    sig: PrimSig
+
+    @property
+    def is_closed(self) -> bool:
+        return self.sig.is_closed
+
+    @property
+    def is_open(self) -> bool:
+        return self.sig.is_open
+
+    @property
+    def arity(self) -> int:
+        return self.sig.arity
+
+    def apply(self, args: Sequence[Value]) -> Value:
+        from repro.lang.primitives import apply_primitive
+        return apply_primitive(self.name, args)
+
+    def __str__(self) -> str:
+        kind = "closed" if self.is_closed else "open"
+        args = " x ".join(self.sig.arg_sorts)
+        return f"{self.name} : {args} -> {self.sig.result_sort} ({kind})"
+
+
+@dataclass(frozen=True)
+class SemanticAlgebra:
+    """``[D; O]`` for one carrier sort."""
+
+    carrier: str
+    operations: tuple[Operation, ...]
+
+    @property
+    def open_operations(self) -> tuple[Operation, ...]:
+        return tuple(op for op in self.operations if op.is_open)
+
+    @property
+    def closed_operations(self) -> tuple[Operation, ...]:
+        return tuple(op for op in self.operations if op.is_closed)
+
+    def operation(self, name: str) -> Operation:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise KeyError(f"{self.carrier} algebra has no operator "
+                       f"{name!r}")
+
+    def __str__(self) -> str:
+        ops = ", ".join(op.name for op in self.operations)
+        return f"[{self.carrier}; {{{ops}}}]"
+
+
+def algebra_of(carrier: str) -> SemanticAlgebra:
+    """The semantic algebra of one value sort, from the primitive
+    registry."""
+    operations = tuple(Operation(name, sig)
+                       for name, sig in primitives_for_carrier(carrier))
+    return SemanticAlgebra(carrier, operations)
+
+
+def all_algebras() -> Iterator[SemanticAlgebra]:
+    """Every basic algebra of the language."""
+    for sort in SORTS:
+        yield algebra_of(sort)

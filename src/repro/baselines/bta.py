@@ -1,0 +1,84 @@
+"""Conventional binding-time analysis — the baseline the facet analysis
+generalizes (Section 5.4: "it is essentially a conventional binding time
+analysis ... extended to compute facet information").
+
+Implemented as facet analysis over the *empty* facet suite: the only
+abstract facet left is the binding-time facet of Definition 10, so the
+analysis computes exactly the classic Static/Dynamic division.  The
+wrapper exposes the conventional vocabulary (divisions, S/D patterns)
+and is used both as a baseline in benchmarks and as a differential
+oracle in tests (facet analysis with no facets must coincide with BTA;
+facet analysis with facets must refine it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lang.ast import Expr
+from repro.lang.program import Program
+from repro.lattice.bt import BT
+from repro.facets.abstract.vector import AbstractSuite, AbstractVector
+from repro.facets.vector import FacetSuite
+from repro.offline.analysis import (
+    AnalysisConfig, AnalysisResult, FacetAnalyzer)
+
+#: Conventional division letters.
+S = "S"
+D = "D"
+
+
+@dataclass(frozen=True)
+class Division:
+    """A classic known/unknown division for one function."""
+
+    args: tuple[BT, ...]
+    result: BT
+
+    def pattern(self) -> str:
+        letters = "".join(S if bt.is_static else D for bt in self.args)
+        result = S if self.result.is_static else D
+        return f"{letters}->{result}"
+
+
+@dataclass(frozen=True)
+class BTAResult:
+    """Binding times for every function and expression."""
+
+    analysis: AnalysisResult
+    divisions: dict[str, Division]
+
+    def bt_of(self, expr: Expr) -> BT:
+        return self.analysis.value_of(expr).bt
+
+
+def bta(program: Program, pattern: Sequence[str | BT],
+        config: AnalysisConfig | None = None) -> BTAResult:
+    """Run conventional BTA on a goal-function S/D pattern.
+
+    ``pattern`` entries are ``"S"``/``"D"`` strings or :class:`BT`
+    values.
+    """
+    suite = AbstractSuite(FacetSuite())
+    inputs = [_to_vector(suite, entry) for entry in pattern]
+    analyzer = FacetAnalyzer(program, suite, config)
+    analysis = analyzer.analyze(inputs)
+    divisions = {
+        name: Division(tuple(a.bt for a in signature.args),
+                       signature.result.bt)
+        for name, signature in analysis.signatures.items()}
+    return BTAResult(analysis, divisions)
+
+
+def _to_vector(suite: AbstractSuite, entry: str | BT) -> AbstractVector:
+    if isinstance(entry, BT):
+        bt = entry
+    elif entry in (S, "s"):
+        bt = BT.STATIC
+    elif entry in (D, "d"):
+        bt = BT.DYNAMIC
+    else:
+        raise ValueError(f"division entries are 'S' or 'D', got "
+                         f"{entry!r}")
+    return suite.static(None) if bt.is_static else suite.dynamic(None)

@@ -1,0 +1,153 @@
+"""``ppe`` — command-line front end.
+
+Subcommands:
+
+* ``ppe run FILE ARGS...`` — evaluate a program on literal arguments;
+* ``ppe specialize FILE SPEC...`` — online PPE; each SPEC is a literal
+  (static), ``dyn`` (dynamic), or ``facet=value`` pairs like
+  ``size=3`` / ``sign=pos`` (dynamic with facet information);
+* ``ppe analyze FILE SPEC...`` — facet analysis; SPECs as above but
+  literals mean Static, and the Figure 9 table is printed;
+* ``ppe offline FILE SPEC...`` — analysis + offline specialization;
+* ``ppe workloads`` — list the shipped program corpus.
+
+Facets available from the command line: ``sign``, ``parity``,
+``interval`` (``interval=lo:hi``), ``size``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lang.parser import parse_program
+from repro.lang.interp import run_program
+from repro.lang.pretty import pretty_program
+from repro.lang.values import INT, VECTOR, Value, Vector
+from repro.facets.library.interval import Interval
+from repro.facets.vector import FacetSuite, FacetVector
+from repro.facets import (
+    IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract.vector import AbstractSuite
+from repro.online.specializer import specialize_online
+from repro.offline.analysis import analyze
+from repro.offline.report import facet_table
+from repro.offline.specializer import OfflineSpecializer
+
+
+def _default_suite() -> FacetSuite:
+    return FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
+                       VectorSizeFacet()])
+
+
+def _parse_value(text: str) -> Value:
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text.startswith("#(") and text.endswith(")"):
+        items = text[2:-1].split()
+        return Vector.of([float(i) for i in items])
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _parse_spec(suite: FacetSuite, text: str) -> FacetVector | Value:
+    """``dyn``, a literal, or comma-separated ``facet=value`` pairs."""
+    if text == "dyn":
+        return suite.unknown(None)
+    if "=" not in text:
+        return _parse_value(text)
+    components: dict[str, object] = {}
+    sort = None
+    for pair in text.split(","):
+        name, _, raw = pair.partition("=")
+        if name == "size":
+            components["size"] = int(raw)
+            sort = VECTOR
+        elif name in ("sign", "parity"):
+            components[name] = raw
+            sort = INT
+        elif name == "interval":
+            lo_text, _, hi_text = raw.partition(":")
+            lo = None if lo_text in ("", "-inf") else int(lo_text)
+            hi = None if hi_text in ("", "inf", "+inf") else int(hi_text)
+            components["interval"] = Interval(lo, hi)
+            sort = INT
+        else:
+            raise SystemExit(f"unknown facet {name!r} in spec {text!r}")
+    assert sort is not None
+    return suite.input(sort, **components)  # type: ignore[arg-type]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ppe",
+        description="Parameterized partial evaluation "
+                    "(Consel & Khoo, PLDI 1991)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="evaluate a program")
+    run_cmd.add_argument("file", type=Path)
+    run_cmd.add_argument("args", nargs="*")
+
+    for name, help_text in (
+            ("specialize", "online parameterized PE"),
+            ("analyze", "facet analysis (Figure 4)"),
+            ("offline", "facet analysis + offline specialization")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("file", type=Path)
+        cmd.add_argument("specs", nargs="*")
+
+    sub.add_parser("workloads", help="list the shipped corpus")
+
+    options = parser.parse_args(argv)
+
+    if options.command == "workloads":
+        from repro.workloads import WORKLOADS
+        for workload in WORKLOADS.values():
+            marker = " [higher-order]" if workload.higher_order else ""
+            print(f"{workload.name:18} {workload.description}{marker}")
+        return 0
+
+    program = parse_program(options.file.read_text())
+
+    if options.command == "run":
+        result = run_program(program,
+                             *[_parse_value(a) for a in options.args])
+        print(result)
+        return 0
+
+    suite = _default_suite()
+    specs = [_parse_spec(suite, s) for s in options.specs]
+
+    if options.command == "specialize":
+        result = specialize_online(program, specs, suite)
+        print(pretty_program(result.program), end="")
+        print(f"; facet evaluations: "
+              f"{result.stats.facet_evaluations}", file=sys.stderr)
+        return 0
+
+    abstract_suite = AbstractSuite(suite)
+    pattern = [abstract_suite.abstract_of_online(
+        s if isinstance(s, FacetVector) else suite.const_vector(s))
+        for s in specs]
+    analysis = analyze(program, pattern, abstract_suite)
+
+    if options.command == "analyze":
+        print(facet_table(analysis,
+                          title=f"Facet analysis of {options.file}"))
+        return 0
+
+    result = OfflineSpecializer(analysis, suite).specialize(specs)
+    print(pretty_program(result.program), end="")
+    print(f"; facet evaluations: {result.stats.facet_evaluations}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Abstract facets: the offline level (Definitions 8-10, Section 5)."""
+
+from repro.facets.abstract.base import AbstractFacet, AbstractOpFn
+from repro.facets.abstract.bt_facet import BT_FACET, BindingTimeFacet
+from repro.facets.abstract.derive import (
+    IdentityAbstractFacet, derive_abstract, sig_for)
+from repro.facets.abstract.size import (
+    DYNAMIC_SIZE, STATIC_SIZE, AbstractVectorSizeFacet)
+from repro.facets.abstract.vector import (
+    AbstractOutcome, AbstractSuite, AbstractVector)
+
+__all__ = [
+    "AbstractFacet", "AbstractOpFn",
+    "BT_FACET", "BindingTimeFacet",
+    "IdentityAbstractFacet", "derive_abstract", "sig_for",
+    "DYNAMIC_SIZE", "STATIC_SIZE", "AbstractVectorSizeFacet",
+    "AbstractOutcome", "AbstractSuite", "AbstractVector",
+]

@@ -1,0 +1,109 @@
+"""Abstract facets (Definition 8): facets of facets.
+
+An abstract facet ``[D~; O~]`` abstracts a facet ``[D^; O^]`` one more
+level so facet computation can run *before* specialization.  It has the
+same open/closed structure; the difference is the co-domain of open
+operators: instead of constants they produce binding-time values —
+``Static`` promising "the facet will produce a constant at
+specialization time" (Property 6), ``Dynamic`` promising nothing.
+
+Argument convention (mirroring the online level): a closed/open abstract
+operator receives, per position, this abstract facet's value for
+carrier-sorted positions and the argument's binding time
+(:class:`~repro.lattice.bt.BT`) for foreign positions — e.g. the
+abstract Size facet's ``MkVec~ : Values~ -> V~`` of Section 6.2.
+
+Every abstract facet keeps a reference to its online facet: the offline
+specializer runs the *online* operators at specialization time, at
+exactly the places the analysis marked Static.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.lang.primitives import PrimSig
+from repro.lang.values import Value
+from repro.lattice.bt import BT
+from repro.lattice.core import AbstractValue, Lattice
+from repro.facets.base import Facet
+
+AbstractOpFn = Callable[..., object]
+
+
+class AbstractFacet:
+    """Base class for offline-level (analysis-time) facets."""
+
+    name: str = "abstract-facet"
+    carrier: str = "int"
+    domain: Lattice
+
+    def __init__(self, online: Facet) -> None:
+        self.online = online
+        self.carrier = online.carrier
+        self.closed_ops: dict[str, AbstractOpFn] = {}
+        self.open_ops: dict[str, AbstractOpFn] = {}
+
+    # -- the facet mapping alpha~ : D^ -> D~ -----------------------------
+    def abstract_of_facet(self, facet_value: AbstractValue) \
+            -> AbstractValue:
+        """Abstract an *online* facet value to this level."""
+        raise NotImplementedError
+
+    def abstract(self, value: Value) -> AbstractValue:
+        """The Gamma function of Figure 4's ``K~``: concrete value ->
+        online facet value -> abstract facet value."""
+        return self.abstract_of_facet(self.online.abstract(value))
+
+    # -- operator application ---------------------------------------------
+    def op_for(self, prim: str, sig: PrimSig) -> AbstractOpFn | None:
+        if sig.carrier != self.carrier:
+            return None
+        table = self.closed_ops if sig.is_closed else self.open_ops
+        return table.get(prim)
+
+    def apply_closed(self, prim: str, sig: PrimSig,
+                     args: Sequence[object]) -> AbstractValue:
+        if any(self._arg_is_bottom(sig, i, a) for i, a in enumerate(args)):
+            return self.domain.bottom
+        op = self.op_for(prim, sig)
+        if op is None:
+            return self.domain.top
+        return op(*args)
+
+    def apply_open(self, prim: str, sig: PrimSig,
+                   args: Sequence[object]) -> BT:
+        if any(self._arg_is_bottom(sig, i, a) for i, a in enumerate(args)):
+            return BT.BOT
+        op = self.op_for(prim, sig)
+        if op is None:
+            return BT.DYNAMIC
+        result = op(*args)
+        assert isinstance(result, BT), (
+            f"{self.name}.{prim}: open abstract operators must return "
+            f"BT, got {result!r}")
+        return result
+
+    def _arg_is_bottom(self, sig: PrimSig, index: int,
+                       arg: object) -> bool:
+        if sig.arg_sorts[index] == self.carrier:
+            return self.domain.leq(arg, self.domain.bottom)
+        assert isinstance(arg, BT), (
+            f"{self.name}: non-carrier argument {index} of {sig} should "
+            f"be a BT, got {arg!r}")
+        return arg.is_bottom
+
+    def sample_abstract_values(self) -> Sequence[AbstractValue]:
+        if self.domain.is_enumerable():
+            return list(self.domain.elements())
+        raise NotImplementedError(
+            f"{self.name}: override sample_abstract_values")
+
+    def describe(self) -> str:
+        closed = ", ".join(sorted(self.closed_ops)) or "-"
+        open_ = ", ".join(sorted(self.open_ops)) or "-"
+        return (f"abstract facet {self.name} over {self.carrier}: "
+                f"closed ops {{{closed}}}, open ops {{{open_}}}")
+
+    def __repr__(self) -> str:
+        return f"<AbstractFacet {self.name}/{self.carrier}>"

@@ -1,0 +1,56 @@
+"""The binding-time facet (Definition 10).
+
+Just as constant folding is itself a facet at the online level
+(Definition 7), the computation of binding times is itself an *abstract*
+facet: its domain is the ``bot <= Static <= Dynamic`` chain and every
+operator — open or closed, of any algebra — is the uniform rule
+
+    p~(d1, ..., dn) = bot      if some di = bot
+                    = Static   if all di = Static
+                    = Dynamic  otherwise
+
+which is exactly what a conventional binding-time analysis computes for
+primitives.  It occupies component 0 of every product of abstract facets
+(Section 5.4), mirroring the PE facet at the online level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang.primitives import PrimSig
+from repro.lattice.bt import BT, BT_LATTICE
+from repro.lattice.pevalue import PEValue
+from repro.algebra.abstraction import bt_of_args, tau_offline
+
+
+class BindingTimeFacet:
+    """The distinguished component 0 of every abstract product."""
+
+    name = "bt"
+    domain = BT_LATTICE
+
+    def abstract(self, value: object) -> BT:
+        """Any proper constant is Static."""
+        return BT.STATIC
+
+    def abstract_of_pe(self, pe: PEValue) -> BT:
+        """``alpha~_Values = tau~``: the facet mapping from the online
+        PE facet (Definition 10, clause 1)."""
+        return tau_offline(pe)
+
+    def apply(self, prim: str, sig: PrimSig,
+              args: Sequence[BT]) -> BT:
+        """The uniform operator (Definition 10, clause 2)."""
+        return bt_of_args(list(args))
+
+    def describe(self) -> str:
+        return ("abstract facet bt over all algebras: binding times "
+                "(Def. 10)")
+
+    def __repr__(self) -> str:
+        return "<BindingTimeFacet>"
+
+
+#: Shared instance; the facet is stateless.
+BT_FACET = BindingTimeFacet()

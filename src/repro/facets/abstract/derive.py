@@ -1,0 +1,82 @@
+"""Automatic derivation of abstract facets (the Example 2 pattern).
+
+Example 2 derives the abstract Sign facet from the Sign facet by taking
+the *same* domain (``alpha~`` is the identity) and composing each open
+operator with ``tau~``: the abstract ``<~`` answers Static exactly where
+the online ``<^`` answers a constant.  That construction is generic for
+any operator whose argument positions are all of the facet's carrier:
+closed operators are reused unchanged, open operators are
+``tau_offline . op``.
+
+Operators with foreign (``Values``-typed) positions cannot be derived
+this way — the abstract level only sees a binding time where the online
+level sees the actual constant (``MkVec^`` reads the size out of its
+``Values`` argument; ``MkVec~`` only learns that *some* size exists).
+Such operators keep the safe default (top/Dynamic) unless the facet
+ships a hand-written abstract companion, as the Size facet does
+(Section 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.lang.primitives import PRIMITIVES, PrimSig
+from repro.lattice.core import AbstractValue
+from repro.lattice.pevalue import PEValue
+from repro.algebra.abstraction import tau_offline
+from repro.facets.abstract.base import AbstractFacet
+from repro.facets.base import Facet
+
+
+def sig_for(prim: str, carrier: str) -> PrimSig | None:
+    """The unique signature of ``prim`` in the algebra ``carrier``."""
+    prim_def = PRIMITIVES.get(prim)
+    if prim_def is None:
+        return None
+    matches = [sig for sig in prim_def.sigs if sig.carrier == carrier]
+    return matches[0] if len(matches) == 1 else None
+
+
+def _carrier_only(sig: PrimSig) -> bool:
+    return all(sort == sig.carrier for sort in sig.arg_sorts)
+
+
+class IdentityAbstractFacet(AbstractFacet):
+    """The tau-composition derivation over an unchanged domain."""
+
+    def __init__(self, online: Facet) -> None:
+        super().__init__(online)
+        self.name = online.name
+        self.domain = online.domain
+        for prim, op in online.closed_ops.items():
+            sig = sig_for(prim, online.carrier)
+            if sig is not None and _carrier_only(sig):
+                self.closed_ops[prim] = op
+        for prim, op in online.open_ops.items():
+            sig = sig_for(prim, online.carrier)
+            if sig is not None and _carrier_only(sig):
+                self.open_ops[prim] = _tau_compose(op)
+
+    def abstract_of_facet(self, facet_value: AbstractValue) \
+            -> AbstractValue:
+        return facet_value
+
+    def sample_abstract_values(self):
+        return self.online.sample_abstract_values()
+
+
+def _tau_compose(op):
+    def abstract_op(*args):
+        result = op(*args)
+        assert isinstance(result, PEValue)
+        return tau_offline(result)
+    return abstract_op
+
+
+def derive_abstract(online: Facet) -> AbstractFacet:
+    """The abstract companion of a facet: the facet's own hand-written
+    one if it defines ``make_abstract``, otherwise the identity
+    derivation."""
+    maker = getattr(online, "make_abstract", None)
+    if maker is not None:
+        return maker()
+    return IdentityAbstractFacet(online)

@@ -1,0 +1,65 @@
+"""The abstract Size facet — Section 6.2 of the paper.
+
+The online Size domain (all the concrete sizes) collapses to the
+two-point chain ``V~ = {s, d}`` with ``bot <= s <= d``: ``s`` means "the
+size will be a known constant at specialization time", ``d`` means it
+will not.  Operators verbatim from the paper:
+
+* ``MkVec~ : Values~ -> V~`` — a Static size argument builds an
+  ``s``-vector;
+* ``UpdVec~`` — preserves the size class;
+* ``Vecf~ : V~ -> Values~`` (open) — ``s`` answers Static;
+* ``Vref~`` (open) — always Dynamic.
+"""
+
+from __future__ import annotations
+
+from repro.lattice.bt import BT
+from repro.lattice.core import AbstractValue
+from repro.lattice.flat import ChainLattice
+from repro.facets.abstract.base import AbstractFacet
+from repro.facets.base import Facet
+
+STATIC_SIZE = "s"
+DYNAMIC_SIZE = "d"
+
+
+class _SizeBTLattice(ChainLattice):
+    def __init__(self) -> None:
+        super().__init__("size~", ["bot-size~", STATIC_SIZE, DYNAMIC_SIZE])
+
+
+class AbstractVectorSizeFacet(AbstractFacet):
+    """``[V~; O~]`` of Section 6.2."""
+
+    def __init__(self, online: Facet) -> None:
+        super().__init__(online)
+        self.name = online.name
+        self.domain = _SizeBTLattice()
+
+        def mkvec(size: BT) -> AbstractValue:
+            return DYNAMIC_SIZE if size.is_dynamic else STATIC_SIZE
+
+        def updvec(vec: AbstractValue, index: BT, value: BT) \
+                -> AbstractValue:
+            return vec
+
+        self.closed_ops = {"mkvec": mkvec, "updvec": updvec}
+
+        def vsize(vec: AbstractValue) -> BT:
+            return BT.STATIC if vec == STATIC_SIZE else BT.DYNAMIC
+
+        def vref(vec: AbstractValue, index: BT) -> BT:
+            return BT.DYNAMIC
+
+        self.open_ops = {"vsize": vsize, "vref": vref}
+
+    def abstract_of_facet(self, facet_value: AbstractValue) \
+            -> AbstractValue:
+        """``alpha~``: bottom to bottom, top to ``d``, any concrete size
+        to ``s``."""
+        if self.online.domain.leq(facet_value, self.online.domain.bottom):
+            return self.domain.bottom
+        if facet_value == self.online.domain.top:
+            return DYNAMIC_SIZE
+        return STATIC_SIZE

@@ -1,0 +1,169 @@
+"""Facets (Definition 4): safe abstractions of semantic algebras.
+
+A facet ``[D^; O^]`` of a semantic algebra ``[D; O]`` consists of
+
+* an abstract domain — a finite-height lattice capturing the property of
+  interest (:attr:`Facet.domain`);
+* an abstraction function ``alpha_D : D -> D^`` (:meth:`Facet.abstract`);
+* abstract versions of the algebra's operators, split into **closed**
+  operators (``D^n -> D``, abstract version ``D^^n -> D^``) that compute
+  new abstract values, and **open** operators (``D^n -> D'``, abstract
+  version ``-> Values``) that *use* abstract values to produce constants
+  at PE time.
+
+Operator argument convention (matching the paper's signatures, e.g.
+``UpdVec : V^ x Values x Values -> V^``): a facet operator receives, for
+each argument position, this facet's abstract value when the position's
+sort is the facet's carrier, and the argument's PE value
+(:class:`~repro.lattice.pevalue.PEValue`) otherwise.
+
+A facet only has to define operators it can say something useful about;
+the product machinery fills in the safe defaults (bottom-strict, top
+otherwise) for the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.lang.primitives import PrimSig
+from repro.lang.values import Value
+from repro.lattice.core import AbstractValue, Lattice
+from repro.lattice.pevalue import PEValue
+
+#: A facet operator: takes the per-position arguments described above.
+#: Closed operators return an element of the facet domain; open operators
+#: return a :class:`PEValue`.
+FacetOpFn = Callable[..., object]
+
+
+class Facet:
+    """Base class for online-level facets.
+
+    Subclasses set :attr:`name`, :attr:`carrier`, :attr:`domain`,
+    implement :meth:`abstract`, and populate :attr:`closed_ops` /
+    :attr:`open_ops` keyed by primitive name.  A primitive name may be
+    overloaded across carriers; a facet's table only applies to the
+    overload whose carrier matches the facet.
+    """
+
+    name: str = "facet"
+    carrier: str = "int"
+    domain: Lattice
+
+    def __init__(self) -> None:
+        self.closed_ops: dict[str, FacetOpFn] = {}
+        self.open_ops: dict[str, FacetOpFn] = {}
+        #: Optional branch-refinement table for the constraint-
+        #: propagation extension (see repro.online.constraints):
+        #: comparison operator -> (assume, left, right) -> (left',
+        #: right'), where the refined values must be meets (safe
+        #: narrowings) of the inputs.
+        self.refine_ops: dict[str, Callable] = {}
+
+    # -- abstraction ---------------------------------------------------
+    def abstract(self, value: Value) -> AbstractValue:
+        """The abstraction function ``alpha_D`` on proper (non-bottom)
+        concrete values."""
+        raise NotImplementedError
+
+    def concretizes(self, value: Value, abstract: AbstractValue) -> bool:
+        """The logical relation ``d leq_alpha delta`` of Definition 3:
+        ``alpha(d) leq delta``."""
+        return self.domain.leq(self.abstract(value), abstract)
+
+    # -- operator lookup ------------------------------------------------
+    def op_for(self, prim: str, sig: PrimSig) -> FacetOpFn | None:
+        """The facet's own operator for a primitive instance, if any."""
+        if sig.carrier != self.carrier:
+            return None
+        table = self.closed_ops if sig.is_closed else self.open_ops
+        return table.get(prim)
+
+    def apply_closed(self, prim: str, sig: PrimSig,
+                     args: Sequence[object]) -> AbstractValue:
+        """Apply the abstract version of a closed operator, falling back
+        to the safe default (bottom-strict, else top)."""
+        if any(self._arg_is_bottom(sig, i, a) for i, a in enumerate(args)):
+            return self.domain.bottom
+        op = self.op_for(prim, sig)
+        if op is None:
+            return self.domain.top
+        return op(*args)
+
+    def apply_open(self, prim: str, sig: PrimSig,
+                   args: Sequence[object]) -> PEValue:
+        """Apply the abstract version of an open operator, falling back
+        to the safe default (bottom-strict, else top)."""
+        if any(self._arg_is_bottom(sig, i, a) for i, a in enumerate(args)):
+            return PEValue.bottom()
+        op = self.op_for(prim, sig)
+        if op is None:
+            return PEValue.top()
+        result = op(*args)
+        assert isinstance(result, PEValue), (
+            f"{self.name}.{prim}: open operators must return PEValue, "
+            f"got {result!r}")
+        return result
+
+    def _arg_is_bottom(self, sig: PrimSig, index: int,
+                       arg: object) -> bool:
+        if sig.arg_sorts[index] == self.carrier:
+            return self.domain.leq(arg, self.domain.bottom)
+        assert isinstance(arg, PEValue), (
+            f"{self.name}: non-carrier argument {index} of {sig} should "
+            f"be a PEValue, got {arg!r}")
+        return arg.is_bottom
+
+    # -- documentation hooks ---------------------------------------------
+    def describe(self) -> str:
+        """One-line description for reports."""
+        closed = ", ".join(sorted(self.closed_ops)) or "-"
+        open_ = ", ".join(sorted(self.open_ops)) or "-"
+        return (f"facet {self.name} over {self.carrier}: "
+                f"closed ops {{{closed}}}, open ops {{{open_}}}")
+
+    def sample_abstract_values(self) -> Sequence[AbstractValue]:
+        """A finite sample of the domain for safety/monotonicity tests;
+        enumerable domains enumerate, others must override."""
+        if self.domain.is_enumerable():
+            return list(self.domain.elements())
+        raise NotImplementedError(
+            f"{self.name}: override sample_abstract_values for "
+            f"non-enumerable domains")
+
+    def __repr__(self) -> str:
+        return f"<Facet {self.name}/{self.carrier}>"
+
+
+def negated_refiner(fn: Callable) -> Callable:
+    """Derive the refinement rule of a comparison's negation (``x >= y``
+    refines like ``x < y`` with the assumption flipped)."""
+    def run(assume: bool, left: object, right: object):
+        return fn(not assume, left, right)
+    return run
+
+
+def flipped_refiner(fn: Callable) -> Callable:
+    """Derive the refinement rule of the argument-swapped comparison."""
+    def run(assume: bool, left: object, right: object):
+        new_right, new_left = fn(assume, right, left)
+        return new_left, new_right
+    return run
+
+
+def strictly(domain: Lattice, fn: FacetOpFn) -> FacetOpFn:
+    """Wrap a closed-operator body so it is bottom-strict in the carrier
+    arguments (a convenience; the product machinery already guards, this
+    is for direct use of the op in tests)."""
+
+    def wrapped(*args: object) -> object:
+        for arg in args:
+            if isinstance(arg, PEValue):
+                if arg.is_bottom:
+                    return domain.bottom
+            elif domain.leq(arg, domain.bottom):
+                return domain.bottom
+        return fn(*args)
+
+    return wrapped

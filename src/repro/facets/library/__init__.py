@@ -1,0 +1,18 @@
+"""Shipped facets: Sign (Example 1), Parity, Interval, Vector-Size
+(§6), and the ConstSet user-extensibility demonstration."""
+
+from repro.facets.library.constset import (
+    ConstSetFacet, ConstSetLattice)
+from repro.facets.library.interval import (
+    EMPTY, FULL, Interval, IntervalFacet, IntervalLattice)
+from repro.facets.library.parity import EVEN, ODD, ParityFacet
+from repro.facets.library.sign import NEG, POS, ZERO, SignFacet
+from repro.facets.library.vector_size import VectorSizeFacet
+
+__all__ = [
+    "ConstSetFacet", "ConstSetLattice",
+    "EMPTY", "FULL", "Interval", "IntervalFacet", "IntervalLattice",
+    "EVEN", "ODD", "ParityFacet",
+    "NEG", "POS", "ZERO", "SignFacet",
+    "VectorSizeFacet",
+]

@@ -1,0 +1,331 @@
+"""The Interval (range) facet over the integer algebra.
+
+The paper's footnote 1 explicitly allows facet domains of infinite
+height provided a widening operator makes fixpoints finite; the classic
+example is the interval domain, and "ranges" is one of the properties
+Section 1 names.  This facet demonstrates that path: its lattice
+overrides :meth:`~repro.lattice.core.Lattice.widen` to jump unstable
+bounds to infinity, and the facet analysis engages widening whenever any
+facet's domain is not of finite height.
+
+Elements are ``Interval(lo, hi)`` with ``None`` meaning unbounded on
+that side; a dedicated bottom sentinel represents the empty range.  Open
+comparison operators fold whenever the ranges are disjoint or ordered;
+``=`` additionally folds to ``true`` on matching singletons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lang.values import INT, Value
+from repro.lattice.core import AbstractValue, Lattice
+from repro.lattice.pevalue import PEValue
+from repro.facets.base import Facet
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-empty integer range; ``None`` bounds are infinite."""
+
+    lo: int | None
+    hi: int | None
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None \
+                and self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+@dataclass(frozen=True)
+class _Empty:
+    """Bottom of the interval lattice."""
+
+    def __str__(self) -> str:
+        return "[]"
+
+
+EMPTY = _Empty()
+FULL = Interval(None, None)
+
+
+def _lo_min(a: int | None, b: int | None) -> int | None:
+    if a is None or b is None:
+        return None
+    return min(a, b)
+
+
+def _hi_max(a: int | None, b: int | None) -> int | None:
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+def _lo_leq(a: int | None, b: int | None) -> bool:
+    """a <= b where None = -inf."""
+    if a is None:
+        return True
+    if b is None:
+        return False
+    return a <= b
+
+
+def _hi_leq(a: int | None, b: int | None) -> bool:
+    """a <= b where None = +inf."""
+    if b is None:
+        return True
+    if a is None:
+        return False
+    return a <= b
+
+
+class IntervalLattice(Lattice):
+    """Intervals ordered by inclusion; infinite height, widened joins."""
+
+    name = "interval"
+
+    @property
+    def bottom(self) -> AbstractValue:
+        return EMPTY
+
+    @property
+    def top(self) -> AbstractValue:
+        return FULL
+
+    def leq(self, left: AbstractValue, right: AbstractValue) -> bool:
+        if left == EMPTY:
+            return True
+        if right == EMPTY:
+            return False
+        assert isinstance(left, Interval) and isinstance(right, Interval)
+        return _lo_leq(right.lo, left.lo) and _hi_leq(left.hi, right.hi)
+
+    def join(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        if left == EMPTY:
+            return right
+        if right == EMPTY:
+            return left
+        assert isinstance(left, Interval) and isinstance(right, Interval)
+        return Interval(_lo_min(left.lo, right.lo),
+                        _hi_max(left.hi, right.hi))
+
+    def meet(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        if left == EMPTY or right == EMPTY:
+            return EMPTY
+        assert isinstance(left, Interval) and isinstance(right, Interval)
+        lo = left.lo if _lo_leq(right.lo, left.lo) else right.lo
+        hi = left.hi if _hi_leq(left.hi, right.hi) else right.hi
+        if lo is not None and hi is not None and lo > hi:
+            return EMPTY
+        return Interval(lo, hi)
+
+    def height(self) -> int:
+        raise NotImplementedError(
+            "the interval lattice has infinite height; use widening")
+
+    def is_enumerable(self) -> bool:
+        return False
+
+    def contains(self, element: AbstractValue) -> bool:
+        return element == EMPTY or isinstance(element, Interval)
+
+    def widen(self, previous: AbstractValue, new: AbstractValue) \
+            -> AbstractValue:
+        """Standard interval widening: unstable bounds go to infinity."""
+        if previous == EMPTY:
+            return new
+        if new == EMPTY:
+            return previous
+        assert isinstance(previous, Interval) and isinstance(new, Interval)
+        lo = previous.lo if _lo_leq(previous.lo, new.lo) else None
+        hi = previous.hi if _hi_leq(new.hi, previous.hi) else None
+        return Interval(lo, hi)
+
+    def sample_elements(self) -> Iterable[AbstractValue]:
+        return [EMPTY, Interval(0, 0), Interval(1, 1), Interval(-2, -1),
+                Interval(0, 5), Interval(None, 0), Interval(1, None),
+                FULL]
+
+
+def _add(a: int | None, b: int | None) -> int | None:
+    return None if a is None or b is None else a + b
+
+
+class IntervalFacet(Facet):
+    """Range information for the ``int`` algebra."""
+
+    name = "interval"
+    carrier = INT
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.domain = IntervalLattice()
+
+        def products(a: Interval, b: Interval) -> AbstractValue:
+            corners = []
+            for x in (a.lo, a.hi):
+                for y in (b.lo, b.hi):
+                    if x is None or y is None:
+                        return FULL
+                    corners.append(x * y)
+            return Interval(min(corners), max(corners))
+
+        def add(a: Interval, b: Interval) -> AbstractValue:
+            return Interval(_add(a.lo, b.lo), _add(a.hi, b.hi))
+
+        def sub(a: Interval, b: Interval) -> AbstractValue:
+            lo = None if a.lo is None or b.hi is None else a.lo - b.hi
+            hi = None if a.hi is None or b.lo is None else a.hi - b.lo
+            return Interval(lo, hi)
+
+        def neg(a: Interval) -> AbstractValue:
+            lo = None if a.hi is None else -a.hi
+            hi = None if a.lo is None else -a.lo
+            return Interval(lo, hi)
+
+        def abs_(a: Interval) -> AbstractValue:
+            if a.lo is not None and a.lo >= 0:
+                return a
+            if a.hi is not None and a.hi <= 0:
+                return neg(a)
+            hi = None
+            if a.lo is not None and a.hi is not None:
+                hi = max(-a.lo, a.hi)
+            return Interval(0, hi)
+
+        def min_(a: Interval, b: Interval) -> AbstractValue:
+            lo = _lo_min(a.lo, b.lo)
+            hi = a.hi if _hi_leq(a.hi, b.hi) else b.hi
+            return Interval(lo, hi)
+
+        def max_(a: Interval, b: Interval) -> AbstractValue:
+            lo = a.lo if _lo_leq(b.lo, a.lo) else b.lo
+            hi = _hi_max(a.hi, b.hi)
+            return Interval(lo, hi)
+
+        def div(a: Interval, b: Interval) -> AbstractValue:
+            # Sound but deliberately simple: bounded truncating division
+            # stays within the dividend's magnitude.
+            if a.lo is None or a.hi is None:
+                return FULL
+            magnitude = max(abs(a.lo), abs(a.hi))
+            return Interval(-magnitude, magnitude)
+
+        def mod(a: Interval, b: Interval) -> AbstractValue:
+            # |a mod b| < |b| and the result keeps the dividend's sign.
+            if b.lo is None or b.hi is None:
+                return FULL
+            bound = max(abs(b.lo), abs(b.hi))
+            if bound == 0:
+                # The divisor is exactly 0: every concrete application
+                # errors, so the abstract result is the empty range.
+                return EMPTY
+            lo = 0 if (a.lo is not None and a.lo >= 0) else -(bound - 1)
+            hi = 0 if (a.hi is not None and a.hi <= 0) else bound - 1
+            return Interval(lo, hi)
+
+        self.closed_ops = {
+            "+": add, "-": sub, "*": products, "neg": neg, "abs": abs_,
+            "min": min_, "max": max_, "div": div, "mod": mod,
+        }
+
+        def lt(a: Interval, b: Interval) -> PEValue:
+            if a.hi is not None and b.lo is not None and a.hi < b.lo:
+                return PEValue.const(True)
+            if a.lo is not None and b.hi is not None and a.lo >= b.hi:
+                return PEValue.const(False)
+            return PEValue.top()
+
+        def le(a: Interval, b: Interval) -> PEValue:
+            if a.hi is not None and b.lo is not None and a.hi <= b.lo:
+                return PEValue.const(True)
+            if a.lo is not None and b.hi is not None and a.lo > b.hi:
+                return PEValue.const(False)
+            return PEValue.top()
+
+        def eq(a: Interval, b: Interval) -> PEValue:
+            if a.is_singleton and b.is_singleton:
+                return PEValue.const(a.lo == b.lo)
+            if self.domain.meet(a, b) == EMPTY:
+                return PEValue.const(False)
+            return PEValue.top()
+
+        def negated(op):
+            def run(a: Interval, b: Interval) -> PEValue:
+                result = op(a, b)
+                if result.is_const:
+                    return PEValue.const(not result.constant())
+                return result
+            return run
+
+        self.open_ops = {
+            "<": lt,
+            "<=": le,
+            ">": lambda a, b: lt(b, a),
+            ">=": lambda a, b: le(b, a),
+            "=": eq,
+            "!=": negated(eq),
+        }
+
+        # Branch refinements (constraint-propagation extension): the
+        # classic interval narrowing meets.
+        from repro.facets.base import flipped_refiner, negated_refiner
+
+        def refine_lt(assume: bool, a, b):
+            if a == EMPTY or b == EMPTY:
+                return EMPTY, EMPTY
+            if assume:
+                new_a = self.domain.meet(a, Interval(
+                    None, None if b.hi is None else b.hi - 1))
+                new_b = self.domain.meet(b, Interval(
+                    None if a.lo is None else a.lo + 1, None))
+            else:
+                new_a = self.domain.meet(a, Interval(b.lo, None))
+                new_b = self.domain.meet(b, Interval(None, a.hi))
+            return new_a, new_b
+
+        def refine_le(assume: bool, a, b):
+            if a == EMPTY or b == EMPTY:
+                return EMPTY, EMPTY
+            if assume:
+                new_a = self.domain.meet(a, Interval(None, b.hi))
+                new_b = self.domain.meet(b, Interval(a.lo, None))
+            else:
+                new_a = self.domain.meet(a, Interval(
+                    None if b.lo is None else b.lo + 1, None))
+                new_b = self.domain.meet(b, Interval(
+                    None, None if a.hi is None else a.hi - 1))
+            return new_a, new_b
+
+        def refine_eq(assume: bool, a, b):
+            if assume:
+                meet = self.domain.meet(a, b)
+                return meet, meet
+            return a, b
+
+        self.refine_ops = {
+            "<": refine_lt,
+            "<=": refine_le,
+            ">": flipped_refiner(refine_lt),
+            ">=": flipped_refiner(refine_le),
+            "=": refine_eq,
+            "!=": negated_refiner(refine_eq),
+        }
+
+    def abstract(self, value: Value) -> AbstractValue:
+        return Interval(value, value)
+
+    def sample_abstract_values(self) -> list[AbstractValue]:
+        return list(self.domain.sample_elements())

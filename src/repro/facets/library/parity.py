@@ -1,0 +1,82 @@
+"""The Parity facet: even/odd over the integer algebra.
+
+A second user-defined facet in the spirit of the paper's Section 1 list
+("signs, ranges, and types"): its flat domain ``{bot, even, odd, top}``
+tracks residues mod 2.  Its open ``=``/``!=`` operators fold equality
+tests between values of *different* parity — something neither plain PE
+nor the sign facet can see — which the example suite and the product-of-
+facets tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.lang.values import INT, Value
+from repro.lattice.core import AbstractValue
+from repro.lattice.flat import FlatLattice
+from repro.lattice.pevalue import PEValue
+from repro.facets.base import Facet
+
+EVEN = "even"
+ODD = "odd"
+
+_PARITIES = (EVEN, ODD)
+
+
+class ParityFacet(Facet):
+    """Residue-mod-2 information for the ``int`` algebra."""
+
+    name = "parity"
+    carrier = INT
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.domain = FlatLattice(self.name, _PARITIES)
+        top = self.domain.top
+
+        def known(value: AbstractValue) -> bool:
+            return value in _PARITIES
+
+        def add(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            if known(a) and known(b):
+                return EVEN if a == b else ODD
+            return top
+
+        def mul(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            if a == EVEN or b == EVEN:
+                return EVEN
+            if a == ODD and b == ODD:
+                return ODD
+            return top
+
+        def neg(a: AbstractValue) -> AbstractValue:
+            return a
+
+        def mod(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            # Truncating a mod b = a - b*(a div b): even - even*q is
+            # even, odd - even*q is odd; an odd divisor reveals nothing.
+            if b == EVEN and known(a):
+                return a
+            return top
+
+        def same(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            return a if a == b else top
+
+        self.closed_ops = {
+            "+": add, "-": add, "*": mul, "neg": neg, "abs": neg,
+            "mod": mod, "min": same, "max": same,
+        }
+
+        def eq(a: AbstractValue, b: AbstractValue) -> PEValue:
+            if known(a) and known(b) and a != b:
+                return PEValue.const(False)
+            return PEValue.top()
+
+        def neq(a: AbstractValue, b: AbstractValue) -> PEValue:
+            if known(a) and known(b) and a != b:
+                return PEValue.const(True)
+            return PEValue.top()
+
+        self.open_ops = {"=": eq, "!=": neq}
+
+    def abstract(self, value: Value) -> AbstractValue:
+        return EVEN if value % 2 == 0 else ODD

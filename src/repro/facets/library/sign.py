@@ -1,0 +1,231 @@
+"""The Sign facet — Example 1 of the paper, extended to all primitives.
+
+Domain ``{bot, pos, zero, neg, top}`` (a flat lattice over three points),
+abstraction by comparison with zero.  The paper defines ``+^`` (closed)
+and ``<^`` (open); we flesh out the rest of the numeric algebra with the
+best sound sign rules.  The facet is instantiable over the ``int`` or
+``float`` carrier — the overloaded primitives resolve per carrier, so a
+suite usually contains one instance of each.
+
+Open-operator logic: the three sign classes denote the disjoint sets
+``(0, +inf)``, ``{0}``, ``(-inf, 0)``; a comparison folds exactly when
+the classes decide it (e.g. ``neg < zero`` is ``true``, ``zero = zero``
+is ``true`` because both sides are exactly 0, ``pos < pos`` is unknown).
+"""
+
+from __future__ import annotations
+
+from repro.lang.values import FLOAT, INT, Value
+from repro.lattice.core import AbstractValue
+from repro.lattice.flat import FlatLattice
+from repro.lattice.pevalue import PEValue
+from repro.facets.base import Facet
+
+POS = "pos"
+ZERO = "zero"
+NEG = "neg"
+
+_SIGNS = (POS, ZERO, NEG)
+
+
+class SignFacet(Facet):
+    """Sign information for a numeric algebra (Example 1)."""
+
+    def __init__(self, carrier: str = INT) -> None:
+        super().__init__()
+        if carrier not in (INT, FLOAT):
+            raise ValueError(f"sign facet needs a numeric carrier, "
+                             f"got {carrier!r}")
+        self.name = "sign" if carrier == INT else f"sign_{carrier}"
+        self.carrier = carrier
+        self.domain = FlatLattice(self.name, _SIGNS)
+        top, bottom = self.domain.top, self.domain.bottom
+
+        def known(value: AbstractValue) -> bool:
+            return value in _SIGNS
+
+        def add(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            # Example 1: zero is the unit; equal signs persist.
+            if a == ZERO:
+                return b
+            if b == ZERO:
+                return a
+            return self.domain.join(a, b)
+
+        def sub(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            if b == ZERO:
+                return a
+            if known(b):
+                return add(a, _negated(b))
+            return top
+
+        def mul(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            # zero annihilates even an unknown partner.
+            if a == ZERO or b == ZERO:
+                return ZERO
+            if carrier == FLOAT:
+                # IEEE underflow: tiny*tiny rounds to (-)0.0, so the
+                # sign of a nonzero float product is NOT the sign rule.
+                return top
+            if known(a) and known(b):
+                return POS if a == b else NEG
+            return top
+
+        def neg(a: AbstractValue) -> AbstractValue:
+            return _negated(a) if known(a) else a
+
+        def abs_(a: AbstractValue) -> AbstractValue:
+            if a == ZERO:
+                return ZERO
+            if a in (POS, NEG):
+                return POS
+            return a
+
+        def max_(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            if a == POS or b == POS:
+                return POS
+            if known(a) and known(b):
+                # max over {zero, neg}: zero wins unless both negative.
+                return NEG if a == b == NEG else ZERO
+            return top
+
+        def min_(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            if a == NEG or b == NEG:
+                return NEG
+            if known(a) and known(b):
+                return POS if a == b == POS else ZERO
+            return top
+
+        def div(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            # Truncating int division loses sign precision (1 div 2 = 0);
+            # only a zero dividend is exact.
+            if a == ZERO:
+                return ZERO
+            return top
+
+        def fdiv(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            # Only a zero dividend is exact: tiny/huge underflows to
+            # zero, so nonzero quotients can lose their sign class.
+            if a == ZERO:
+                return ZERO
+            return top
+
+        def mod(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+            if a == ZERO:
+                return ZERO
+            return top
+
+        self.closed_ops = {
+            "+": add, "-": sub, "*": mul, "neg": neg, "abs": abs_,
+            "min": min_, "max": max_,
+        }
+        if carrier == INT:
+            self.closed_ops["div"] = div
+            self.closed_ops["mod"] = mod
+        else:
+            self.closed_ops["/"] = fdiv
+
+        def compare(decide):
+            def op(a: AbstractValue, b: AbstractValue) -> PEValue:
+                if known(a) and known(b):
+                    verdict = decide(a, b)
+                    if verdict is not None:
+                        return PEValue.const(verdict)
+                return PEValue.top()
+            return op
+
+        self.open_ops = {
+            "<": compare(_lt),
+            "<=": compare(_le),
+            ">": compare(lambda a, b: _lt(b, a)),
+            ">=": compare(lambda a, b: _le(b, a)),
+            "=": compare(_eq),
+            "!=": compare(lambda a, b: _negate(_eq(a, b))),
+        }
+
+        # Branch refinements (constraint-propagation extension): a flat
+        # sign domain can only be sharpened by comparisons whose other
+        # side is the exactly-zero class (``x < 0`` true means neg) or
+        # by assumed equalities (meet of the two classes).
+        from repro.facets.base import negated_refiner
+
+        def against_zero(truth_class: str):
+            mirrored = {NEG: POS, POS: NEG}[truth_class]
+
+            def refine(assume: bool, a: AbstractValue,
+                       b: AbstractValue):
+                if not assume:
+                    return a, b
+                if b == ZERO:
+                    a = self.domain.meet(a, truth_class)
+                elif a == ZERO:
+                    b = self.domain.meet(b, mirrored)
+                return a, b
+            return refine
+
+        def equal(assume: bool, a: AbstractValue, b: AbstractValue):
+            if assume:
+                meet = self.domain.meet(a, b)
+                return meet, meet
+            return a, b
+
+        self.refine_ops = {
+            "<": against_zero(NEG),
+            ">": against_zero(POS),
+            ">=": negated_refiner(against_zero(NEG)),
+            "<=": negated_refiner(against_zero(POS)),
+            "=": equal,
+            "!=": negated_refiner(equal),
+        }
+
+    def abstract(self, value: Value) -> AbstractValue:
+        if value > 0:
+            return POS
+        if value < 0:
+            return NEG
+        return ZERO
+
+
+def _negated(sign: str) -> str:
+    return {POS: NEG, NEG: POS, ZERO: ZERO}[sign]
+
+
+def _lt(a: str, b: str) -> bool | None:
+    """``a < b`` when decidable from the sign classes, else None."""
+    if a == NEG and b in (ZERO, POS):
+        return True
+    if a == ZERO and b == POS:
+        return True
+    if a == POS and b in (NEG, ZERO):
+        return False
+    if a == ZERO and b in (NEG, ZERO):
+        return False
+    if a == POS and b == NEG:
+        return False
+    if a == NEG and b == NEG:
+        return None
+    return None
+
+
+def _le(a: str, b: str) -> bool | None:
+    if a == NEG and b in (ZERO, POS):
+        return True
+    if a == ZERO and b in (ZERO, POS):
+        return True
+    if a == POS and b in (NEG, ZERO):
+        return False
+    if a == ZERO and b == NEG:
+        return False
+    return None
+
+
+def _eq(a: str, b: str) -> bool | None:
+    if a == ZERO and b == ZERO:
+        return True
+    if a != b:
+        return False
+    return None
+
+
+def _negate(verdict: bool | None) -> bool | None:
+    return None if verdict is None else not verdict

@@ -1,0 +1,76 @@
+"""The Size facet for the vector ADT — Section 6.1 of the paper.
+
+The facet domain is ``V^ = Int + {bot, top}``: a flat lattice whose
+points are the possible sizes.  The abstraction of a vector is its size.
+Operators, exactly as in the paper:
+
+* ``mkvec`` (closed, ``MkVec^ : Values -> V^``): the size is whatever
+  constant the argument partially evaluated to;
+* ``updvec`` (closed, ``UpdVec^ : V^ x Values x Values -> V^``): updating
+  preserves the size;
+* ``vsize`` (open, ``Vecf^ : V^ -> Values``): a known size *is* the
+  constant — this is the operator that makes the inner-product example
+  go;
+* ``vref`` (open): never folds — the size says nothing about elements.
+
+Note how ``mkvec``'s argument and ``updvec``'s index/element arguments
+arrive as PE values (they are of foreign sorts), matching the paper's
+signatures verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.lang.values import VECTOR, Value, Vector
+from repro.lattice.core import AbstractValue
+from repro.lattice.flat import FlatLattice
+from repro.lattice.pevalue import PEValue
+from repro.facets.base import Facet
+
+
+class VectorSizeFacet(Facet):
+    """Size information for the vector algebra (Section 6.1)."""
+
+    name = "size"
+    carrier = VECTOR
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Points are all integers: a flat, non-enumerable, height-2
+        # lattice, exactly the paper's V^ = Int with bot/top adjoined.
+        self.domain = FlatLattice(self.name, points=None)
+        top = self.domain.top
+
+        def mkvec(size: PEValue) -> AbstractValue:
+            if size.is_const:
+                return size.constant()
+            return top
+
+        def updvec(vec: AbstractValue, index: PEValue,
+                   value: PEValue) -> AbstractValue:
+            return vec
+
+        self.closed_ops = {"mkvec": mkvec, "updvec": updvec}
+
+        def vsize(vec: AbstractValue) -> PEValue:
+            if self.domain.is_point(vec):
+                return PEValue.const(vec)
+            return PEValue.top()
+
+        def vref(vec: AbstractValue, index: PEValue) -> PEValue:
+            return PEValue.top()
+
+        self.open_ops = {"vsize": vsize, "vref": vref}
+
+    def abstract(self, value: Value) -> AbstractValue:
+        assert isinstance(value, Vector)
+        return value.size
+
+    def make_abstract(self):
+        """The hand-written abstract Size facet of Section 6.2 — the
+        identity derivation cannot see through ``mkvec``'s and
+        ``vsize``'s ``Values``-typed positions."""
+        from repro.facets.abstract.size import AbstractVectorSizeFacet
+        return AbstractVectorSizeFacet(self)
+
+    def sample_abstract_values(self) -> list[AbstractValue]:
+        return [self.domain.bottom, 0, 1, 3, 7, self.domain.top]

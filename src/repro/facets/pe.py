@@ -1,0 +1,64 @@
+"""The partial-evaluation facet (Definition 7).
+
+Ordinary partial evaluation of primitives — constant folding — is itself
+a facet: its domain is the flat ``Values`` lattice and, for *every*
+operator of the algebra, open or closed, the abstract version is
+
+    p^(d1, ..., dn) = bottom          if some di = bottom
+                    = tau(K_p(d1..dn)) if all di are constants
+                    = top             otherwise
+
+It is always the first component of every product of facets (Section
+4.4).  Unlike user facets it is not tied to one carrier; we expose it as
+one object whose operators are generated uniformly from the concrete
+semantics ``K_p``.
+
+One operational refinement: when folding raises an evaluation error
+(division by zero, out-of-range ``vref``), we return ``top`` — i.e. keep
+the expression residual — instead of the denotational bottom.  Folding
+the error away would change observable behaviour; residualizing preserves
+it at run time and stays safe (the residual value is above bottom).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang.errors import EvalError
+from repro.lang.primitives import PrimSig, apply_primitive
+from repro.lattice.pevalue import PE_LATTICE, PEValue
+
+
+class PartialEvaluationFacet:
+    """The distinguished facet occupying component 0 of every product."""
+
+    name = "pe"
+    domain = PE_LATTICE
+
+    def abstract(self, value: object) -> PEValue:
+        """``alpha_Values = tau``: a concrete value abstracts to the
+        constant denoting it (its "textual representation")."""
+        return PEValue.const(value)  # type: ignore[arg-type]
+
+    def apply(self, prim: str, sig: PrimSig,
+              args: Sequence[PEValue]) -> PEValue:
+        """The uniform operator of Definition 7 (open and closed alike)."""
+        if any(arg.is_bottom for arg in args):
+            return PEValue.bottom()
+        if all(arg.is_const for arg in args):
+            try:
+                return PEValue.const(
+                    apply_primitive(prim, [a.constant() for a in args]))
+            except EvalError:
+                return PEValue.top()
+        return PEValue.top()
+
+    def describe(self) -> str:
+        return "facet pe over all algebras: constant folding (Def. 7)"
+
+    def __repr__(self) -> str:
+        return "<PartialEvaluationFacet>"
+
+
+#: Shared instance; the facet is stateless.
+PE_FACET = PartialEvaluationFacet()

@@ -1,0 +1,338 @@
+"""Products of facets (Definition 5) and the values that flow through
+parameterized partial evaluation.
+
+Section 4.4's semantic domain is ``D^ = sum_j (D^_j1 (x) ... (x) D^_jm)``
+— one smashed product of facet domains per basic algebra, with the
+partial-evaluation facet always the first component.  A
+:class:`FacetVector` is one element of that sum: the summand tag
+(``sort``), the PE-facet component (``pe``) and the user-facet components
+(``user``).  A vector of *unknown* sort (``sort=None``) arises for
+residual expressions whose type the specializer cannot see (e.g. results
+of residual calls); every facet component of such a vector is that
+facet's top.
+
+:class:`FacetSuite` is the configuration object of the whole system: the
+set of user facets the partial evaluator is *parameterized* by.  It
+builds vectors, joins them, projects components, and implements the
+product operators ``omega_p`` of Definition 5 together with the
+constant-propagation rule of Figure 3's ``K^`` (a constant produced by
+any facet is pushed to all facets through their abstraction functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.lang.errors import ConsistencyError, EvalError
+from repro.lang.primitives import PRIMITIVES, PrimSig
+from repro.lang.values import Value, is_value, sort_of
+from repro.lattice.core import AbstractValue
+from repro.lattice.pevalue import PE_LATTICE, PEValue
+from repro.facets.base import Facet
+from repro.facets.pe import PE_FACET
+
+
+@dataclass(frozen=True)
+class FacetVector:
+    """One element of the sum-of-products domain ``D^``."""
+
+    sort: str | None
+    pe: PEValue
+    user: tuple[AbstractValue, ...]
+
+    def __str__(self) -> str:
+        if not self.user:
+            return f"<{self.pe}>"
+        components = ", ".join(str(c) for c in self.user)
+        return f"<{self.pe}, {components}>"
+
+
+@dataclass(frozen=True)
+class PrimOutcome:
+    """Result of applying a product operator to argument vectors.
+
+    ``folded`` is true when the application produced a constant;
+    ``producer`` then names the facet responsible (``"pe"`` for plain
+    constant folding — anything else is a win only parameterized PE can
+    get).  ``facet_evaluations`` counts how many facet operators ran,
+    the online-cost measure reported by ``bench_decisions``.
+    """
+
+    vector: FacetVector
+    sig: PrimSig | None
+    folded: bool
+    producer: str | None
+    facet_evaluations: int
+
+
+class FacetSuite:
+    """A set of user facets parameterizing the partial evaluator."""
+
+    def __init__(self, facets: Sequence[Facet] = ()) -> None:
+        self.facets = tuple(facets)
+        names = [f.name for f in self.facets]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate facet names: {names}")
+        self._by_sort: dict[str, tuple[Facet, ...]] = {}
+        for facet in self.facets:
+            existing = self._by_sort.get(facet.carrier, ())
+            self._by_sort[facet.carrier] = existing + (facet,)
+
+    # -- structure ------------------------------------------------------
+    def facets_for(self, sort: str | None) -> tuple[Facet, ...]:
+        """User facets of the algebra ``sort`` (empty for unknown)."""
+        if sort is None:
+            return ()
+        return self._by_sort.get(sort, ())
+
+    def facet_named(self, name: str) -> Facet:
+        for facet in self.facets:
+            if facet.name == name:
+                return facet
+        raise KeyError(f"no facet named {name!r}")
+
+    def describe(self) -> str:
+        lines = [PE_FACET.describe()]
+        lines.extend(facet.describe() for facet in self.facets)
+        return "\n".join(lines)
+
+    # -- vector constructors ---------------------------------------------
+    def const_vector(self, value: Value) -> FacetVector:
+        """``K^`` of Figure 3: a constant, abstracted into every facet of
+        its algebra."""
+        if not is_value(value):
+            raise TypeError(f"not a value: {value!r}")
+        sort = sort_of(value)
+        user = tuple(facet.abstract(value)
+                     for facet in self.facets_for(sort))
+        return FacetVector(sort, PEValue.const(value), user)
+
+    def unknown(self, sort: str | None = None) -> FacetVector:
+        """A fully dynamic value: top in every component."""
+        user = tuple(facet.domain.top for facet in self.facets_for(sort))
+        return FacetVector(sort, PEValue.top(), user)
+
+    def bottom(self, sort: str | None = None) -> FacetVector:
+        user = tuple(facet.domain.bottom
+                     for facet in self.facets_for(sort))
+        return FacetVector(sort, PEValue.bottom(), user)
+
+    def input(self, sort: str, pe: PEValue | None = None,
+              **components: AbstractValue) -> FacetVector:
+        """Build a specialization input like the paper's ``<T, 3>``
+        (dynamic vector of known size 3): keyword arguments name facets,
+        unnamed facets default to top."""
+        facets = self.facets_for(sort)
+        known = dict(components)
+        user = []
+        for facet in facets:
+            user.append(known.pop(facet.name, facet.domain.top))
+        if known:
+            raise KeyError(
+                f"no facet(s) named {sorted(known)} for sort {sort!r}")
+        vector = FacetVector(sort, pe if pe is not None else PEValue.top(),
+                             tuple(user))
+        return self.smash(vector)
+
+    def smash(self, vector: FacetVector) -> FacetVector:
+        """Collapse to the summand bottom when any component is bottom
+        (the smashed product of Definition 5)."""
+        if self.is_bottom(vector):
+            return self.bottom(vector.sort)
+        return vector
+
+    def is_bottom(self, vector: FacetVector) -> bool:
+        if vector.pe.is_bottom:
+            return True
+        facets = self.facets_for(vector.sort)
+        return any(facet.domain.leq(component, facet.domain.bottom)
+                   for facet, component in zip(facets, vector.user))
+
+    # -- lattice operations -----------------------------------------------
+    def join(self, left: FacetVector, right: FacetVector) -> FacetVector:
+        """Component-wise join; joining across different summands loses
+        the sort (conditional branches of different types)."""
+        if self.is_bottom(left):
+            return right
+        if self.is_bottom(right):
+            return left
+        if left.sort != right.sort:
+            # Joining across summands: the facet components belong to
+            # different algebras and are lost, but the PE component
+            # joins in the flat Values lattice (constants of different
+            # sorts are distinct, so this is usually top).
+            return FacetVector(None,
+                               PE_LATTICE.join(left.pe, right.pe), ())
+        facets = self.facets_for(left.sort)
+        user = tuple(facet.domain.join(l, r) for facet, l, r
+                     in zip(facets, left.user, right.user))
+        return FacetVector(left.sort,
+                           PE_LATTICE.join(left.pe, right.pe), user)
+
+    def leq(self, left: FacetVector, right: FacetVector) -> bool:
+        if self.is_bottom(left):
+            return True
+        if self.is_bottom(right):
+            return False
+        if left.sort != right.sort:
+            # A sortless vector carries no facet components (they are
+            # implicitly top), so only the PE order matters; vectors of
+            # two *known* distinct summands are incomparable.
+            if right.sort is None:
+                return PE_LATTICE.leq(left.pe, right.pe)
+            return False
+        if not PE_LATTICE.leq(left.pe, right.pe):
+            return False
+        facets = self.facets_for(left.sort)
+        return all(facet.domain.leq(l, r) for facet, l, r
+                   in zip(facets, left.user, right.user))
+
+    def component(self, vector: FacetVector, facet: Facet) \
+            -> AbstractValue:
+        """Project one facet's component out of a vector; vectors of a
+        different (or unknown) sort project to that facet's top."""
+        if vector.sort != facet.carrier:
+            return facet.domain.top
+        facets = self.facets_for(vector.sort)
+        for candidate, component in zip(facets, vector.user):
+            if candidate is facet:
+                return component
+        return facet.domain.top
+
+    # -- the product operators (Definition 5) ------------------------------
+    def apply_prim(self, prim_name: str,
+                   args: Sequence[FacetVector]) -> PrimOutcome:
+        """Apply the product operator ``omega_p`` for a primitive.
+
+        Implements both clauses of Definition 5 and the constant
+        propagation of Figure 3's ``K^_P``: when the application yields a
+        constant, the result vector is the constant's abstraction in
+        *every* facet.
+        """
+        prim = PRIMITIVES.get(prim_name)
+        if prim is None:
+            raise EvalError(f"unknown primitive {prim_name!r}")
+        sig = self._resolve_sig(prim_name, args)
+        if sig is None:
+            result_sort = self._common_result_sort(prim_name, args)
+            return PrimOutcome(self.unknown(result_sort), None,
+                               False, None, 0)
+        if any(self.is_bottom(arg) for arg in args):
+            return PrimOutcome(self.bottom(sig.result_sort), sig,
+                               False, None, 0)
+
+        pe_result = PE_FACET.apply(prim_name, sig,
+                                   [arg.pe for arg in args])
+        facets = self.facets_for(sig.carrier)
+        evaluations = 1  # the PE facet ran
+
+        if sig.is_closed:
+            components = []
+            for facet in facets:
+                projected = self._project_args(facet, sig, args)
+                components.append(
+                    facet.apply_closed(prim_name, sig, projected))
+                evaluations += 1
+            if pe_result.is_const:
+                return PrimOutcome(
+                    self.const_vector(pe_result.constant()), sig,
+                    True, "pe", evaluations)
+            vector = self.smash(
+                FacetVector(sig.result_sort, pe_result,
+                            tuple(components)))
+            return PrimOutcome(vector, sig, False, None, evaluations)
+
+        # Open operator: every facet (PE facet included) may produce the
+        # constant; Lemma 3 guarantees agreement for consistent inputs.
+        produced: list[tuple[str, PEValue]] = [("pe", pe_result)]
+        for facet in facets:
+            projected = self._project_args(facet, sig, args)
+            produced.append(
+                (facet.name,
+                 facet.apply_open(prim_name, sig, projected)))
+            evaluations += 1
+        if any(value.is_bottom for _, value in produced):
+            return PrimOutcome(self.bottom(sig.result_sort), sig,
+                               False, None, evaluations)
+        constants = [(name, value) for name, value in produced
+                     if value.is_const]
+        if constants:
+            names = {name for name, _ in constants}
+            distinct = {value for _, value in constants}
+            if len(distinct) > 1:
+                raise ConsistencyError(
+                    f"{prim_name}: facets {sorted(names)} produced "
+                    f"disagreeing constants {distinct}; the input facet "
+                    f"values are inconsistent (Definition 6)")
+            name, value = constants[0]
+            return PrimOutcome(self.const_vector(value.constant()), sig,
+                               True, name, evaluations)
+        return PrimOutcome(self.unknown(sig.result_sort), sig,
+                           False, None, evaluations)
+
+    def resolve_sig(self, prim_name: str,
+                    args: Sequence[FacetVector]) -> PrimSig | None:
+        """Public alias of the overload resolver (used by the offline
+        specializer and the generating extension)."""
+        return self._resolve_sig(prim_name, args)
+
+    def project_args(self, facet: Facet, sig: PrimSig,
+                     args: Sequence[FacetVector]) -> list[object]:
+        """Public alias of the per-facet argument projection."""
+        return self._project_args(facet, sig, args)
+
+    def _resolve_sig(self, prim_name: str,
+                     args: Sequence[FacetVector]) -> PrimSig | None:
+        prim = PRIMITIVES[prim_name]
+        arg_sorts = [arg.sort for arg in args]
+        candidates = [sig for sig in prim.sigs
+                      if len(sig.arg_sorts) == len(args)
+                      and all(known is None or want == known
+                              for want, known
+                              in zip(sig.arg_sorts, arg_sorts))]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _common_result_sort(self, prim_name: str,
+                            args: Sequence[FacetVector]) -> str | None:
+        prim = PRIMITIVES[prim_name]
+        sorts = {sig.result_sort for sig in prim.sigs
+                 if len(sig.arg_sorts) == len(args)}
+        return sorts.pop() if len(sorts) == 1 else None
+
+    def _project_args(self, facet: Facet, sig: PrimSig,
+                      args: Sequence[FacetVector]) -> list[object]:
+        projected: list[object] = []
+        for arg_sort, arg in zip(sig.arg_sorts, args):
+            if arg_sort == facet.carrier:
+                projected.append(self.component(arg, facet))
+            else:
+                projected.append(arg.pe)
+        return projected
+
+    # -- consistency (Definition 6) ----------------------------------------
+    def is_consistent(self, vector: FacetVector,
+                      candidates: Iterable[Value]) -> bool:
+        """Check Definition 6 against an explicit candidate set: some
+        proper concrete value must be described by *every* component."""
+        if self.is_bottom(vector):
+            return False
+        for candidate in candidates:
+            if self.describes(vector, candidate):
+                return True
+        return False
+
+    def describes(self, vector: FacetVector, value: Value) -> bool:
+        """The conjunction of the logical relations: ``value`` lies in
+        every component's concretization."""
+        if sort_of(value) != vector.sort:
+            return vector.sort is None
+        if vector.pe.is_const and PEValue.const(value) != vector.pe:
+            return False
+        if vector.pe.is_bottom:
+            return False
+        facets = self.facets_for(vector.sort)
+        return all(facet.concretizes(value, component)
+                   for facet, component in zip(facets, vector.user))

@@ -1,0 +1,45 @@
+"""The object language: syntax, parsing, printing, standard semantics.
+
+This package is the substrate every other part of the reproduction builds
+on: Figure 1's first-order strict functional language, extended with
+``let`` (used by the paper's Figure 9) and ``lambda``/application
+(Section 5.5).
+"""
+
+from repro.lang.ast import (
+    App, Call, Const, Expr, FunDef, If, Lam, Let, Prim, Var,
+    alpha_equal, called_functions, count_occurrences, expr_size, free_vars,
+    fresh_name, map_expr, substitute, used_primitives, walk)
+from repro.lang.errors import (
+    ConsistencyError, EvalError, FuelExhausted, LangError, LexError,
+    ParseError, PEError, ValidationError)
+from repro.lang.interp import (
+    Closure, EvalStats, FunRef, Interpreter, run_program, run_with_stats)
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import (
+    pretty, pretty_def, pretty_indented, pretty_program)
+from repro.lang.primitives import (
+    PRIMITIVES, Primitive, PrimSig, apply_primitive, get_primitive,
+    is_primitive, primitives_for_carrier)
+from repro.lang.program import Program, is_first_order
+from repro.lang.values import (
+    ANY, BOOL, FLOAT, INT, SORTS, VECTOR, Value, Vector, format_value,
+    is_value, sort_of, values_equal)
+
+__all__ = [
+    "App", "Call", "Const", "Expr", "FunDef", "If", "Lam", "Let", "Prim",
+    "Var", "alpha_equal", "called_functions", "count_occurrences",
+    "expr_size", "free_vars", "fresh_name", "map_expr", "substitute",
+    "used_primitives", "walk",
+    "ConsistencyError", "EvalError", "FuelExhausted", "LangError",
+    "LexError", "ParseError", "PEError", "ValidationError",
+    "Closure", "EvalStats", "FunRef", "Interpreter", "run_program",
+    "run_with_stats",
+    "parse_expr", "parse_program",
+    "pretty", "pretty_def", "pretty_indented", "pretty_program",
+    "PRIMITIVES", "Primitive", "PrimSig", "apply_primitive",
+    "get_primitive", "is_primitive", "primitives_for_carrier",
+    "Program", "is_first_order",
+    "ANY", "BOOL", "FLOAT", "INT", "SORTS", "VECTOR", "Value", "Vector",
+    "format_value", "is_value", "sort_of", "values_equal",
+]

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the object language.
+
+Every error raised by the language substrate (lexer, parser, validator,
+interpreter) derives from :class:`LangError`, so callers can catch one type.
+The partial evaluators reuse :class:`EvalError` for errors raised while
+reducing static subexpressions, which lets them distinguish "the static part
+of the program is broken" from bugs in the specializer itself.
+"""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class of all object-language errors."""
+
+
+class LexError(LangError):
+    """Raised on malformed input at the token level.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LangError):
+    """Raised on structurally malformed programs (bad s-expressions,
+    wrong ``define`` shape, unknown special form arity, ...)."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = "" if line is None else f"{line}:{column}: "
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(LangError):
+    """Raised by :func:`repro.lang.program.Program.validate` on semantic
+    problems: unbound variables, unknown functions or primitives, arity
+    mismatches, duplicate definitions."""
+
+
+class EvalError(LangError):
+    """Raised by the standard interpreter on runtime errors: type errors
+    at primitive applications, division by zero, vector index out of
+    range."""
+
+
+class FuelExhausted(EvalError):
+    """Raised when the interpreter's step budget is exhausted.
+
+    The standard semantics of Figure 1 is defined on a cpo and simply does
+    not terminate for divergent programs; operationally we bound the number
+    of function calls so tests and property checks can treat divergence as
+    an observable outcome (the paper's theorems all hold "modulo
+    termination").
+    """
+
+
+class PEError(LangError):
+    """Base class for partial-evaluation errors (both specializers)."""
+
+
+class ConsistencyError(PEError):
+    """Raised when a product of facet values violates Definition 6, i.e.
+    the facet components describe disjoint sets of concrete values."""
+
+
+class UnfoldLimitExceeded(PEError):
+    """Raised internally when the online specializer's unfold fuel runs
+    out; callers normally never see it because the specializer falls back
+    to residualizing a specialized call."""

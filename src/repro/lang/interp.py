@@ -1,0 +1,185 @@
+"""Standard semantics (Figure 1), operationally.
+
+A strict, environment-based evaluator.  Two departures from the figure,
+both operational conveniences:
+
+* a *fuel* budget bounds the number of evaluation steps, turning
+  divergence into a catchable :class:`~repro.lang.errors.FuelExhausted`
+  (the denotational semantics would produce bottom);
+* the evaluator counts the steps it takes (node visits and primitive
+  applications), which is the work measure the residual-speedup benchmark
+  reports — the same program run through the same evaluator, so the
+  comparison is apples to apples.
+
+``let``, ``lambda`` and application extend Figure 1 in the standard way;
+closures capture their defining environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.lang.ast import (
+    App, Call, Const, Expr, If, Lam, Let, Prim, Var)
+from repro.lang.errors import EvalError, FuelExhausted
+from repro.lang.primitives import apply_primitive
+from repro.lang.program import Program
+from repro.lang.values import Value, is_value
+
+#: Default step budget; generous enough for every example and benchmark.
+DEFAULT_FUEL = 5_000_000
+
+
+@dataclass(frozen=True)
+class Closure:
+    """A lambda value paired with its captured environment."""
+
+    params: tuple[str, ...]
+    body: Expr
+    env: "Env"
+
+    def __str__(self) -> str:
+        return f"<closure/{len(self.params)}>"
+
+
+@dataclass(frozen=True)
+class FunRef:
+    """A first-class reference to a top-level function."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"<function {self.name}>"
+
+
+Env = Mapping[str, object]
+
+
+@dataclass
+class EvalStats:
+    """Work counters for one evaluation."""
+
+    steps: int = 0
+    prim_applications: int = 0
+    fun_calls: int = 0
+
+
+class Interpreter:
+    """The valuation function ``E`` of Figure 1 plus extensions."""
+
+    def __init__(self, program: Program, fuel: int = DEFAULT_FUEL) -> None:
+        self.program = program
+        self.functions = program.functions()
+        self.fuel = fuel
+        self.stats = EvalStats()
+
+    def run(self, *args: Value) -> Value:
+        """Evaluate the goal function ``f_1`` on concrete arguments.
+
+        Deep object-language recursion nests Python frames; the budget
+        is raised for the duration, and blowing it anyway is reported
+        as fuel exhaustion (the resource-limit view of divergence).
+        """
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 100_000))
+        try:
+            return self.call(self.program.main.name, list(args))
+        except RecursionError:
+            raise FuelExhausted(
+                "evaluation exceeded the host recursion budget") \
+                from None
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def call(self, name: str, args: Sequence[object]) -> Value:
+        """Evaluate a named function on (already evaluated) arguments."""
+        fundef = self.functions.get(name)
+        if fundef is None:
+            raise EvalError(f"call to unknown function {name!r}")
+        if len(args) != fundef.arity:
+            raise EvalError(
+                f"{name}: expected {fundef.arity} arguments, "
+                f"got {len(args)}")
+        self.stats.fun_calls += 1
+        env = dict(zip(fundef.params, args))
+        return self.eval(fundef.body, env)
+
+    def eval(self, expr: Expr, env: Env) -> Value:
+        """Evaluate ``expr`` in ``env``."""
+        self._tick()
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                return env[expr.name]  # type: ignore[return-value]
+            except KeyError:
+                if expr.name in self.functions:
+                    return FunRef(expr.name)  # type: ignore[return-value]
+                raise EvalError(f"unbound variable {expr.name!r}") from None
+        if isinstance(expr, Prim):
+            args = [self.eval(a, env) for a in expr.args]
+            for arg in args:
+                if not is_value(arg):
+                    raise EvalError(
+                        f"{expr.op}: functional value passed to a "
+                        f"primitive")
+            self.stats.prim_applications += 1
+            return apply_primitive(expr.op, args)
+        if isinstance(expr, If):
+            test = self.eval(expr.test, env)
+            if not isinstance(test, bool):
+                raise EvalError("if: test did not produce a boolean")
+            return self.eval(expr.then if test else expr.else_, env)
+        if isinstance(expr, Let):
+            bound = self.eval(expr.bound, env)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.eval(expr.body, inner)
+        if isinstance(expr, Call):
+            args = [self.eval(a, env) for a in expr.args]
+            return self.call(expr.fn, args)
+        if isinstance(expr, Lam):
+            return Closure(expr.params, expr.body,  # type: ignore[return-value]
+                           dict(env))
+        if isinstance(expr, App):
+            fn = self.eval(expr.fn, env)
+            args = [self.eval(a, env) for a in expr.args]
+            return self.apply(fn, args)
+        raise EvalError(f"unknown expression node {expr!r}")
+
+    def apply(self, fn: object, args: Sequence[object]) -> Value:
+        """Apply a functional value (closure or function reference)."""
+        if isinstance(fn, Closure):
+            if len(args) != len(fn.params):
+                raise EvalError(
+                    f"closure expects {len(fn.params)} arguments, "
+                    f"got {len(args)}")
+            self.stats.fun_calls += 1
+            env = dict(fn.env)
+            env.update(zip(fn.params, args))
+            return self.eval(fn.body, env)
+        if isinstance(fn, FunRef):
+            return self.call(fn.name, args)
+        raise EvalError(f"cannot apply non-function {fn!r}")
+
+    def _tick(self) -> None:
+        self.stats.steps += 1
+        if self.stats.steps > self.fuel:
+            raise FuelExhausted(
+                f"evaluation exceeded {self.fuel} steps")
+
+
+def run_program(program: Program, *args: Value,
+                fuel: int = DEFAULT_FUEL) -> Value:
+    """One-shot evaluation of a program's goal function."""
+    return Interpreter(program, fuel=fuel).run(*args)
+
+
+def run_with_stats(program: Program, *args: Value,
+                   fuel: int = DEFAULT_FUEL) -> tuple[Value, EvalStats]:
+    """Evaluate and return the work counters alongside the result."""
+    interp = Interpreter(program, fuel=fuel)
+    result = interp.run(*args)
+    return result, interp.stats

@@ -1,0 +1,121 @@
+"""Tokenizer for the s-expression surface syntax.
+
+The syntax is deliberately small: parentheses, symbols, integer and float
+literals, the boolean literals ``true``/``false``, and ``;`` line comments.
+Symbols may contain the usual Lisp identifier characters, which lets
+primitive names like ``+``, ``<=`` and ``-`` be plain symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lang.errors import LexError
+
+LPAREN = "lparen"
+RPAREN = "rparen"
+INT = "int"
+FLOAT = "float"
+BOOL = "bool"
+SYMBOL = "symbol"
+EOF = "eof"
+
+_SYMBOL_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789"
+    "+-*/<>=!?_.%&$^~@")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its 1-based source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    @property
+    def value(self):
+        """The Python value of a literal token."""
+        if self.kind == INT:
+            return int(self.text)
+        if self.kind == FLOAT:
+            return float(self.text)
+        if self.kind == BOOL:
+            return self.text == "true"
+        return self.text
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, appending a final :data:`EOF` token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == ";":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char == "(":
+            yield Token(LPAREN, "(", line, column)
+            index += 1
+            column += 1
+            continue
+        if char == ")":
+            yield Token(RPAREN, ")", line, column)
+            index += 1
+            column += 1
+            continue
+        if char in _SYMBOL_CHARS:
+            start = index
+            start_column = column
+            while index < length and source[index] in _SYMBOL_CHARS:
+                index += 1
+                column += 1
+            text = source[start:index]
+            yield _classify(text, line, start_column)
+            continue
+        raise LexError(f"unexpected character {char!r}", line, column)
+    yield Token(EOF, "", line, column)
+
+
+def _classify(text: str, line: int, column: int) -> Token:
+    if text in ("true", "false"):
+        return Token(BOOL, text, line, column)
+    if _is_int(text):
+        return Token(INT, text, line, column)
+    if _is_float(text):
+        return Token(FLOAT, text, line, column)
+    return Token(SYMBOL, text, line, column)
+
+
+def _is_int(text: str) -> bool:
+    body = text[1:] if text[:1] in "+-" else text
+    return body.isdigit()
+
+
+def _is_float(text: str) -> bool:
+    if not any(c.isdigit() for c in text):
+        return False
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,245 @@
+"""Parser: s-expression surface syntax -> AST.
+
+Grammar::
+
+    program  ::= define*
+    define   ::= ( define ( name param* ) expr )
+    expr     ::= literal
+               | symbol
+               | ( if expr expr expr )
+               | ( let ( binding+ ) expr )          ; sequential, desugars
+               | ( lambda ( param* ) expr )
+               | ( head expr* )                     ; prim / call / apply
+    binding  ::= ( name expr )
+
+Head classification happens after all definitions are known: a primitive
+name becomes :class:`Prim`, a defined function name not shadowed by a local
+binding becomes :class:`Call`, and anything else (a bound variable or a
+compound expression) becomes a higher-order :class:`App`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lang import lexer
+from repro.lang.ast import App, Call, Const, Expr, FunDef, If, Lam, Let, \
+    Prim, Var
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token
+from repro.lang.primitives import is_primitive
+from repro.lang.program import Program
+
+_KEYWORDS = frozenset(("define", "if", "let", "lambda", "true", "false"))
+
+
+@dataclass(frozen=True)
+class _SExpr:
+    """A raw s-expression: a literal token, a symbol token, or a list."""
+
+    token: Token | None
+    items: tuple["_SExpr", ...] | None
+
+    @property
+    def is_list(self) -> bool:
+        return self.items is not None
+
+    @property
+    def line(self) -> int | None:
+        if self.token is not None:
+            return self.token.line
+        if self.items:
+            return self.items[0].line
+        return None
+
+    @property
+    def column(self) -> int | None:
+        if self.token is not None:
+            return self.token.column
+        if self.items:
+            return self.items[0].column
+        return None
+
+
+def _read_all(source: str) -> list[_SExpr]:
+    tokens = lexer.tokenize(source)
+    position = 0
+    forms: list[_SExpr] = []
+    while tokens[position].kind != lexer.EOF:
+        form, position = _read(tokens, position)
+        forms.append(form)
+    return forms
+
+
+def _read(tokens: Sequence[Token], position: int) -> tuple[_SExpr, int]:
+    token = tokens[position]
+    if token.kind == lexer.RPAREN:
+        raise ParseError("unexpected ')'", token.line, token.column)
+    if token.kind == lexer.EOF:
+        raise ParseError("unexpected end of input", token.line, token.column)
+    if token.kind != lexer.LPAREN:
+        return _SExpr(token, None), position + 1
+    position += 1
+    items: list[_SExpr] = []
+    while True:
+        inner = tokens[position]
+        if inner.kind == lexer.EOF:
+            raise ParseError("unclosed '('", token.line, token.column)
+        if inner.kind == lexer.RPAREN:
+            return _SExpr(None, tuple(items)), position + 1
+        item, position = _read(tokens, position)
+        items.append(item)
+
+
+def parse_program(source: str, validate: bool = True) -> Program:
+    """Parse a whole program; optionally validate it."""
+    forms = _read_all(source)
+    if not forms:
+        raise ParseError("empty program")
+    headers: list[tuple[str, tuple[str, ...], _SExpr]] = []
+    for form in forms:
+        headers.append(_parse_define_header(form))
+    function_names = set()
+    for name, _, _ in headers:
+        function_names.add(name)
+    defs = []
+    for name, params, body_form in headers:
+        body = _lower(body_form, set(params), function_names)
+        defs.append(FunDef(name, params, body))
+    program = Program(tuple(defs))
+    if validate:
+        program.validate()
+    return program
+
+
+def parse_expr(source: str, function_names: frozenset[str] | set[str]
+               = frozenset(), scope: frozenset[str] | set[str]
+               = frozenset()) -> Expr:
+    """Parse a single expression (for tests and the REPL-style API)."""
+    forms = _read_all(source)
+    if len(forms) != 1:
+        raise ParseError(f"expected one expression, got {len(forms)}")
+    return _lower(forms[0], set(scope), set(function_names))
+
+
+def _parse_define_header(form: _SExpr) \
+        -> tuple[str, tuple[str, ...], _SExpr]:
+    if not form.is_list or len(form.items or ()) != 3:
+        raise ParseError("expected (define (name params...) body)",
+                         form.line, form.column)
+    keyword, header, body = form.items  # type: ignore[misc]
+    if _symbol_text(keyword) != "define":
+        raise ParseError("top-level forms must be 'define'",
+                         form.line, form.column)
+    if not header.is_list or not header.items:
+        raise ParseError("expected (name params...)",
+                         header.line, header.column)
+    name = _require_name(header.items[0], "function name")
+    params = tuple(_require_name(p, "parameter") for p in header.items[1:])
+    return name, params, body
+
+
+def _symbol_text(form: _SExpr) -> str | None:
+    if form.token is not None and form.token.kind == lexer.SYMBOL:
+        return form.token.text
+    return None
+
+
+def _require_name(form: _SExpr, what: str) -> str:
+    text = _symbol_text(form)
+    if text is None or text in _KEYWORDS:
+        raise ParseError(f"expected a {what}", form.line, form.column)
+    return text
+
+
+def _lower(form: _SExpr, scope: set[str], functions: set[str]) -> Expr:
+    if not form.is_list:
+        return _lower_atom(form, scope, functions)
+    items = form.items or ()
+    if not items:
+        raise ParseError("empty application ()", form.line, form.column)
+    head = _symbol_text(items[0])
+    if head == "if":
+        if len(items) != 4:
+            raise ParseError("if needs exactly 3 subexpressions",
+                             form.line, form.column)
+        return If(_lower(items[1], scope, functions),
+                  _lower(items[2], scope, functions),
+                  _lower(items[3], scope, functions))
+    if head == "let":
+        return _lower_let(items, form, scope, functions)
+    if head == "lambda":
+        return _lower_lambda(items, form, scope, functions)
+    if head == "define":
+        raise ParseError("define is only allowed at top level",
+                         form.line, form.column)
+    args = tuple(_lower(item, scope, functions) for item in items[1:])
+    if head is not None and head not in scope:
+        if is_primitive(head):
+            return Prim(head, args)
+        if head in functions:
+            return Call(head, args)
+        raise ParseError(f"unknown operator {head!r}",
+                         form.line, form.column)
+    return App(_lower(items[0], scope, functions), args)
+
+
+def _lower_let(items: tuple[_SExpr, ...], form: _SExpr,
+               scope: set[str], functions: set[str]) -> Expr:
+    if len(items) != 3 or not items[1].is_list:
+        raise ParseError("expected (let ((name expr)...) body)",
+                         form.line, form.column)
+    bindings = []
+    for binding in items[1].items or ():
+        if not binding.is_list or len(binding.items or ()) != 2:
+            raise ParseError("expected (name expr) binding",
+                             binding.line, binding.column)
+        name = _require_name(binding.items[0], "binding name")  # type: ignore[index]
+        bindings.append((name, binding.items[1]))  # type: ignore[index]
+    if not bindings:
+        raise ParseError("let needs at least one binding",
+                         form.line, form.column)
+    # Sequential (let*) semantics: each binding sees the previous ones.
+    inner_scope = set(scope)
+    lowered: list[tuple[str, Expr]] = []
+    for name, bound_form in bindings:
+        lowered.append((name, _lower(bound_form, inner_scope, functions)))
+        inner_scope.add(name)
+    body = _lower(items[2], inner_scope, functions)
+    for name, bound in reversed(lowered):
+        body = Let(name, bound, body)
+    return body
+
+
+def _lower_lambda(items: tuple[_SExpr, ...], form: _SExpr,
+                  scope: set[str], functions: set[str]) -> Expr:
+    if len(items) != 3 or not items[1].is_list:
+        raise ParseError("expected (lambda (params...) body)",
+                         form.line, form.column)
+    params = tuple(_require_name(p, "parameter")
+                   for p in items[1].items or ())
+    body = _lower(items[2], scope | set(params), functions)
+    return Lam(params, body)
+
+
+def _lower_atom(form: _SExpr, scope: set[str], functions: set[str]) -> Expr:
+    token = form.token
+    assert token is not None
+    if token.kind in (lexer.INT, lexer.FLOAT, lexer.BOOL):
+        return Const(token.value)
+    if token.kind == lexer.SYMBOL:
+        name = token.text
+        if name in _KEYWORDS:
+            raise ParseError(f"keyword {name!r} used as a variable",
+                             token.line, token.column)
+        if name in scope or name in functions:
+            return Var(name)
+        if is_primitive(name):
+            raise ParseError(
+                f"primitive {name!r} used as a value; primitives are not "
+                f"first-class", token.line, token.column)
+        raise ParseError(f"unbound variable {name!r}",
+                         token.line, token.column)
+    raise ParseError(f"unexpected token {token.text!r}",
+                     token.line, token.column)

@@ -1,0 +1,273 @@
+"""Primitive operators: concrete semantics and algebra classification.
+
+Each primitive belongs to a semantic algebra ``[D; O]`` whose carrier is one
+of the value sorts.  Following Section 3.2, a primitive is **closed** when
+its co-domain equals the carrier (``+ : Int x Int -> Int``) and **open**
+when it differs (``< : Int x Int -> Bool``, ``vsize : V -> Int``).  Closed
+operators of a facet compute new abstract values; open operators use
+abstract values to trigger computations at PE time.
+
+Arithmetic and comparison primitives are overloaded over the ``int`` and
+``float`` algebras; each overload is a separate :class:`PrimSig` with its
+own carrier, so a facet instantiated for one algebra only sees the
+overloads of that carrier.  The concrete semantics (``K_p`` of Figure 1)
+is :func:`apply_primitive`; it type-checks arguments against the
+signatures and raises :class:`~repro.lang.errors.EvalError` on sort
+mismatches, division by zero and bad vector accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.lang.errors import EvalError
+from repro.lang.values import (
+    ANY, BOOL, FLOAT, INT, VECTOR, Value, Vector, sort_of)
+
+
+@dataclass(frozen=True)
+class PrimSig:
+    """One monomorphic instance of a primitive operator.
+
+    ``carrier`` names the algebra the instance belongs to; the instance is
+    closed iff ``result_sort == carrier``.
+    """
+
+    arg_sorts: tuple[str, ...]
+    result_sort: str
+    carrier: str
+
+    @property
+    def is_closed(self) -> bool:
+        return self.result_sort == self.carrier
+
+    @property
+    def is_open(self) -> bool:
+        return not self.is_closed
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_sorts)
+
+    def matches(self, arg_sorts: Sequence[str]) -> bool:
+        if len(arg_sorts) != len(self.arg_sorts):
+            return False
+        return all(want == ANY or want == got
+                   for want, got in zip(self.arg_sorts, arg_sorts))
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A primitive operator with its overload instances and semantics."""
+
+    name: str
+    sigs: tuple[PrimSig, ...]
+    fn: Callable[..., Value]
+    #: Pure primitives may be discarded or duplicated by the specializers;
+    #: everything in this language is pure, but the flag keeps the
+    #: transformation code honest about why it may drop an expression.
+    pure: bool = True
+
+    @property
+    def arity(self) -> int:
+        return self.sigs[0].arity
+
+    def resolve(self, arg_sorts: Sequence[str]) -> PrimSig | None:
+        """The overload matching the given argument sorts, if any."""
+        for sig in self.sigs:
+            if sig.matches(arg_sorts):
+                return sig
+        return None
+
+    def carriers(self) -> frozenset[str]:
+        """All algebras this primitive has an instance in."""
+        return frozenset(sig.carrier for sig in self.sigs)
+
+
+def _numeric_binop(name: str, int_fn, float_fn) -> Primitive:
+    def fn(a: Value, b: Value) -> Value:
+        if isinstance(a, bool) or isinstance(b, bool):
+            raise EvalError(f"{name}: expected numbers, got booleans")
+        if isinstance(a, int) and isinstance(b, int):
+            return int_fn(a, b)
+        if isinstance(a, float) and isinstance(b, float):
+            return float_fn(a, b)
+        raise EvalError(
+            f"{name}: mixed or non-numeric operands "
+            f"({sort_of(a)}, {sort_of(b)})")
+
+    return Primitive(name, (
+        PrimSig((INT, INT), INT, INT),
+        PrimSig((FLOAT, FLOAT), FLOAT, FLOAT),
+    ), fn)
+
+
+def _numeric_compare(name: str, cmp) -> Primitive:
+    def fn(a: Value, b: Value) -> Value:
+        if isinstance(a, bool) or isinstance(b, bool):
+            raise EvalError(f"{name}: expected numbers, got booleans")
+        if (isinstance(a, int) and isinstance(b, int)) or (
+                isinstance(a, float) and isinstance(b, float)):
+            return bool(cmp(a, b))
+        raise EvalError(
+            f"{name}: mixed or non-numeric operands "
+            f"({sort_of(a)}, {sort_of(b)})")
+
+    return Primitive(name, (
+        PrimSig((INT, INT), BOOL, INT),
+        PrimSig((FLOAT, FLOAT), BOOL, FLOAT),
+    ), fn)
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("div: division by zero")
+    # Truncating division, the usual choice for PE literature examples.
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("mod: division by zero")
+    return a - b * _int_div(a, b)
+
+
+def _float_div(a: float, b: float) -> float:
+    if b == 0.0:
+        raise EvalError("/: division by zero")
+    return a / b
+
+
+def _neg(a: Value) -> Value:
+    if isinstance(a, bool) or not isinstance(a, (int, float)):
+        raise EvalError("neg: expected a number")
+    return -a
+
+
+def _abs(a: Value) -> Value:
+    if isinstance(a, bool) or not isinstance(a, (int, float)):
+        raise EvalError("abs: expected a number")
+    return abs(a)
+
+
+def _bool_arg(name: str, a: Value) -> bool:
+    if not isinstance(a, bool):
+        raise EvalError(f"{name}: expected a boolean, got {sort_of(a)}")
+    return a
+
+
+def _mkvec(size: Value) -> Vector:
+    if isinstance(size, bool) or not isinstance(size, int):
+        raise EvalError("mkvec: size must be an int")
+    return Vector.empty(size)
+
+
+def _updvec(vec: Value, index: Value, value: Value) -> Vector:
+    if not isinstance(vec, Vector):
+        raise EvalError("updvec: first argument must be a vector")
+    if isinstance(index, bool) or not isinstance(index, int):
+        raise EvalError("updvec: index must be an int")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvalError("updvec: element must be a number")
+    return vec.update(index, float(value))
+
+
+def _vsize(vec: Value) -> int:
+    if not isinstance(vec, Vector):
+        raise EvalError("vsize: expected a vector")
+    return vec.size
+
+
+def _vref(vec: Value, index: Value) -> float:
+    if not isinstance(vec, Vector):
+        raise EvalError("vref: first argument must be a vector")
+    if isinstance(index, bool) or not isinstance(index, int):
+        raise EvalError("vref: index must be an int")
+    return vec.ref(index)
+
+
+def _itof(a: Value) -> float:
+    if isinstance(a, bool) or not isinstance(a, int):
+        raise EvalError("itof: expected an int")
+    return float(a)
+
+
+_ALL = [
+    _numeric_binop("+", lambda a, b: a + b, lambda a, b: a + b),
+    _numeric_binop("-", lambda a, b: a - b, lambda a, b: a - b),
+    _numeric_binop("*", lambda a, b: a * b, lambda a, b: a * b),
+    _numeric_binop("min", min, min),
+    _numeric_binop("max", max, max),
+    Primitive("div", (PrimSig((INT, INT), INT, INT),), _int_div),
+    Primitive("mod", (PrimSig((INT, INT), INT, INT),), _int_mod),
+    Primitive("/", (PrimSig((FLOAT, FLOAT), FLOAT, FLOAT),), _float_div),
+    Primitive("neg", (
+        PrimSig((INT,), INT, INT),
+        PrimSig((FLOAT,), FLOAT, FLOAT),
+    ), _neg),
+    Primitive("abs", (
+        PrimSig((INT,), INT, INT),
+        PrimSig((FLOAT,), FLOAT, FLOAT),
+    ), _abs),
+    _numeric_compare("=", lambda a, b: a == b),
+    _numeric_compare("!=", lambda a, b: a != b),
+    _numeric_compare("<", lambda a, b: a < b),
+    _numeric_compare("<=", lambda a, b: a <= b),
+    _numeric_compare(">", lambda a, b: a > b),
+    _numeric_compare(">=", lambda a, b: a >= b),
+    Primitive("and", (PrimSig((BOOL, BOOL), BOOL, BOOL),),
+              lambda a, b: _bool_arg("and", a) and _bool_arg("and", b)),
+    Primitive("or", (PrimSig((BOOL, BOOL), BOOL, BOOL),),
+              lambda a, b: _bool_arg("or", a) or _bool_arg("or", b)),
+    Primitive("not", (PrimSig((BOOL,), BOOL, BOOL),),
+              lambda a: not _bool_arg("not", a)),
+    Primitive("itof", (PrimSig((INT,), FLOAT, INT),), _itof),
+    # The vector ADT of Section 6. ``mkvec`` and ``updvec`` are closed
+    # (co-domain = V); ``vsize`` and ``vref`` are open.
+    Primitive("mkvec", (PrimSig((INT,), VECTOR, VECTOR),), _mkvec),
+    Primitive("updvec",
+              (PrimSig((VECTOR, INT, FLOAT), VECTOR, VECTOR),), _updvec),
+    Primitive("vsize", (PrimSig((VECTOR,), INT, VECTOR),), _vsize),
+    Primitive("vref", (PrimSig((VECTOR, INT), FLOAT, VECTOR),), _vref),
+]
+
+#: The global primitive registry, name -> :class:`Primitive`.
+PRIMITIVES: dict[str, Primitive] = {p.name: p for p in _ALL}
+
+
+def is_primitive(name: str) -> bool:
+    """True if ``name`` is a known primitive operator."""
+    return name in PRIMITIVES
+
+
+def get_primitive(name: str) -> Primitive:
+    """Look up a primitive; raises :class:`EvalError` if unknown."""
+    try:
+        return PRIMITIVES[name]
+    except KeyError:
+        raise EvalError(f"unknown primitive {name!r}") from None
+
+
+def apply_primitive(name: str, args: Sequence[Value]) -> Value:
+    """The concrete semantics ``K_p`` of Figure 1."""
+    prim = get_primitive(name)
+    if len(args) != prim.arity:
+        raise EvalError(
+            f"{name}: expected {prim.arity} arguments, got {len(args)}")
+    sig = prim.resolve([sort_of(a) for a in args])
+    if sig is None:
+        sorts = ", ".join(sort_of(a) for a in args)
+        raise EvalError(f"{name}: no overload for argument sorts ({sorts})")
+    return prim.fn(*args)
+
+
+def primitives_for_carrier(carrier: str) -> list[tuple[str, PrimSig]]:
+    """All (name, signature) instances whose algebra is ``carrier``."""
+    result = []
+    for prim in PRIMITIVES.values():
+        for sig in prim.sigs:
+            if sig.carrier == carrier:
+                result.append((prim.name, sig))
+    return result

@@ -1,0 +1,65 @@
+"""The binding-time domain (Section 3.2, ``Values~``).
+
+A three-element chain::
+
+    bot  <=  Static  <=  Dynamic
+
+``Static`` abstracts "partially evaluates to a constant"; ``Dynamic``
+abstracts "stays residual".  The abstraction from the online level is
+:func:`repro.algebra.abstraction.tau_offline`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.lattice.core import AbstractValue
+from repro.lattice.flat import ChainLattice
+
+
+class BT(enum.Enum):
+    """Binding-time values; comparisons follow the chain order."""
+
+    BOT = 0
+    STATIC = 1
+    DYNAMIC = 2
+
+    def __le__(self, other: "BT") -> bool:
+        return self.value <= other.value
+
+    def __lt__(self, other: "BT") -> bool:
+        return self.value < other.value
+
+    @property
+    def is_static(self) -> bool:
+        return self is BT.STATIC
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self is BT.DYNAMIC
+
+    @property
+    def is_bottom(self) -> bool:
+        return self is BT.BOT
+
+    def join(self, other: "BT") -> "BT":
+        return self if self.value >= other.value else other
+
+    def __str__(self) -> str:
+        return {BT.BOT: "⊥", BT.STATIC: "Static",
+                BT.DYNAMIC: "Dynamic"}[self]
+
+
+class BTLattice(ChainLattice):
+    """Chain-lattice wrapper over :class:`BT`."""
+
+    def __init__(self) -> None:
+        super().__init__("BindingTimes", [BT.BOT, BT.STATIC, BT.DYNAMIC])
+
+    def elements(self) -> Iterable[AbstractValue]:
+        return [BT.BOT, BT.STATIC, BT.DYNAMIC]
+
+
+#: Shared lattice instance.
+BT_LATTICE = BTLattice()

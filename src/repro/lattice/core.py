@@ -1,0 +1,221 @@
+"""Lattice abstraction used by every abstract domain in the system.
+
+Definition 2 requires each facet domain to be an algebraic lattice of
+finite height (condition 1) so fixpoint iteration terminates, and each
+facet operator to be monotonic (condition 2).  This module gives those
+requirements an executable form: a :class:`Lattice` bundles a carrier of
+plain hashable Python values with ordering and join/meet, exposes its
+height, and — when the carrier is small — can enumerate its elements so
+the law checkers in :mod:`repro.lattice.laws` can verify the lattice
+axioms and operator monotonicity exhaustively.
+
+Abstract values themselves stay plain data (enums, ints, tuples,
+dataclasses); all structure lives in the lattice object.  This keeps
+facet operators easy to read and lets products combine values without
+wrapper noise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Sequence
+
+AbstractValue = Hashable
+
+
+class Lattice:
+    """A bounded lattice over hashable elements.
+
+    Subclasses implement :meth:`leq` and :meth:`join`; :meth:`meet` has a
+    generic (quadratic) fallback for enumerable lattices.  ``height`` is
+    the length of the longest strictly increasing chain minus one; finite
+    height is what Definition 2 condition 1 demands.
+    """
+
+    #: Human-readable name, used in error messages and reports.
+    name: str = "lattice"
+
+    @property
+    def bottom(self) -> AbstractValue:
+        raise NotImplementedError
+
+    @property
+    def top(self) -> AbstractValue:
+        raise NotImplementedError
+
+    def leq(self, left: AbstractValue, right: AbstractValue) -> bool:
+        """The partial order of the lattice."""
+        raise NotImplementedError
+
+    def join(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        """Least upper bound."""
+        raise NotImplementedError
+
+    def meet(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        """Greatest lower bound (generic fallback via enumeration)."""
+        if self.leq(left, right):
+            return left
+        if self.leq(right, left):
+            return right
+        best = self.bottom
+        for candidate in self.elements():
+            if self.leq(candidate, left) and self.leq(candidate, right) \
+                    and self.leq(best, candidate):
+                best = candidate
+        return best
+
+    def height(self) -> int:
+        """Length of the longest strictly ascending chain, minus one.
+
+        The generic implementation walks the Hasse diagram of an
+        enumerable lattice; infinite-carrier lattices must override it
+        (or :meth:`is_enumerable` must stay False and callers use a
+        widening).
+        """
+        elements = list(self.elements())
+        memo: dict[AbstractValue, int] = {}
+
+        def depth(element: AbstractValue) -> int:
+            if element in memo:
+                return memo[element]
+            below = [e for e in elements
+                     if self.leq(e, element) and e != element]
+            memo[element] = 0 if not below else 1 + max(
+                depth(e) for e in below)
+            return memo[element]
+
+        return max((depth(e) for e in elements), default=0)
+
+    def is_enumerable(self) -> bool:
+        """True when :meth:`elements` can list the whole carrier."""
+        return True
+
+    def elements(self) -> Iterable[AbstractValue]:
+        """All elements, for law checking; only for enumerable lattices."""
+        raise NotImplementedError(
+            f"{self.name}: carrier is not enumerable")
+
+    def contains(self, element: AbstractValue) -> bool:
+        """Membership test; used to validate user-supplied facet values."""
+        try:
+            return element in set(self.elements())
+        except NotImplementedError:
+            return True
+
+    def join_all(self, values: Iterable[AbstractValue]) -> AbstractValue:
+        """Least upper bound of a (possibly empty) collection."""
+        result = self.bottom
+        for value in values:
+            result = self.join(result, value)
+        return result
+
+    def equal(self, left: AbstractValue, right: AbstractValue) -> bool:
+        """Order-theoretic equality (mutual ``leq``)."""
+        return self.leq(left, right) and self.leq(right, left)
+
+    def widen(self, previous: AbstractValue, new: AbstractValue) \
+            -> AbstractValue:
+        """Widening operator; the default is plain join, which suffices
+        for finite-height lattices.  Infinite-height domains (the
+        interval facet) override this, as the paper's footnote 1 allows.
+        """
+        return self.join(previous, new)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class FiniteLattice(Lattice):
+    """A lattice given extensionally by its elements and order relation.
+
+    Useful for tests and for small user-defined facet domains: provide
+    the element set and the set of covering pairs (or the full order),
+    and joins/meets are computed from the order.
+    """
+
+    def __init__(self, name: str, elements: Sequence[AbstractValue],
+                 leq_pairs: Iterable[tuple[AbstractValue, AbstractValue]]) \
+            -> None:
+        self.name = name
+        self._elements = list(dict.fromkeys(elements))
+        order: set[tuple[AbstractValue, AbstractValue]] = set()
+        for element in self._elements:
+            order.add((element, element))
+        order.update(leq_pairs)
+        # Transitive closure.
+        changed = True
+        while changed:
+            changed = False
+            for (a, b) in list(order):
+                for (c, d) in list(order):
+                    if b == c and (a, d) not in order:
+                        order.add((a, d))
+                        changed = True
+        self._order = order
+        bottoms = [e for e in self._elements
+                   if all((e, other) in order for other in self._elements)]
+        tops = [e for e in self._elements
+                if all((other, e) in order for other in self._elements)]
+        if len(bottoms) != 1 or len(tops) != 1:
+            raise ValueError(
+                f"{name}: not a bounded lattice "
+                f"(bottoms={bottoms}, tops={tops})")
+        self._bottom = bottoms[0]
+        self._top = tops[0]
+
+    @property
+    def bottom(self) -> AbstractValue:
+        return self._bottom
+
+    @property
+    def top(self) -> AbstractValue:
+        return self._top
+
+    def leq(self, left: AbstractValue, right: AbstractValue) -> bool:
+        return (left, right) in self._order
+
+    def join(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        uppers = [e for e in self._elements
+                  if self.leq(left, e) and self.leq(right, e)]
+        least = [u for u in uppers
+                 if all(self.leq(u, other) for other in uppers)]
+        if len(least) != 1:
+            raise ValueError(
+                f"{self.name}: no unique join of {left!r} and {right!r}")
+        return least[0]
+
+    def elements(self) -> Iterable[AbstractValue]:
+        return list(self._elements)
+
+
+def pointwise_leq(lattice: Lattice,
+                  left: Sequence[AbstractValue],
+                  right: Sequence[AbstractValue]) -> bool:
+    """Component-wise order of equal-length tuples over one lattice."""
+    return len(left) == len(right) and all(
+        lattice.leq(l, r) for l, r in zip(left, right))
+
+
+def is_monotonic(lattice_in: Lattice, lattice_out: Lattice,
+                 fn: Callable[..., AbstractValue], arity: int) -> bool:
+    """Exhaustively check monotonicity of ``fn`` over enumerable domains.
+
+    This is Definition 2 condition 2 as a decision procedure for small
+    facets; the hypothesis suites sample it for large ones.
+    """
+    elements = list(lattice_in.elements())
+    if arity == 1:
+        pairs = [(a, b) for a in elements for b in elements
+                 if lattice_in.leq(a, b)]
+        return all(lattice_out.leq(fn(a), fn(b)) for a, b in pairs)
+    if arity == 2:
+        comparable = [(a, b) for a in elements for b in elements
+                      if lattice_in.leq(a, b)]
+        for (a1, b1) in comparable:
+            for (a2, b2) in comparable:
+                if not lattice_out.leq(fn(a1, a2), fn(b1, b2)):
+                    return False
+        return True
+    raise NotImplementedError("monotonicity check supports arity 1 and 2")

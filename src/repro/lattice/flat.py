@@ -1,0 +1,152 @@
+"""Flat lattices and finite chains.
+
+A *flat* lattice lifts a set of incomparable points with a bottom and a
+top: ``bot <= x <= top`` for every point ``x`` and distinct points are
+incomparable.  The partial-evaluation domain ``Values`` (Section 3.2) is
+the flat lattice over the constants; many facet domains (Sign without the
+zero refinement, Parity, the Size facet of Section 6.1) are flat over a
+small or infinite point set.
+
+A *chain* is a totally ordered finite lattice; the binding-time domain
+``bot <= Static <= Dynamic`` is the three-element chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.lattice.core import AbstractValue, Lattice
+
+
+@dataclass(frozen=True)
+class _Extreme:
+    """Bottom/top sentinels, distinct from every user point."""
+
+    label: str
+
+    def __repr__(self) -> str:
+        return self.label
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class FlatLattice(Lattice):
+    """``bot <= point <= top`` with pairwise-incomparable points.
+
+    ``points`` may be ``None`` for an infinite point set (e.g. all
+    integers, for the Size facet); the lattice then reports itself as
+    non-enumerable but is still of height 2, so fixpoints remain finite.
+    """
+
+    def __init__(self, name: str,
+                 points: Sequence[AbstractValue] | None = None) -> None:
+        self.name = name
+        self._points = None if points is None else list(
+            dict.fromkeys(points))
+        self._bottom = _Extreme(f"bot[{name}]")
+        self._top = _Extreme(f"top[{name}]")
+
+    @property
+    def bottom(self) -> AbstractValue:
+        return self._bottom
+
+    @property
+    def top(self) -> AbstractValue:
+        return self._top
+
+    def is_point(self, element: AbstractValue) -> bool:
+        """True when ``element`` is a proper point (not bottom or top)."""
+        return element != self._bottom and element != self._top
+
+    def leq(self, left: AbstractValue, right: AbstractValue) -> bool:
+        if left == self._bottom or right == self._top:
+            return True
+        if right == self._bottom or left == self._top:
+            return left == right
+        return left == right
+
+    def join(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        if left == self._bottom:
+            return right
+        if right == self._bottom:
+            return left
+        if left == right:
+            return left
+        return self._top
+
+    def meet(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        if left == self._top:
+            return right
+        if right == self._top:
+            return left
+        if left == right:
+            return left
+        return self._bottom
+
+    def height(self) -> int:
+        return 2
+
+    def is_enumerable(self) -> bool:
+        return self._points is not None
+
+    def elements(self) -> Iterable[AbstractValue]:
+        if self._points is None:
+            raise NotImplementedError(f"{self.name}: infinite point set")
+        return [self._bottom, *self._points, self._top]
+
+    def contains(self, element: AbstractValue) -> bool:
+        if element == self._bottom or element == self._top:
+            return True
+        if self._points is None:
+            return True
+        return element in self._points
+
+
+class ChainLattice(Lattice):
+    """A finite total order, bottom first."""
+
+    def __init__(self, name: str,
+                 elements: Sequence[AbstractValue]) -> None:
+        if not elements:
+            raise ValueError("a chain needs at least one element")
+        self.name = name
+        self._elements = list(elements)
+        self._rank = {e: i for i, e in enumerate(self._elements)}
+        if len(self._rank) != len(self._elements):
+            raise ValueError(f"{name}: duplicate chain elements")
+
+    @property
+    def bottom(self) -> AbstractValue:
+        return self._elements[0]
+
+    @property
+    def top(self) -> AbstractValue:
+        return self._elements[-1]
+
+    def rank(self, element: AbstractValue) -> int:
+        try:
+            return self._rank[element]
+        except KeyError:
+            raise ValueError(
+                f"{self.name}: {element!r} is not in the chain") from None
+
+    def leq(self, left: AbstractValue, right: AbstractValue) -> bool:
+        return self.rank(left) <= self.rank(right)
+
+    def join(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        return left if self.rank(left) >= self.rank(right) else right
+
+    def meet(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        return left if self.rank(left) <= self.rank(right) else right
+
+    def height(self) -> int:
+        return len(self._elements) - 1
+
+    def elements(self) -> Iterable[AbstractValue]:
+        return list(self._elements)

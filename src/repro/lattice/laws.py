@@ -1,0 +1,119 @@
+"""Executable lattice laws.
+
+Definition 2 puts three structural obligations on a facet: the domain is
+a lattice of finite height, the operators are monotone, and the
+abstraction is safe.  This module checks the first obligation (and the
+order axioms generally) on enumerable lattices; the test suites call
+these checkers on every shipped facet domain and hypothesis samples them
+on the non-enumerable ones.
+
+Each checker returns a list of human-readable violation strings — empty
+means the law holds — so a failing test shows exactly which elements
+break which axiom.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian
+from typing import Iterable
+
+from repro.lattice.core import AbstractValue, Lattice
+
+
+def check_partial_order(lattice: Lattice,
+                        elements: Iterable[AbstractValue] | None = None) \
+        -> list[str]:
+    """Reflexivity, antisymmetry and transitivity of ``leq``."""
+    items = list(elements if elements is not None else lattice.elements())
+    violations = []
+    for a in items:
+        if not lattice.leq(a, a):
+            violations.append(f"not reflexive at {a!r}")
+    for a, b in cartesian(items, items):
+        if a != b and lattice.leq(a, b) and lattice.leq(b, a):
+            violations.append(f"not antisymmetric at {a!r}, {b!r}")
+    for a, b, c in cartesian(items, items, items):
+        if lattice.leq(a, b) and lattice.leq(b, c) \
+                and not lattice.leq(a, c):
+            violations.append(f"not transitive at {a!r}, {b!r}, {c!r}")
+    return violations
+
+
+def check_bounds(lattice: Lattice,
+                 elements: Iterable[AbstractValue] | None = None) \
+        -> list[str]:
+    """Bottom below and top above everything."""
+    items = list(elements if elements is not None else lattice.elements())
+    violations = []
+    for a in items:
+        if not lattice.leq(lattice.bottom, a):
+            violations.append(f"bottom not below {a!r}")
+        if not lattice.leq(a, lattice.top):
+            violations.append(f"top not above {a!r}")
+    return violations
+
+
+def check_join(lattice: Lattice,
+               elements: Iterable[AbstractValue] | None = None) \
+        -> list[str]:
+    """``join`` is a least upper bound: commutative, idempotent, an
+    upper bound, and below every other upper bound."""
+    items = list(elements if elements is not None else lattice.elements())
+    violations = []
+    for a, b in cartesian(items, items):
+        j = lattice.join(a, b)
+        if lattice.join(b, a) != j and not lattice.equal(
+                lattice.join(b, a), j):
+            violations.append(f"join not commutative at {a!r}, {b!r}")
+        if not lattice.leq(a, j) or not lattice.leq(b, j):
+            violations.append(f"join not an upper bound at {a!r}, {b!r}")
+    for a in items:
+        if not lattice.equal(lattice.join(a, a), a):
+            violations.append(f"join not idempotent at {a!r}")
+    for a, b, c in cartesian(items, items, items):
+        if lattice.leq(a, c) and lattice.leq(b, c) \
+                and not lattice.leq(lattice.join(a, b), c):
+            violations.append(
+                f"join not least at {a!r}, {b!r} vs bound {c!r}")
+    return violations
+
+
+def check_meet(lattice: Lattice,
+               elements: Iterable[AbstractValue] | None = None) \
+        -> list[str]:
+    """``meet`` is a greatest lower bound (dual of :func:`check_join`)."""
+    items = list(elements if elements is not None else lattice.elements())
+    violations = []
+    for a, b in cartesian(items, items):
+        m = lattice.meet(a, b)
+        if not lattice.leq(m, a) or not lattice.leq(m, b):
+            violations.append(f"meet not a lower bound at {a!r}, {b!r}")
+    for a, b, c in cartesian(items, items, items):
+        if lattice.leq(c, a) and lattice.leq(c, b) \
+                and not lattice.leq(c, lattice.meet(a, b)):
+            violations.append(
+                f"meet not greatest at {a!r}, {b!r} vs bound {c!r}")
+    return violations
+
+
+def check_lattice(lattice: Lattice,
+                  elements: Iterable[AbstractValue] | None = None,
+                  with_meet: bool = True) -> list[str]:
+    """All structural laws at once."""
+    items = list(elements if elements is not None else lattice.elements())
+    violations = check_partial_order(lattice, items)
+    violations += check_bounds(lattice, items)
+    violations += check_join(lattice, items)
+    if with_meet:
+        violations += check_meet(lattice, items)
+    return violations
+
+
+def check_finite_height(lattice: Lattice, bound: int = 64) -> list[str]:
+    """Fail when the reported height exceeds ``bound`` — a smoke test for
+    Definition 2 condition 1 on shipped facets (the interval facet is
+    exempt and must document its widening instead)."""
+    height = lattice.height()
+    if height > bound:
+        return [f"{lattice.name}: height {height} exceeds bound {bound}"]
+    return []

@@ -1,0 +1,166 @@
+"""The partial-evaluation value domain ``Values`` (Section 3.2).
+
+``Values`` is the flat lattice over the object language's constants::
+
+    bot_Values  <=  c  <=  top_Values        (distinct constants incomparable)
+
+* ``bot`` means "no value reaches here" (dead or divergent);
+* a constant means "this expression partially evaluates to exactly c";
+* ``top`` means "unknown at PE time" — the expression stays residual.
+
+This is simultaneously the carrier of the partial-evaluation facet
+(Definition 7) and the co-domain of every *open* facet operator at the
+online level (Definition 2, condition 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lang.values import Value, format_value, is_value, sort_of, \
+    values_equal
+from repro.lattice.core import AbstractValue, Lattice
+
+_BOT_TAG = "bot"
+_CONST_TAG = "const"
+_TOP_TAG = "top"
+
+
+@dataclass(frozen=True)
+class PEValue:
+    """One element of the ``Values`` lattice."""
+
+    tag: str
+    value: Value | None = None
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def bottom() -> "PEValue":
+        return _BOTTOM
+
+    @staticmethod
+    def top() -> "PEValue":
+        return _TOP
+
+    @staticmethod
+    def const(value: Value) -> "PEValue":
+        if not is_value(value):
+            raise TypeError(f"not an object-language value: {value!r}")
+        return PEValue(_CONST_TAG, value)
+
+    # -- observers ----------------------------------------------------
+    @property
+    def is_bottom(self) -> bool:
+        return self.tag == _BOT_TAG
+
+    @property
+    def is_top(self) -> bool:
+        return self.tag == _TOP_TAG
+
+    @property
+    def is_const(self) -> bool:
+        return self.tag == _CONST_TAG
+
+    def constant(self) -> Value:
+        """The constant carried by a ``const`` element."""
+        if not self.is_const:
+            raise ValueError(f"{self} carries no constant")
+        assert self.value is not None or self.value is not None
+        return self.value  # type: ignore[return-value]
+
+    @property
+    def sort(self) -> str | None:
+        """Sort of the carried constant, if any."""
+        return sort_of(self.value) if self.is_const else None  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PEValue):
+            return NotImplemented
+        if self.tag != other.tag:
+            return False
+        if self.tag != _CONST_TAG:
+            return True
+        return values_equal(self.value, other.value)  # type: ignore[arg-type]
+
+    def __hash__(self) -> int:
+        if self.tag != _CONST_TAG:
+            return hash(self.tag)
+        return hash((self.tag, sort_of(self.value), self.value))  # type: ignore[arg-type]
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥"
+        if self.is_top:
+            return "⊤"
+        return format_value(self.value)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return f"PEValue({self})"
+
+
+_BOTTOM = PEValue(_BOT_TAG)
+_TOP = PEValue(_TOP_TAG)
+
+
+class PEValueLattice(Lattice):
+    """The flat lattice structure on :class:`PEValue`."""
+
+    name = "Values"
+
+    @property
+    def bottom(self) -> AbstractValue:
+        return _BOTTOM
+
+    @property
+    def top(self) -> AbstractValue:
+        return _TOP
+
+    def leq(self, left: AbstractValue, right: AbstractValue) -> bool:
+        assert isinstance(left, PEValue) and isinstance(right, PEValue)
+        if left.is_bottom or right.is_top:
+            return True
+        if right.is_bottom or left.is_top:
+            return left == right
+        return left == right
+
+    def join(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        assert isinstance(left, PEValue) and isinstance(right, PEValue)
+        if left.is_bottom:
+            return right
+        if right.is_bottom:
+            return left
+        if left == right:
+            return left
+        return _TOP
+
+    def meet(self, left: AbstractValue, right: AbstractValue) \
+            -> AbstractValue:
+        assert isinstance(left, PEValue) and isinstance(right, PEValue)
+        if left.is_top:
+            return right
+        if right.is_top:
+            return left
+        if left == right:
+            return left
+        return _BOTTOM
+
+    def height(self) -> int:
+        return 2
+
+    def is_enumerable(self) -> bool:
+        return False
+
+    def contains(self, element: AbstractValue) -> bool:
+        return isinstance(element, PEValue)
+
+    def sample_elements(self) -> Iterable[AbstractValue]:
+        """A representative finite sample for the law checkers."""
+        return [_BOTTOM, PEValue.const(0), PEValue.const(1),
+                PEValue.const(-3), PEValue.const(True),
+                PEValue.const(2.5), _TOP]
+
+
+#: Shared lattice instance.
+PE_LATTICE = PEValueLattice()

@@ -1,0 +1,121 @@
+"""Smashed products of lattices (Definitions 5 and 9, footnote 2).
+
+Given lattices ``D_1 ... D_m``, the smashed product identifies every tuple
+with a bottom component with the product's bottom::
+
+    smash(d_1, ..., d_m) = (d_1, ..., d_m)   if no d_i is bottom
+                         = bottom            otherwise
+
+The product of facet values a program point carries is always an element
+of such a smashed product, ordered component-wise.  We represent the
+product bottom by the all-bottoms tuple, which makes the component-wise
+order and join correct without a separate sentinel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lattice.core import AbstractValue, Lattice
+
+
+class SmashedProduct(Lattice):
+    """The smashed product of a non-empty sequence of lattices."""
+
+    def __init__(self, name: str, components: Sequence[Lattice]) -> None:
+        if not components:
+            raise ValueError("a product needs at least one component")
+        self.name = name
+        self.components = tuple(components)
+
+    @property
+    def arity(self) -> int:
+        return len(self.components)
+
+    @property
+    def bottom(self) -> AbstractValue:
+        return tuple(c.bottom for c in self.components)
+
+    @property
+    def top(self) -> AbstractValue:
+        return tuple(c.top for c in self.components)
+
+    def smash(self, values: Sequence[AbstractValue]) -> tuple:
+        """Build a product element, collapsing to bottom when any
+        component is bottom (footnote 2)."""
+        values = tuple(values)
+        if len(values) != self.arity:
+            raise ValueError(
+                f"{self.name}: expected {self.arity} components, "
+                f"got {len(values)}")
+        if any(component.leq(value, component.bottom)
+               for component, value in zip(self.components, values)):
+            return self.bottom
+        return values
+
+    def is_bottom(self, element: Sequence[AbstractValue]) -> bool:
+        return any(component.leq(value, component.bottom)
+                   for component, value in zip(self.components, element))
+
+    def leq(self, left: AbstractValue, right: AbstractValue) -> bool:
+        assert isinstance(left, tuple) and isinstance(right, tuple)
+        if self.is_bottom(left):
+            return True
+        if self.is_bottom(right):
+            return False
+        return all(component.leq(l, r) for component, l, r
+                   in zip(self.components, left, right))
+
+    def join(self, left: AbstractValue, right: AbstractValue) -> tuple:
+        assert isinstance(left, tuple) and isinstance(right, tuple)
+        if self.is_bottom(left):
+            return tuple(right)
+        if self.is_bottom(right):
+            return tuple(left)
+        return tuple(component.join(l, r) for component, l, r
+                     in zip(self.components, left, right))
+
+    def meet(self, left: AbstractValue, right: AbstractValue) -> tuple:
+        assert isinstance(left, tuple) and isinstance(right, tuple)
+        return self.smash([component.meet(l, r) for component, l, r
+                           in zip(self.components, left, right)])
+
+    def height(self) -> int:
+        # Strict chains in a smashed product ascend in at least one
+        # component at each step; the bound is the sum of the heights.
+        return sum(component.height() for component in self.components)
+
+    def is_enumerable(self) -> bool:
+        return all(component.is_enumerable()
+                   for component in self.components)
+
+    def elements(self) -> Iterable[AbstractValue]:
+        def rec(index: int) -> Iterable[tuple]:
+            if index == self.arity:
+                yield ()
+                return
+            for value in self.components[index].elements():
+                for rest in rec(index + 1):
+                    yield (value,) + rest
+
+        seen: set[tuple] = set()
+        for raw in rec(0):
+            element = self.smash(raw)
+            if element not in seen:
+                seen.add(element)
+                yield element
+
+    def contains(self, element: AbstractValue) -> bool:
+        if not isinstance(element, tuple) or len(element) != self.arity:
+            return False
+        return all(component.contains(value) for component, value
+                   in zip(self.components, element))
+
+    def widen(self, previous: AbstractValue, new: AbstractValue) -> tuple:
+        assert isinstance(previous, tuple) and isinstance(new, tuple)
+        if self.is_bottom(previous):
+            return tuple(new)
+        if self.is_bottom(new):
+            return tuple(previous)
+        return tuple(component.widen(p, n) for component, p, n
+                     in zip(self.components, previous, new))

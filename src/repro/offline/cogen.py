@@ -1,0 +1,450 @@
+"""Generating extensions: the self-application payoff, made concrete.
+
+The paper's motivation for the offline strategy is that a specializer
+simple enough to be *self-applied* yields, by the second Futamura
+projection, a **generating extension** of the subject program — a
+dedicated specializer for that one program, with all interpretation of
+annotations compiled away.  Writing the specializer in the object
+language and self-applying it is out of scope (FUTURE.md), but the
+artifact self-application would produce can be built directly, because
+the facet analysis already decided everything per program point: this
+module *stages* the offline specializer, compiling the annotated AST of
+each function into a tree of Python closures once, so that every later
+specialization only executes decisions — no annotation lookup, no
+dispatch on node type, no signature resolution.
+
+This is the "cogen by hand" construction of the offline-PE literature
+(Holst & Launchbury; Birkedal & Welinder's ML cogen), and it
+operationalizes the paper's claim (iii): the facet analysis makes the
+specialization phase simple enough to compile.
+
+``make_generating_extension(analysis, suite)`` returns a
+:class:`GeneratingExtension` whose ``specialize(inputs)`` produces the
+same residual programs as :class:`~repro.offline.specializer.
+OfflineSpecializer` (a property the test suite checks program-by-
+program) but faster — ``benchmarks/bench_cogen.py`` measures the gap.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.lang.ast import (
+    Call, Const, Expr, FunDef, If, Let, Prim, Var, count_occurrences)
+from repro.lang.errors import EvalError, PEError
+from repro.lang.primitives import apply_primitive
+from repro.lang.program import Program
+from repro.lang.values import Value, is_value
+from repro.lattice.pevalue import PEValue
+from repro.facets.vector import FacetSuite, FacetVector
+from repro.offline.analysis import (
+    AnalysisResult, FOLD, IfAnnotation, PrimAnnotation, TRIGGER)
+from repro.online.cache import SpecCache, dynamic_positions, make_key
+from repro.online.config import PEConfig, PEStats, UnfoldStrategy
+from repro.transform.cleanup import canonical_names, drop_unreachable
+from repro.transform.simplify import definitely_total, simplify_program
+
+_RECURSION_LIMIT = 100_000
+
+#: A staged expression: environment and context in, residual pair out.
+Staged = Callable[[dict, "_Ctx"], tuple[Expr, FacetVector]]
+
+
+@dataclass
+class _Ctx:
+    """Per-specialization mutable state (cache, stats, gensym)."""
+
+    cache: SpecCache
+    stats: PEStats
+    depth: int = 0
+    gensym: int = 0
+
+    def fresh(self, base: str) -> str:
+        self.gensym += 1
+        return f"{base}!{self.gensym}"
+
+
+@dataclass(frozen=True)
+class GenExtResult:
+    """Residual program from one generating-extension run."""
+
+    program: Program
+    raw_program: Program
+    stats: PEStats
+    goal_params: tuple[str, ...]
+
+
+class GeneratingExtension:
+    """A compiled specializer for one program + analysis + suite."""
+
+    def __init__(self, analysis: AnalysisResult, suite: FacetSuite,
+                 config: PEConfig | None = None) -> None:
+        self.analysis = analysis
+        self.program = analysis.program
+        self.suite = suite
+        self.config = config if config is not None else PEConfig()
+        self._facets = {facet.name: facet for facet in suite.facets}
+        #: fn name -> staged body closure (compiled on first use to
+        #: allow recursion).
+        self._compiled: dict[str, Staged] = {}
+        self._needed = analysis.needed_facets
+        for fundef in self.program.defs:
+            self._compiled[fundef.name] = self._compile(
+                fundef.body, fundef.name)
+
+    # -- driving ----------------------------------------------------------
+    def specialize(self, inputs: Sequence[FacetVector | Value]) \
+            -> GenExtResult:
+        main = self.program.main
+        if len(inputs) != main.arity:
+            raise PEError(
+                f"{main.name}: expected {main.arity} inputs, "
+                f"got {len(inputs)}")
+        vectors = [self.suite.const_vector(value) if is_value(value)
+                   else value for value in inputs]
+        self._check_pattern(vectors)
+        needed = self._needed.get(main.name, frozenset())
+        env: dict[str, tuple[Expr, FacetVector]] = {}
+        goal_params = []
+        for param, vector in zip(main.params, vectors):
+            vector = self._restrict(vector, needed)
+            if vector.pe.is_const:
+                env[param] = (Const(vector.pe.constant()), vector)
+            else:
+                env[param] = (Var(param), vector)
+                goal_params.append(param)
+        ctx = _Ctx(SpecCache(reserved_names=list(
+            self.program.functions())), PEStats())
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
+        try:
+            body, _ = self._compiled[main.name](env, ctx)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        goal = FunDef(main.name, tuple(goal_params), body)
+        raw = Program((goal, *ctx.cache.residual_defs()))
+        cleaned = raw
+        if self.config.simplify:
+            cleaned = simplify_program(cleaned)
+        if self.config.tidy:
+            cleaned = canonical_names(drop_unreachable(cleaned))
+        return GenExtResult(cleaned, raw, ctx.stats,
+                            tuple(goal_params))
+
+    def _check_pattern(self, vectors: Sequence[FacetVector]) -> None:
+        """Inputs must lie at or below the analyzed abstract pattern
+        (mirrors the unstaged offline specializer)."""
+        if self.config.lenient:
+            # Lenient mode accepts off-pattern inputs; broken Static
+            # promises residualize instead of folding.
+            return
+        abstract = [self.analysis.suite.abstract_of_online(v)
+                    for v in vectors]
+        for i, (given, analyzed) in enumerate(
+                zip(abstract, self.analysis.inputs)):
+            if not self.analysis.suite.leq(given, analyzed):
+                raise PEError(
+                    f"input {i} ({given}) does not match the analyzed "
+                    f"pattern ({analyzed}); rerun the facet analysis "
+                    f"for this division")
+
+    def _restrict(self, vector: FacetVector,
+                  needed: frozenset[str]) -> FacetVector:
+        facets = self.suite.facets_for(vector.sort)
+        if all(facet.name in needed for facet in facets):
+            return vector
+        user = tuple(component if facet.name in needed
+                     else facet.domain.top
+                     for facet, component in zip(facets, vector.user))
+        return FacetVector(vector.sort, vector.pe, user)
+
+    # -- compilation --------------------------------------------------------
+    def _compile(self, expr: Expr, fn: str) -> Staged:
+        """Stage one expression: all annotation dispatch happens here,
+        once; the returned closure only executes."""
+        if isinstance(expr, Const):
+            needed = self._needed.get(fn, frozenset())
+            pair = (expr, self._restrict(
+                self.suite.const_vector(expr.value), needed))
+            return lambda env, ctx: pair
+        if isinstance(expr, Var):
+            name = expr.name
+            return lambda env, ctx: env[name]
+        if isinstance(expr, Prim):
+            return self._compile_prim(expr, fn)
+        if isinstance(expr, If):
+            return self._compile_if(expr, fn)
+        if isinstance(expr, Let):
+            return self._compile_let(expr, fn)
+        if isinstance(expr, Call):
+            return self._compile_call(expr, fn)
+        raise PEError(
+            f"higher-order node {type(expr).__name__} reached the "
+            f"generating extension")
+
+    def _compile_prim(self, expr: Prim, fn: str) -> Staged:
+        compiled_args = [self._compile(a, fn) for a in expr.args]
+        annotation = self.analysis.annotation_of(expr)
+        op = expr.op
+        needed = self._needed.get(fn, frozenset())
+        suite = self.suite
+        lenient = self.config.lenient
+
+        if isinstance(annotation, PrimAnnotation) \
+                and annotation.action == FOLD:
+            def fold(env, ctx):
+                residual = [c(env, ctx) for c in compiled_args]
+                values = []
+                for arg_expr, _ in residual:
+                    if not isinstance(arg_expr, Const):
+                        # Bottom caveat: a static subexpression
+                        # errored and was residualized upstream.
+                        return self._residual_prim_now(
+                            op, residual, fn, ctx)
+                    values.append(arg_expr.value)
+                try:
+                    value = apply_primitive(op, values)
+                except EvalError:
+                    return self._residual_prim_now(op, residual, fn,
+                                                   ctx)
+                ctx.stats.facet_evaluations += 1
+                ctx.stats.record_fold("pe")
+                return (Const(value),
+                        self._restrict(suite.const_vector(value),
+                                       needed))
+            return fold
+
+        if isinstance(annotation, PrimAnnotation) \
+                and annotation.action == TRIGGER:
+            facet = self._facets.get(annotation.producer or "")
+
+            def trigger(env, ctx):
+                residual = [c(env, ctx) for c in compiled_args]
+                vectors = [pair[1] for pair in residual]
+                outcome = None
+                if facet is not None:
+                    sig = suite.resolve_sig(op, vectors)
+                    if sig is not None:
+                        projected = suite.project_args(facet, sig,
+                                                        vectors)
+                        ctx.stats.facet_evaluations += 1
+                        outcome = facet.apply_open(op, sig, projected)
+                if outcome is not None and outcome.is_const:
+                    ctx.stats.record_fold(facet.name)
+                    value = outcome.constant()
+                    return (Const(value),
+                            self._restrict(suite.const_vector(value),
+                                           needed))
+                # Bottom caveat (see the FOLD case).
+                return self._residual_prim_now(op, residual, fn, ctx)
+            return trigger
+
+        def residual_prim(env, ctx):
+            residual = [c(env, ctx) for c in compiled_args]
+            return self._residual_prim_now(op, residual, fn, ctx)
+        return residual_prim
+
+    def _residual_prim_now(self, op: str, residual, fn: str,
+                           ctx: _Ctx) -> tuple[Expr, FacetVector]:
+        suite = self.suite
+        needed = self._needed.get(fn, frozenset())
+        vectors = [pair[1] for pair in residual]
+        args = tuple(pair[0] for pair in residual)
+        sig = suite.resolve_sig(op, vectors)
+        residual_expr = Prim(op, args)
+        if sig is None:
+            return residual_expr, suite.unknown(None)
+        if any(suite.is_bottom(v) for v in vectors):
+            return residual_expr, suite.bottom(sig.result_sort)
+        if sig.is_closed:
+            components = []
+            for facet in suite.facets_for(sig.carrier):
+                if facet.name in needed:
+                    projected = suite.project_args(facet, sig,
+                                                    vectors)
+                    ctx.stats.facet_evaluations += 1
+                    components.append(
+                        facet.apply_closed(op, sig, projected))
+                else:
+                    components.append(facet.domain.top)
+            vector = suite.smash(FacetVector(
+                sig.result_sort, PEValue.top(), tuple(components)))
+            return residual_expr, vector
+        return residual_expr, suite.unknown(sig.result_sort)
+
+    def _compile_if(self, expr: If, fn: str) -> Staged:
+        test = self._compile(expr.test, fn)
+        then = self._compile(expr.then, fn)
+        else_ = self._compile(expr.else_, fn)
+        annotation = self.analysis.annotation_of(expr)
+        static_test = isinstance(annotation, IfAnnotation) \
+            and annotation.test_bt.is_static
+        suite = self.suite
+        lenient = self.config.lenient
+
+        if static_test:
+            def reduce(env, ctx):
+                test_expr, _ = test(env, ctx)
+                if isinstance(test_expr, Const) \
+                        and isinstance(test_expr.value, bool):
+                    ctx.stats.if_reductions += 1
+                    branch = then if test_expr.value else else_
+                    return branch(env, ctx)
+                # Bottom caveat: the static test errored upstream.
+                return _build_if(test_expr, then(env, ctx),
+                                 else_(env, ctx), suite)
+            return reduce
+
+        def residual_if(env, ctx):
+            test_expr, _ = test(env, ctx)
+            return _build_if(test_expr, then(env, ctx),
+                             else_(env, ctx), suite)
+        return residual_if
+
+    def _compile_let(self, expr: Let, fn: str) -> Staged:
+        bound = self._compile(expr.bound, fn)
+        body = self._compile(expr.body, fn)
+        name = expr.name
+
+        def staged_let(env, ctx):
+            bound_pair = bound(env, ctx)
+            bound_expr, bound_vector = bound_pair
+            if isinstance(bound_expr, (Const, Var)):
+                inner = dict(env)
+                inner[name] = bound_pair
+                return body(inner, ctx)
+            fresh = ctx.fresh(name)
+            inner = dict(env)
+            inner[name] = (Var(fresh), bound_vector)
+            body_expr, body_vector = body(inner, ctx)
+            if count_occurrences(body_expr, fresh) == 0 \
+                    and definitely_total(bound_expr):
+                return body_expr, body_vector
+            return Let(fresh, bound_expr, body_expr), body_vector
+        return staged_let
+
+    def _compile_call(self, expr: Call, fn: str) -> Staged:
+        compiled_args = [self._compile(a, fn) for a in expr.args]
+        fundef = self.program.get(expr.fn)
+        callee = expr.fn
+        callee_needed = self._needed.get(callee, frozenset())
+        suite = self.suite
+        config = self.config
+        def staged_call(env, ctx):
+            residual = [c(env, ctx) for c in compiled_args]
+            vectors = [self._restrict(pair[1], callee_needed)
+                       for pair in residual]
+            args = [pair[0] for pair in residual]
+            ctx.stats.decisions += 1
+            # The unfold-or-specialize decision stays a run-time one:
+            # individual call sites can be more precise than the
+            # analyzed (joined) signature suggests.
+            unfold = False
+            if config.unfold_strategy is not UnfoldStrategy.NEVER \
+                    and ctx.depth < config.unfold_fuel:
+                if config.unfold_strategy is UnfoldStrategy.ALWAYS:
+                    unfold = True
+                else:
+                    unfold = any(self._informative(v) for v in vectors)
+            if unfold:
+                ctx.stats.unfoldings += 1
+                return self._unfold(fundef, args, vectors, ctx)
+            return self._specialize_call(fundef, args, vectors, ctx)
+        return staged_call
+
+    def _informative(self, vector: FacetVector) -> bool:
+        if vector.pe.is_const:
+            return True
+        facets = self.suite.facets_for(vector.sort)
+        return any(not facet.domain.leq(facet.domain.top, component)
+                   for facet, component in zip(facets, vector.user))
+
+    def _unfold(self, fundef: FunDef, args, vectors,
+                ctx: _Ctx) -> tuple[Expr, FacetVector]:
+        env: dict[str, tuple[Expr, FacetVector]] = {}
+        lets: list[tuple[str, Expr]] = []
+        for param, arg_expr, vector in zip(fundef.params, args,
+                                           vectors):
+            trivial = isinstance(arg_expr, (Const, Var))
+            if trivial or count_occurrences(fundef.body, param) <= 1:
+                env[param] = (arg_expr, vector)
+            else:
+                fresh = ctx.fresh(param)
+                lets.append((fresh, arg_expr))
+                env[param] = (Var(fresh), vector)
+        ctx.depth += 1
+        try:
+            body_expr, body_vector = self._compiled[fundef.name](env,
+                                                                 ctx)
+        finally:
+            ctx.depth -= 1
+        for fresh, bound in reversed(lets):
+            if count_occurrences(body_expr, fresh) == 0 \
+                    and definitely_total(bound):
+                continue
+            body_expr = Let(fresh, bound, body_expr)
+        return body_expr, body_vector
+
+    def _specialize_call(self, fundef: FunDef, args, vectors,
+                         ctx: _Ctx) -> tuple[Expr, FacetVector]:
+        variants = ctx.cache.variants_of(fundef.name)
+        rung = 0
+        if variants >= 2 * self.config.max_variants:
+            if not self.config.lenient:
+                raise PEError(
+                    f"{fundef.name}: too many specialization "
+                    f"variants; re-analyze with a generalized "
+                    f"division or set PEConfig(lenient=True)")
+            rung = 2
+            ctx.stats.generalizations += 1
+            vectors = [self.suite.unknown(v.sort) for v in vectors]
+        elif variants >= self.config.max_variants:
+            rung = 1
+            ctx.stats.generalizations += 1
+            vectors = [self.suite.unknown(v.sort) if not v.pe.is_const
+                       else v for v in vectors]
+        key = make_key(self.suite, fundef.name, vectors, rung)
+        positions = dynamic_positions(vectors, rung)
+        entry = ctx.cache.lookup(key)
+        if entry is None:
+            entry = ctx.cache.register(
+                key, fundef.name, positions,
+                tuple(fundef.params[i] for i in positions))
+            ctx.stats.specializations += 1
+            env: dict[str, tuple[Expr, FacetVector]] = {}
+            for i, (param, vector) in enumerate(
+                    zip(fundef.params, vectors)):
+                if i in positions:
+                    env[param] = (Var(param), vector)
+                else:
+                    env[param] = (Const(vector.pe.constant()), vector)
+            saved_depth = ctx.depth
+            ctx.depth = 0
+            try:
+                body_expr, _ = self._compiled[fundef.name](env, ctx)
+            finally:
+                ctx.depth = saved_depth
+            ctx.cache.finish(
+                entry, FunDef(entry.name, entry.params, body_expr))
+        else:
+            ctx.stats.cache_hits += 1
+        call_args = tuple(args[i] for i in entry.dynamic_positions)
+        return Call(entry.name, call_args), self.suite.unknown(None)
+
+
+def _build_if(test_expr: Expr, then_pair, else_pair,
+              suite: FacetSuite) -> tuple[Expr, FacetVector]:
+    then_expr, then_vector = then_pair
+    else_expr, else_vector = else_pair
+    return (If(test_expr, then_expr, else_expr),
+            suite.join(then_vector, else_vector))
+
+
+def make_generating_extension(analysis: AnalysisResult,
+                              suite: FacetSuite,
+                              config: PEConfig | None = None) \
+        -> GeneratingExtension:
+    """Compile the analyzed program into its generating extension."""
+    return GeneratingExtension(analysis, suite, config)

@@ -1,0 +1,489 @@
+"""Higher-order facet analysis — Figures 5 and 6, Section 5.5.
+
+The abstract value domain becomes ``AV = S~D + (AV^n -> AV)``: an
+expression's abstract value is either a first-order abstract vector or
+an *abstract function*.  Three ingredients from the paper:
+
+* **Abstract closures.**  ``lambda`` evaluates to an abstract closure
+  over the abstract environment; application evaluates the body.  Named
+  top-level functions referenced first-class become closures too.
+* **The unknown operator ``T_C``.**  When a conditional with a Dynamic
+  test would return a function, the analysis cannot know which, so it
+  returns the top operator ``T_C`` — and, because those functions will
+  then never be applied during specialization, it applies each branch's
+  function to *appropriate strongest* (all-top) arguments "in advance"
+  so their bodies still contribute facet signatures (Figure 6's
+  conditional rule).  The same advance-application happens when an
+  application is discarded because an argument is Dynamic.
+* **Termination.**  The paper adopts Hudak and Young's restriction to
+  functions of bounded order/depth.  Operationally we bound the nesting
+  depth of abstract applications and the number of distinct argument
+  patterns memoized per closure; past either bound, arguments are
+  generalized to top.  Recursion through closures is resolved by a
+  worklist fixpoint over memo cells, the same engine as the first-order
+  analysis.
+
+The result carries facet signatures for every *named* function (the
+``SigEnv`` of Figure 6) plus binding times for the goal expression —
+enough for an offline specializer front-end and for the Section 5.5
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence, Union
+
+from repro.lang.ast import (
+    App, Call, Const, Expr, FunDef, If, Lam, Let, Prim, Var)
+from repro.lang.errors import PEError
+from repro.lang.program import Program
+from repro.lang.values import Value, is_value
+from repro.lattice.bt import BT
+from repro.lattice.core import Lattice
+from repro.lattice.fixpoint import FixpointStats, WorklistSolver
+from repro.facets.abstract.vector import AbstractSuite, AbstractVector
+from repro.facets.vector import FacetSuite
+
+_RECURSION_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class TopFn:
+    """``T_C``: the unknown operator — top of the functional summand."""
+
+    def __str__(self) -> str:
+        return "T_C"
+
+
+TC = TopFn()
+
+
+@dataclass(frozen=True)
+class AbsClosure:
+    """An abstract function value.
+
+    ``code`` identifies the lambda node or named function; ``env`` is
+    the captured abstract environment (sorted name/value pairs, which
+    makes closures hashable and memoizable); ``params``/``body`` drive
+    application.
+    """
+
+    code: str
+    params: tuple[str, ...]
+    body: Expr = field(compare=False, hash=False)
+    env: tuple[tuple[str, "AV"], ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def __str__(self) -> str:
+        return f"<absfun {self.code}/{self.arity}>"
+
+
+@dataclass(frozen=True)
+class JoinFn:
+    """The pointwise least upper bound of same-arity abstract functions
+    (the ``lub`` of Section 5.5)."""
+
+    members: tuple[AbsClosure, ...]
+
+    @property
+    def arity(self) -> int:
+        return self.members[0].arity
+
+    def __str__(self) -> str:
+        inner = " | ".join(str(m) for m in self.members)
+        return f"<{inner}>"
+
+
+AV = Union[AbstractVector, AbsClosure, JoinFn, TopFn]
+
+
+@dataclass(frozen=True)
+class HOConfig:
+    """Hudak-Young style termination bounds."""
+
+    max_apply_depth: int = 64
+    max_cells_per_closure: int = 16
+    max_iterations: int = 1_000
+
+
+@dataclass
+class HOAnalysisResult:
+    """Signatures and per-expression values for a higher-order program."""
+
+    program: Program
+    suite: AbstractSuite
+    inputs: tuple[AV, ...]
+    #: fn -> (argument AVs joined over call sites, result AV).
+    signatures: dict[str, tuple[tuple[AV, ...], AV]]
+    #: id(expr) -> AV for nodes of the goal function's body.
+    expr_values: dict[int, AV]
+    result: AV
+    stats: FixpointStats
+
+    def bt_of_result(self) -> BT:
+        if isinstance(self.result, AbstractVector):
+            return self.result.bt
+        return BT.DYNAMIC
+
+
+class _AVLattice(Lattice):
+    """Lattice structure on ``AV`` for the memo fixpoint."""
+
+    name = "AV"
+
+    def __init__(self, suite: AbstractSuite) -> None:
+        self.suite = suite
+
+    @property
+    def bottom(self) -> AV:
+        return self.suite.bottom(None)
+
+    @property
+    def top(self) -> AV:
+        return TC
+
+    def leq(self, left: AV, right: AV) -> bool:
+        if isinstance(right, TopFn):
+            return True
+        if isinstance(left, TopFn):
+            return False
+        if isinstance(left, AbstractVector) \
+                and isinstance(right, AbstractVector):
+            return self.suite.leq(left, right)
+        if isinstance(left, AbstractVector):
+            # A bottom vector is the global bottom of AV.
+            return self.suite.is_bottom(left)
+        if isinstance(right, AbstractVector):
+            return False
+        return frozenset(_members(left)) <= frozenset(_members(right))
+
+    def join(self, left: AV, right: AV) -> AV:
+        if isinstance(left, TopFn) or isinstance(right, TopFn):
+            return TC
+        if isinstance(left, AbstractVector) \
+                and isinstance(right, AbstractVector):
+            return self.suite.join(left, right)
+        if isinstance(left, AbstractVector):
+            return right if self.suite.is_bottom(left) else TC
+        if isinstance(right, AbstractVector):
+            return left if self.suite.is_bottom(right) else TC
+        members = tuple(dict.fromkeys(_members(left) + _members(right)))
+        if len({m.arity for m in members}) != 1:
+            return TC  # the paper's err/T_C case for arity clashes
+        if len(members) == 1:
+            return members[0]
+        return JoinFn(members)
+
+    def is_enumerable(self) -> bool:
+        return False
+
+    def contains(self, element: AV) -> bool:
+        return isinstance(element, (AbstractVector, AbsClosure, JoinFn,
+                                    TopFn))
+
+
+def _members(value: AbsClosure | JoinFn) -> tuple[AbsClosure, ...]:
+    if isinstance(value, JoinFn):
+        return value.members
+    return (value,)
+
+
+class HigherOrderAnalyzer:
+    """Figures 5-6 for one program and abstract suite."""
+
+    def __init__(self, program: Program,
+                 suite: FacetSuite | AbstractSuite | None = None,
+                 config: HOConfig | None = None) -> None:
+        program.validate()
+        self.program = program
+        self.functions = program.functions()
+        if suite is None:
+            suite = AbstractSuite(FacetSuite())
+        elif isinstance(suite, FacetSuite):
+            suite = AbstractSuite(suite)
+        self.suite = suite
+        self.config = config if config is not None else HOConfig()
+        self.stats = FixpointStats()
+        self._lattice = _AVLattice(suite)
+        self._cells_per_closure: dict[str, set[Hashable]] = {}
+        #: fn -> (joined args, joined result); the SigEnv pi.
+        self._signatures: dict[str, tuple[tuple[AV, ...], AV]] = {}
+        self._solver: WorklistSolver | None = None
+        self._advance_applied: set[Hashable] = set()
+
+    # -- entry point ---------------------------------------------------------
+    def analyze(self, inputs: Sequence[AV | Value]) -> HOAnalysisResult:
+        main = self.program.main
+        if len(inputs) != main.arity:
+            raise PEError(
+                f"{main.name}: expected {main.arity} inputs, "
+                f"got {len(inputs)}")
+        input_avs: tuple[AV, ...] = tuple(
+            self.suite.const_vector(value) if is_value(value) else value
+            for value in inputs)
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
+        try:
+            return self._analyze(input_avs)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def _analyze(self, inputs: tuple[AV, ...]) -> HOAnalysisResult:
+        solver = WorklistSolver(self._lattice, self._cell_equation)
+        self._solver = solver
+        main = self.program.main
+        goal = self._closure_of(main)
+        root = ("apply", goal, inputs)
+        for _ in range(self.config.max_iterations):
+            self.stats.iterations += 1
+            before = dict(solver.values)
+            solver.ask(root)
+            solver.drain()
+            if dict(solver.values) == before and \
+                    solver.values.get(root) is not None:
+                break
+        result = solver.values.get(root, self._lattice.bottom)
+        self._record_signature(main.name, inputs, result)
+
+        # Final recording pass over the goal body for expression values.
+        expr_values: dict[int, AV] = {}
+        env = dict(zip(main.params, inputs))
+        self._eval(main.body, env, depth=0, record=expr_values)
+        solver.drain()
+
+        self.stats.evaluations = solver.stats.evaluations
+        return HOAnalysisResult(self.program, self.suite, inputs,
+                                dict(self._signatures), expr_values,
+                                result, self.stats)
+
+    # -- closures --------------------------------------------------------------
+    def _closure_of(self, fundef: FunDef) -> AbsClosure:
+        return AbsClosure(fundef.name, fundef.params, fundef.body, ())
+
+    def _lambda_closure(self, expr: Lam,
+                        env: Mapping[str, AV]) -> AbsClosure:
+        free = sorted(set(env) & _free_vars_cached(expr))
+        captured = tuple((name, env[name]) for name in free)
+        return AbsClosure(f"lam@{id(expr):x}", expr.params, expr.body,
+                          captured)
+
+    # -- the memoized application fixpoint ---------------------------------------
+    def _cell_equation(self, solver: WorklistSolver,
+                       cell: Hashable) -> AV:
+        _tag, closure, args = cell
+        env = dict(closure.env)
+        env.update(zip(closure.params, args))
+        return self._eval(closure.body, env, depth=0, record=None)
+
+    def _apply(self, fn: AV, args: tuple[AV, ...], depth: int,
+               record: dict[int, AV] | None) -> AV:
+        if isinstance(fn, TopFn):
+            return TC
+        if isinstance(fn, AbstractVector):
+            if self.suite.is_bottom(fn):
+                # "No information yet" mid-fixpoint: stay bottom so the
+                # ascending iteration can still reach the precise value.
+                return self._lattice.bottom
+            # Applying a proper first-order value is a program error;
+            # be conservative.
+            return self.suite.dynamic(None)
+        results: list[AV] = []
+        for member in _members(fn):
+            if member.arity != len(args):
+                results.append(TC)
+                continue
+            results.append(self._apply_one(member, args, depth, record))
+        out: AV = self._lattice.bottom
+        for r in results:
+            out = self._lattice.join(out, r)
+        return out
+
+    def _apply_one(self, closure: AbsClosure, args: tuple[AV, ...],
+                   depth: int, record: dict[int, AV] | None) -> AV:
+        if depth >= self.config.max_apply_depth:
+            return TC
+        args = self._bound_cell(closure, args)
+        cell = ("apply", closure, args)
+        assert self._solver is not None
+        if record is not None:
+            # Recording pass: evaluate inline so subexpression values of
+            # the *goal* body are captured; memoized cells cover the
+            # rest.
+            value = self._solver.ask(cell)
+            result = self._record_result(closure, args, value)
+            return result
+        value = self._solver.ask(cell)
+        return self._record_result(closure, args, value)
+
+    def _record_result(self, closure: AbsClosure, args: tuple[AV, ...],
+                       value: AV) -> AV:
+        if closure.code in self.functions:
+            self._record_signature(closure.code, args, value)
+        return value
+
+    def _bound_cell(self, closure: AbsClosure,
+                    args: tuple[AV, ...]) -> tuple[AV, ...]:
+        cells = self._cells_per_closure.setdefault(closure.code, set())
+        key = args
+        if key not in cells and \
+                len(cells) >= self.config.max_cells_per_closure:
+            key = tuple(self._generalize(a) for a in args)
+        cells.add(key)
+        return key
+
+    def _generalize(self, value: AV) -> AV:
+        if isinstance(value, AbstractVector):
+            return self.suite.dynamic(value.sort)
+        return TC
+
+    def _record_signature(self, name: str, args: tuple[AV, ...],
+                          result: AV) -> None:
+        old = self._signatures.get(name)
+        if old is None:
+            self._signatures[name] = (args, result)
+            return
+        old_args, old_result = old
+        joined = tuple(self._lattice.join(o, n)
+                       for o, n in zip(old_args, args))
+        self._signatures[name] = (joined,
+                                  self._lattice.join(old_result, result))
+
+    # -- E~ ------------------------------------------------------------------------
+    def _eval(self, expr: Expr, env: Mapping[str, AV], depth: int,
+              record: dict[int, AV] | None) -> AV:
+        value = self._eval_node(expr, env, depth, record)
+        if record is not None:
+            previous = record.get(id(expr))
+            record[id(expr)] = value if previous is None \
+                else self._lattice.join(previous, value)
+        return value
+
+    def _eval_node(self, expr: Expr, env: Mapping[str, AV], depth: int,
+                   record: dict[int, AV] | None) -> AV:
+        if isinstance(expr, Const):
+            return self.suite.const_vector(expr.value)
+        if isinstance(expr, Var):
+            value = env.get(expr.name)
+            if value is not None:
+                return value
+            fundef = self.functions.get(expr.name)
+            if fundef is not None:
+                return self._closure_of(fundef)
+            raise PEError(f"unbound variable {expr.name!r}")
+        if isinstance(expr, Prim):
+            args = [self._eval(a, env, depth, record) for a in expr.args]
+            vectors = [a if isinstance(a, AbstractVector)
+                       else self.suite.dynamic(None) for a in args]
+            return self.suite.apply_prim(expr.op, vectors).vector
+        if isinstance(expr, If):
+            return self._eval_if(expr, env, depth, record)
+        if isinstance(expr, Let):
+            bound = self._eval(expr.bound, env, depth, record)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self._eval(expr.body, inner, depth, record)
+        if isinstance(expr, Lam):
+            return self._lambda_closure(expr, env)
+        if isinstance(expr, Call):
+            fundef = self.functions[expr.fn]
+            args = tuple(self._eval(a, env, depth, record)
+                         for a in expr.args)
+            return self._apply_site(self._closure_of(fundef), args,
+                                    depth, record)
+        if isinstance(expr, App):
+            fn = self._eval(expr.fn, env, depth, record)
+            args = tuple(self._eval(a, env, depth, record)
+                         for a in expr.args)
+            return self._apply_site(fn, args, depth, record)
+        raise PEError(f"unknown expression node {expr!r}")
+
+    def _eval_if(self, expr: If, env: Mapping[str, AV], depth: int,
+                 record: dict[int, AV] | None) -> AV:
+        test = self._eval(expr.test, env, depth, record)
+        then = self._eval(expr.then, env, depth, record)
+        else_ = self._eval(expr.else_, env, depth, record)
+        if isinstance(test, AbstractVector) and self.suite.is_bottom(test):
+            return self._lattice.bottom
+        static_test = isinstance(test, AbstractVector) \
+            and test.bt.is_static
+        joined = self._lattice.join(then, else_)
+        if static_test:
+            return joined
+        if isinstance(joined, AbstractVector):
+            if self.suite.is_bottom(joined):
+                return joined
+            return AbstractVector(joined.sort, BT.DYNAMIC, joined.user)
+        # Dynamic test selecting among functions: the result is T_C and
+        # the branch functions will never be applied at specialization
+        # time — apply them to strongest arguments "in advance" so their
+        # bodies still contribute signatures (Figure 6).
+        for branch in (then, else_):
+            self._advance_apply(branch, depth)
+        return TC
+
+    def _apply_site(self, fn: AV, args: tuple[AV, ...], depth: int,
+                    record: dict[int, AV] | None) -> AV:
+        dynamic_arg = any(isinstance(a, AbstractVector)
+                          and a.bt.is_dynamic for a in args)
+        result = self._apply(fn, args, depth + 1, record)
+        if not dynamic_arg:
+            return result
+        # Figure 5's call rule: a Dynamic argument coarsens the result;
+        # a functional result cannot be applied at specialization time,
+        # so it degrades to T_C (and gets advance-applied, Figure 6).
+        if isinstance(result, AbstractVector):
+            if self.suite.is_bottom(result):
+                return result
+            return self.suite.dynamic(result.sort)
+        self._advance_apply(result, depth)
+        return TC
+
+    def _advance_apply(self, value: AV, depth: int) -> None:
+        if not isinstance(value, (AbsClosure, JoinFn)):
+            return
+        for member in _members(value):
+            key = ("advance", member)
+            if key in self._advance_applied:
+                continue
+            self._advance_applied.add(key)
+            tops = tuple(TC if _looks_functional(member, i)
+                         else self.suite.dynamic(None)
+                         for i in range(member.arity))
+            self._apply_one(member, tops, depth + 1, record=None)
+
+
+def _looks_functional(closure: AbsClosure, index: int) -> bool:
+    """Heuristic for the "appropriate strongest element": a parameter
+    that appears in operator position gets ``T_C``, anything else the
+    dynamic vector."""
+    param = closure.params[index]
+    stack = [closure.body]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, App) and isinstance(node.fn, Var) \
+                and node.fn.name == param:
+            return True
+        stack.extend(node.children())
+    return False
+
+
+def _free_vars_cached(expr: Lam) -> frozenset[str]:
+    # No id()-keyed caching here: ids are reused after garbage
+    # collection and a stale entry would capture the wrong environment.
+    from repro.lang.ast import free_vars
+    return free_vars(expr)
+
+
+def analyze_higher_order(program: Program,
+                         inputs: Sequence[AV | Value],
+                         suite: FacetSuite | AbstractSuite | None = None,
+                         config: HOConfig | None = None) \
+        -> HOAnalysisResult:
+    """One-shot higher-order facet analysis (Figures 5-6)."""
+    return HigherOrderAnalyzer(program, suite, config).analyze(inputs)

@@ -1,0 +1,124 @@
+"""Rendering facet-analysis results — the Figure 9 table.
+
+Figure 9 of the paper shows, for the inner-product program, the abstract
+facet values the analysis attached to the main expressions (parameters,
+the ``vsize`` call, the test, the ``vref`` calls, ...).  This module
+regenerates that presentation for any analyzed program: structured rows
+via :func:`analysis_rows`, the formatted two-column table via
+:func:`facet_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lang.ast import Call, Expr, If, Prim, walk
+from repro.lang.pretty import pretty
+from repro.offline.analysis import AnalysisResult, IfAnnotation, \
+    PrimAnnotation, Signature
+
+#: Abbreviations used by the paper's figure.
+_SHORT = {"Static": "Stat", "Dynamic": "Dyn"}
+
+
+@dataclass(frozen=True)
+class Row:
+    """One line of the report."""
+
+    function: str
+    kind: str           # "param" | "prim" | "call" | "if-test"
+    code: str
+    value: str
+    detail: str = ""
+
+
+def _short(text: str) -> str:
+    for long, short in _SHORT.items():
+        text = text.replace(long, short)
+    return text
+
+
+def analysis_rows(analysis: AnalysisResult,
+                  max_code_width: int = 40) -> list[Row]:
+    """Structured per-expression facet values, function by function."""
+    rows: list[Row] = []
+    for name, signature in analysis.signatures.items():
+        fundef = analysis.program.get(name)
+        for param, vector in zip(fundef.params, signature.args):
+            rows.append(Row(name, "param", param, _short(str(vector))))
+        for node in walk(fundef.body):
+            rows.extend(_node_rows(analysis, name, node,
+                                   max_code_width))
+    return rows
+
+
+def _node_rows(analysis: AnalysisResult, function: str, node: Expr,
+               width: int) -> Iterator[Row]:
+    value = analysis.expr_values.get(id(node))
+    if value is None:
+        return
+    code = pretty(node)
+    if len(code) > width:
+        code = code[:width - 3] + "..."
+    if isinstance(node, Prim):
+        annotation = analysis.annotation_of(node)
+        detail = ""
+        if isinstance(annotation, PrimAnnotation):
+            detail = annotation.action
+            if annotation.producer:
+                detail += f" via {annotation.producer}"
+        yield Row(function, "prim", code, _short(str(value)), detail)
+    elif isinstance(node, Call):
+        yield Row(function, "call", code, _short(str(value)))
+    elif isinstance(node, If):
+        annotation = analysis.annotation_of(node)
+        test_value = analysis.expr_values.get(id(node.test))
+        detail = ""
+        if isinstance(annotation, IfAnnotation):
+            detail = ("reducible" if annotation.test_bt.is_static
+                      else "residual")
+        if test_value is not None:
+            test_code = pretty(node.test)
+            if len(test_code) > width:
+                test_code = test_code[:width - 3] + "..."
+            yield Row(function, "if-test", test_code,
+                      _short(str(test_value)), detail)
+
+
+def signature_lines(analysis: AnalysisResult) -> list[str]:
+    """One ``f : <...> x ... -> <...>`` line per function."""
+    return [f"{name} : {_short(str(signature))}"
+            for name, signature in analysis.signatures.items()]
+
+
+def facet_table(analysis: AnalysisResult, title: str = "") -> str:
+    """The full report: facet names, signatures, per-expression rows and
+    the per-function needed-facet sets — everything Figure 9 displays
+    plus the Section 6.2 narrative."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("facets: " + analysis.suite.describe().replace("\n",
+                                                                "; "))
+    lines.append("")
+    lines.append("Facet signatures")
+    lines.append("-" * 16)
+    lines.extend(signature_lines(analysis))
+    lines.append("")
+    rows = analysis_rows(analysis)
+    width_code = max((len(r.code) for r in rows), default=10) + 2
+    width_value = max((len(r.value) for r in rows), default=10) + 2
+    current = None
+    for row in rows:
+        if row.function != current:
+            current = row.function
+            needed = sorted(analysis.needed_facets.get(current, ()))
+            suffix = (f"   [facet computation needed: "
+                      f"{', '.join(needed) or 'binding times only'}]")
+            lines.append(f"{current}{suffix}")
+        detail = f"  ({row.detail})" if row.detail else ""
+        lines.append(f"  {row.code.ljust(width_code)}"
+                     f"{row.value.ljust(width_value)}{detail}")
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Online parameterized partial evaluation (Section 4, Figure 3)."""
+
+from repro.online.cache import (
+    DYNAMIC, ResidualFunction, SpecCache, dynamic_positions, make_key)
+from repro.online.config import PEConfig, PEStats, UnfoldStrategy
+from repro.online.specializer import (
+    OnlineSpecializer, SpecializationResult, specialize_online)
+
+__all__ = [
+    "DYNAMIC", "ResidualFunction", "SpecCache", "dynamic_positions",
+    "make_key",
+    "PEConfig", "PEStats", "UnfoldStrategy",
+    "OnlineSpecializer", "SpecializationResult", "specialize_online",
+]

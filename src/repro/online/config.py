@@ -1,0 +1,92 @@
+"""Configuration and statistics shared by the specializers.
+
+The paper abstracts the treatment of calls behind ``APP`` ("because this
+treatment vastly differs from one partial evaluator to another").  Our
+``APP`` is the classic unfold-or-specialize strategy with three
+termination guards, all tunable here:
+
+* ``unfold_fuel`` bounds the depth of nested unfoldings along one call
+  chain; past it, calls are specialized through the cache;
+* ``max_variants`` bounds the number of cached specializations per
+  source function; past it, keys are *generalized* (facet components to
+  top first, then constants to dynamic), which restores termination on
+  static data that grows under recursion;
+* ``fuel`` bounds total PE work, turning a diverging *static* loop in
+  the subject program into a catchable error.
+
+``PEStats`` is the decision-cost instrumentation behind
+``benchmarks/bench_decisions.py``: the online specializer pays
+``facet_evaluations`` at every primitive, the offline one only where the
+facet analysis said a facet is needed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class UnfoldStrategy(enum.Enum):
+    """When should a call be unfolded rather than specialized?"""
+
+    #: Unfold while any argument carries information (a constant or a
+    #: non-top facet component); the default, and what the paper's
+    #: inner-product walk-through needs.
+    STATIC_ARGS = "static-args"
+    #: Always unfold until the fuel runs out.
+    ALWAYS = "always"
+    #: Never unfold; every call goes through the specialization cache.
+    NEVER = "never"
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """Tunables of both specializers."""
+
+    unfold_strategy: UnfoldStrategy = UnfoldStrategy.STATIC_ARGS
+    unfold_fuel: int = 400
+    max_variants: int = 64
+    fuel: int = 2_000_000
+    #: Run the algebraic cleanup of :mod:`repro.transform.simplify` on
+    #: the residual program (needed to match Figure 8 exactly).
+    simplify: bool = True
+    #: Rename generated functions to readable ``f_1`` style and drop
+    #: unreachable definitions.
+    tidy: bool = True
+    #: Offline only: residualize (instead of raising) when a spec-time
+    #: input does not match the analyzed pattern.
+    lenient: bool = False
+    #: Online extension (the paper's Section 4.4 future work, Redfun's
+    #: behaviour): propagate a residual test's constraint — and its
+    #: negation — into the consequent/alternative branches, refining
+    #: the facet values of the variables it mentions.
+    propagate_constraints: bool = False
+
+
+@dataclass
+class PEStats:
+    """Work counters for one specialization run."""
+
+    steps: int = 0
+    #: How many facet operators ran (PE facet included) — the paper's
+    #: online-cost complaint, quantified.
+    facet_evaluations: int = 0
+    prim_folds: int = 0
+    #: Folds per producing facet name; ``"pe"`` is plain constant
+    #: folding, anything else is a parameterized-PE win.
+    folds_by_facet: dict = field(default_factory=dict)
+    if_reductions: int = 0
+    unfoldings: int = 0
+    specializations: int = 0
+    cache_hits: int = 0
+    generalizations: int = 0
+    #: PE-time *decisions*: reduce-or-residualize choices taken while
+    #: specializing (what an offline strategy moves into the analysis).
+    decisions: int = 0
+    #: Variables refined by the constraint-propagation extension.
+    constraint_refinements: int = 0
+
+    def record_fold(self, producer: str) -> None:
+        self.prim_folds += 1
+        self.folds_by_facet[producer] = \
+            self.folds_by_facet.get(producer, 0) + 1

@@ -1,0 +1,13 @@
+"""Residual-program transformations shared by both specializers."""
+
+from repro.transform.cleanup import (
+    canonical_names, drop_unreachable, inline_trivial, rename_functions)
+from repro.transform.simplify import (
+    SimplifyConfig, definitely_total, simplify_expr, simplify_program)
+
+__all__ = [
+    "canonical_names", "drop_unreachable", "inline_trivial",
+    "rename_functions",
+    "SimplifyConfig", "definitely_total", "simplify_expr",
+    "simplify_program",
+]

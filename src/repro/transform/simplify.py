@@ -1,0 +1,176 @@
+"""Algebraic post-simplification of residual programs.
+
+Figure 8 of the paper shows the inner-product residual *without* the
+trailing ``+ 0.0`` that plain unfolding of ``dotProd(A, B, 0)`` leaves
+behind; Redfun-class systems perform such algebraic cleanups.  The
+Figure 3 semantics does not include them, so we implement them as an
+explicit, optional pass (see DESIGN.md, Substitutions).
+
+Soundness discipline: a rewrite may delete a subexpression only when the
+subexpression is *definitely total* — guaranteed to evaluate without an
+error — because this language's only effect is failure (division by
+zero, bad vector access).  ``definitely_total`` is a conservative
+syntactic check.
+
+Float identities (``x + 0.0 -> x``, ``x * 1.0 -> x``) are technically
+wrong at ``-0.0`` and NaN; the object language cannot construct NaN and
+the PE literature applies them regardless, but they sit behind a config
+flag (`float_identities`, on by default) and are documented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (
+    App, Call, Const, Expr, If, Lam, Let, Prim, Var, count_occurrences,
+    substitute)
+from repro.lang.errors import EvalError
+from repro.lang.primitives import apply_primitive
+from repro.lang.program import Program
+from repro.lang.values import values_equal
+
+#: Primitives that cannot raise for any type-correct arguments.
+_TOTAL_PRIMS = frozenset((
+    "+", "-", "*", "neg", "abs", "min", "max",
+    "=", "!=", "<", "<=", ">", ">=",
+    "and", "or", "not", "itof", "vsize",
+))
+
+
+@dataclass(frozen=True)
+class SimplifyConfig:
+    """Tunables for the cleanup pass."""
+
+    fold_constants: bool = True
+    arithmetic_identities: bool = True
+    float_identities: bool = True
+    collapse_conditionals: bool = True
+    let_cleanup: bool = True
+    max_passes: int = 8
+
+
+def definitely_total(expr: Expr) -> bool:
+    """Conservative: True only when evaluating ``expr`` cannot fail.
+
+    Requires every primitive on the path to be total *and* the
+    expression to be closed under variables/constants — function calls
+    and applications may diverge or fail, so they are never total.
+    """
+    if isinstance(expr, (Const, Var)):
+        return True
+    if isinstance(expr, Prim):
+        return expr.op in _TOTAL_PRIMS and all(
+            definitely_total(a) for a in expr.args)
+    if isinstance(expr, If):
+        return all(definitely_total(c) for c in expr.children())
+    if isinstance(expr, Let):
+        return definitely_total(expr.bound) \
+            and definitely_total(expr.body)
+    if isinstance(expr, Lam):
+        # Building a closure never fails (calling it might).
+        return True
+    return False
+
+
+def simplify_expr(expr: Expr,
+                  config: SimplifyConfig = SimplifyConfig()) -> Expr:
+    """Bottom-up rewriting to a (bounded) fixpoint."""
+    for _ in range(config.max_passes):
+        rewritten = _simplify(expr, config)
+        if rewritten == expr:
+            return rewritten
+        expr = rewritten
+    return expr
+
+
+def simplify_program(program: Program,
+                     config: SimplifyConfig = SimplifyConfig()) \
+        -> Program:
+    """Simplify every body; callers may follow with dead-function
+    elimination (:func:`repro.transform.cleanup.drop_unreachable`)."""
+    defs = [d.__class__(d.name, d.params, simplify_expr(d.body, config))
+            for d in program.defs]
+    return Program(tuple(defs))
+
+
+def _simplify(expr: Expr, config: SimplifyConfig) -> Expr:
+    rebuilt = expr.with_children(
+        [_simplify(child, config) for child in expr.children()])
+    return _rewrite(rebuilt, config)
+
+
+def _rewrite(expr: Expr, config: SimplifyConfig) -> Expr:
+    if isinstance(expr, Prim):
+        return _rewrite_prim(expr, config)
+    if isinstance(expr, If) and config.collapse_conditionals:
+        return _rewrite_if(expr)
+    if isinstance(expr, Let) and config.let_cleanup:
+        return _rewrite_let(expr)
+    return expr
+
+
+def _const(expr: Expr, value) -> bool:
+    return isinstance(expr, Const) and not isinstance(expr.value, bool) \
+        and isinstance(expr.value, type(value)) \
+        and values_equal(expr.value, value)
+
+
+def _rewrite_prim(expr: Prim, config: SimplifyConfig) -> Expr:
+    args = expr.args
+    if config.fold_constants and all(isinstance(a, Const) for a in args):
+        try:
+            return Const(apply_primitive(
+                expr.op, [a.value for a in args]))  # type: ignore[union-attr]
+        except EvalError:
+            return expr
+
+    if not config.arithmetic_identities or len(args) != 2:
+        return expr
+    left, right = args
+
+    def unit(value) -> bool:
+        if isinstance(value, float) and not config.float_identities:
+            return False
+        return True
+
+    if expr.op == "+":
+        if _const(left, 0) or (_const(left, 0.0) and unit(0.0)):
+            return right
+        if _const(right, 0) or (_const(right, 0.0) and unit(0.0)):
+            return left
+    if expr.op == "-":
+        if _const(right, 0) or (_const(right, 0.0) and unit(0.0)):
+            return left
+    if expr.op == "*":
+        if _const(left, 1) or (_const(left, 1.0) and unit(1.0)):
+            return right
+        if _const(right, 1) or (_const(right, 1.0) and unit(1.0)):
+            return left
+        # x * 0 -> 0 only when x surely terminates without error.
+        if _const(left, 0) and definitely_total(right):
+            return left
+        if _const(right, 0) and definitely_total(left):
+            return right
+    if expr.op == "div" and _const(right, 1):
+        return left
+    return expr
+
+
+def _rewrite_if(expr: If) -> Expr:
+    if isinstance(expr.test, Const) and isinstance(expr.test.value, bool):
+        return expr.then if expr.test.value else expr.else_
+    if expr.then == expr.else_ and definitely_total(expr.test):
+        return expr.then
+    if isinstance(expr.test, Prim) and expr.test.op == "not":
+        return If(expr.test.args[0], expr.else_, expr.then)
+    return expr
+
+
+def _rewrite_let(expr: Let) -> Expr:
+    occurrences = count_occurrences(expr.body, expr.name)
+    if occurrences == 0 and definitely_total(expr.bound):
+        return expr.body
+    if isinstance(expr.bound, (Const, Var)) or occurrences == 1:
+        return substitute(expr.body, {expr.name: expr.bound})
+    return expr

@@ -1,0 +1,16 @@
+"""Program corpus and random program generation."""
+
+from repro.workloads.generator import GenConfig, generate_program
+from repro.workloads.programs import (
+    ALTERNATING_SUM_SRC, CLAMPED_LOOKUP_SRC, FIB_SRC, GCD_SRC,
+    HO_PIPELINE_SRC, HO_SELECT_SRC, INNER_PRODUCT_SRC, MINI_VM_SRC,
+    POLY_EVAL_SRC, POWER_SRC, SIGN_PIPELINE_SRC, WORKLOADS, Workload,
+    get_workload, vm_program_square_plus)
+
+__all__ = [
+    "GenConfig", "generate_program",
+    "ALTERNATING_SUM_SRC", "CLAMPED_LOOKUP_SRC", "FIB_SRC", "GCD_SRC",
+    "HO_PIPELINE_SRC", "HO_SELECT_SRC", "INNER_PRODUCT_SRC",
+    "MINI_VM_SRC", "POLY_EVAL_SRC", "POWER_SRC", "SIGN_PIPELINE_SRC",
+    "WORKLOADS", "Workload", "get_workload", "vm_program_square_plus",
+]

@@ -1,0 +1,50 @@
+"""Abstraction functions between the three levels (Section 3.2)."""
+
+import pytest
+
+from repro.algebra.abstraction import (
+    bt_of_args, tau_full, tau_offline, tau_online)
+from repro.lang.values import Vector
+from repro.lattice.bt import BT
+from repro.lattice.pevalue import PEValue
+
+
+class TestTauOnline:
+    def test_values_become_constants(self):
+        assert tau_online(3) == PEValue.const(3)
+        assert tau_online(True) == PEValue.const(True)
+        assert tau_online(2.5) == PEValue.const(2.5)
+        v = Vector.of([1.0])
+        assert tau_online(v) == PEValue.const(v)
+
+    def test_non_values_rejected(self):
+        with pytest.raises(TypeError):
+            tau_online("nope")
+
+
+class TestTauOffline:
+    def test_constants_are_static(self):
+        assert tau_offline(PEValue.const(3)) is BT.STATIC
+
+    def test_top_is_dynamic(self):
+        assert tau_offline(PEValue.top()) is BT.DYNAMIC
+
+    def test_bottom_preserved(self):
+        assert tau_offline(PEValue.bottom()) is BT.BOT
+
+    def test_monotone(self):
+        # bot <= const <= top maps to BOT <= STATIC <= DYNAMIC.
+        chain = [PEValue.bottom(), PEValue.const(1), PEValue.top()]
+        images = [tau_offline(x) for x in chain]
+        assert images == sorted(images, key=lambda b: b.value)
+
+
+class TestComposite:
+    def test_tau_full(self):
+        assert tau_full(42) is BT.STATIC
+        assert tau_full(False) is BT.STATIC
+
+    def test_bt_of_args_uniform_rule(self):
+        assert bt_of_args([BT.STATIC, BT.STATIC]) is BT.STATIC
+        assert bt_of_args([BT.STATIC, BT.DYNAMIC]) is BT.DYNAMIC
+        assert bt_of_args([BT.BOT, BT.DYNAMIC]) is BT.BOT

@@ -1,0 +1,82 @@
+"""The safety checkers themselves: they accept every shipped facet and
+catch deliberately broken ones (so the checkers are known to have
+teeth)."""
+
+import pytest
+
+from repro.algebra.safety import (
+    check_abstract_facet_safety, check_facet_monotonicity,
+    check_facet_safety)
+from repro.facets import (
+    IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract import derive_abstract
+from repro.lang.values import FLOAT
+from repro.lattice.bt import BT
+from repro.lattice.pevalue import PEValue
+
+ALL_FACETS = [SignFacet, ParityFacet, IntervalFacet, VectorSizeFacet]
+
+
+class TestShippedFacetsPass:
+    @pytest.mark.parametrize("facet_cls", ALL_FACETS)
+    def test_safety(self, facet_cls):
+        assert check_facet_safety(facet_cls()) == []
+
+    @pytest.mark.parametrize("facet_cls", ALL_FACETS)
+    def test_monotonicity(self, facet_cls):
+        assert check_facet_monotonicity(facet_cls()) == []
+
+    def test_float_sign_instance(self):
+        facet = SignFacet(FLOAT)
+        assert check_facet_safety(facet) == []
+
+    @pytest.mark.parametrize("facet_cls", ALL_FACETS)
+    def test_abstract_companions(self, facet_cls):
+        assert check_abstract_facet_safety(
+            derive_abstract(facet_cls())) == []
+
+
+class TestCheckersCatchBrokenFacets:
+    def test_unsafe_closed_op_detected(self):
+        facet = SignFacet()
+        # Claim pos + pos = neg: unsafe.
+        facet.closed_ops["+"] = lambda a, b: "neg"
+        violations = check_facet_safety(facet)
+        assert any("+" in v for v in violations)
+
+    def test_unsafe_open_op_detected(self):
+        facet = SignFacet()
+        # Claim pos < pos is always true: unsafe (2 < 1 is false).
+        facet.open_ops["<"] = lambda a, b: PEValue.const(True)
+        violations = check_facet_safety(facet)
+        assert any("<" in v for v in violations)
+
+    def test_bottom_producing_open_op_detected(self):
+        facet = SignFacet()
+        facet.open_ops["<"] = lambda a, b: PEValue.bottom()
+        violations = check_facet_safety(facet)
+        assert any("bottom" in v for v in violations)
+
+    def test_non_monotone_op_detected(self):
+        facet = SignFacet()
+        top = facet.domain.top
+
+        def weird(a, b):
+            # More information out of less: precise on top, vague on
+            # points.
+            if a == top and b == top:
+                return "zero"
+            return top
+
+        facet.closed_ops["+"] = weird
+        violations = check_facet_monotonicity(facet)
+        assert violations
+
+    def test_unsound_abstract_facet_detected(self):
+        facet = SignFacet()
+        abstract = derive_abstract(facet)
+        # Claim pos <~ pos is Static: the online facet answers top
+        # there, so Property 6 fails.
+        abstract.open_ops["<"] = lambda a, b: BT.STATIC
+        violations = check_abstract_facet_safety(abstract)
+        assert any("Static" in v for v in violations)

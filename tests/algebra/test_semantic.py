@@ -1,0 +1,57 @@
+"""Semantic algebra descriptors (Definition 1) unit tests."""
+
+import pytest
+
+from repro.algebra.semantic import (
+    SemanticAlgebra, algebra_of, all_algebras)
+from repro.lang.values import BOOL, FLOAT, INT, SORTS, VECTOR
+
+
+class TestAlgebraOf:
+    def test_int_algebra_operations(self):
+        algebra = algebra_of(INT)
+        names = {op.name for op in algebra.operations}
+        assert {"+", "-", "*", "div", "mod", "<", "="} <= names
+        assert "vref" not in names
+
+    def test_vector_algebra(self):
+        algebra = algebra_of(VECTOR)
+        names = {op.name for op in algebra.operations}
+        assert names == {"mkvec", "updvec", "vsize", "vref"}
+
+    def test_open_closed_split(self):
+        algebra = algebra_of(VECTOR)
+        assert {op.name for op in algebra.closed_operations} \
+            == {"mkvec", "updvec"}
+        assert {op.name for op in algebra.open_operations} \
+            == {"vsize", "vref"}
+
+    def test_int_comparisons_are_open(self):
+        algebra = algebra_of(INT)
+        open_names = {op.name for op in algebra.open_operations}
+        assert {"<", "<=", ">", ">=", "=", "!="} <= open_names
+        # itof leaves the carrier: open.
+        assert "itof" in open_names
+
+    def test_bool_algebra_all_closed(self):
+        algebra = algebra_of(BOOL)
+        assert algebra.open_operations == ()
+
+    def test_all_algebras_cover_sorts(self):
+        assert {a.carrier for a in all_algebras()} == set(SORTS)
+
+
+class TestOperation:
+    def test_lookup(self):
+        algebra = algebra_of(INT)
+        op = algebra.operation("+")
+        assert op.arity == 2
+        assert op.apply([2, 3]) == 5
+        with pytest.raises(KeyError):
+            algebra.operation("vref")
+
+    def test_str(self):
+        algebra = algebra_of(VECTOR)
+        assert "open" in str(algebra.operation("vsize"))
+        assert "closed" in str(algebra.operation("updvec"))
+        assert "vector" in str(algebra)

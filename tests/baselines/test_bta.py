@@ -1,0 +1,80 @@
+"""Conventional binding-time analysis baseline tests."""
+
+import pytest
+
+from repro.baselines.bta import Division, bta
+from repro.lang.ast import If, walk
+from repro.lang.parser import parse_program
+from repro.lattice.bt import BT
+from repro.workloads import WORKLOADS
+
+
+class TestDivisions:
+    def test_fully_static(self):
+        program = parse_program("(define (f x y) (+ x y))")
+        result = bta(program, "SS")
+        assert result.divisions["f"].pattern() == "SS->S"
+
+    def test_fully_dynamic(self):
+        program = parse_program("(define (f x y) (+ x y))")
+        result = bta(program, "DD")
+        assert result.divisions["f"].pattern() == "DD->D"
+
+    def test_mixed(self):
+        program = parse_program("(define (f x y) (+ x y))")
+        result = bta(program, "SD")
+        assert result.divisions["f"].result is BT.DYNAMIC
+
+    def test_static_conditional_result(self):
+        program = parse_program(
+            "(define (f s d) (if (< s 0) 1 2))")
+        result = bta(program, "SD")
+        assert result.divisions["f"].result is BT.STATIC
+
+    def test_dynamic_test_poisons_result(self):
+        program = parse_program(
+            "(define (f s d) (if (< d 0) s s))")
+        result = bta(program, "SD")
+        assert result.divisions["f"].result is BT.DYNAMIC
+
+    def test_recursive_propagation(self):
+        program = parse_program("""
+            (define (main s d) (walk s d))
+            (define (walk n x) (if (= n 0) x (walk (- n 1) x)))
+        """)
+        result = bta(program, "SD")
+        walk_division = result.divisions["walk"]
+        assert walk_division.args[0] is BT.STATIC
+        assert walk_division.args[1] is BT.DYNAMIC
+
+    def test_bt_values_accepted_directly(self):
+        program = parse_program("(define (f x) x)")
+        result = bta(program, [BT.STATIC])
+        assert result.divisions["f"].result is BT.STATIC
+
+    def test_bad_pattern_letter(self):
+        program = parse_program("(define (f x) x)")
+        with pytest.raises(ValueError):
+            bta(program, "X")
+
+
+class TestExprBindingTimes:
+    def test_bt_of_expressions(self):
+        program = parse_program(
+            "(define (f s d) (+ (* s 2) d))")
+        result = bta(program, "SD")
+        body = program.main.body
+        mul = body.args[0]
+        assert result.bt_of(mul) is BT.STATIC
+        assert result.bt_of(body) is BT.DYNAMIC
+
+    def test_inner_product_without_facets_is_all_dynamic(self):
+        """The motivating contrast to Figure 9: a conventional BTA on
+        dynamic vectors finds nothing static in dotprod."""
+        program = WORKLOADS["inner_product"].program()
+        result = bta(program, "DD")
+        dotprod = program.get("dotprod")
+        tests = [node.test for node in walk(dotprod.body)
+                 if isinstance(node, If)]
+        assert tests
+        assert all(result.bt_of(t) is BT.DYNAMIC for t in tests)

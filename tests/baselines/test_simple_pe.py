@@ -1,0 +1,108 @@
+"""Simple (conventional) partial evaluation — Figure 2 unit tests."""
+
+import pytest
+
+from repro.baselines.simple_pe import DYN, specialize_simple
+from repro.facets import FacetSuite
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.parser import parse_program
+from repro.lang.values import INT, VECTOR, Vector
+from repro.online import PEConfig, UnfoldStrategy, specialize_online
+from repro.workloads import WORKLOADS
+
+
+class TestBasics:
+    def test_all_static_evaluates(self):
+        program = parse_program("(define (f x y) (+ (* x x) y))")
+        result = specialize_simple(program, [4, 2])
+        assert str(result.program).strip() == "(define (f) 18)"
+
+    def test_all_dynamic_is_identityish(self):
+        program = parse_program("(define (f x) (+ x 1))")
+        result = specialize_simple(program, [DYN])
+        assert "(+ x 1)" in str(result.program)
+
+    def test_sk_p_folds_only_full_constants(self):
+        program = parse_program("(define (f x) (+ (* 2 3) x))")
+        result = specialize_simple(program, [DYN])
+        assert "(+ 6 x)" in str(result.program)
+
+    def test_static_if_reduces(self):
+        program = parse_program(
+            "(define (f s d) (if (< s 0) (neg d) d))")
+        result = specialize_simple(program, [5, DYN])
+        assert str(result.program).strip() == "(define (f d) d)"
+
+    def test_bad_input_rejected(self):
+        program = parse_program("(define (f x) x)")
+        with pytest.raises(Exception):
+            specialize_simple(program, ["not-a-value"])
+
+    def test_division_by_zero_stays_residual(self):
+        program = parse_program("(define (f x) (div x 0))")
+        result = specialize_simple(program, [1])
+        assert "div" in str(result.program)
+
+
+class TestUnfoldAndSpecialize:
+    def test_static_loop_unfolds_away(self):
+        program = WORKLOADS["gcd"].program()
+        result = specialize_simple(program, [12, 18])
+        assert str(result.program).strip() == "(define (gcd) 6)"
+
+    def test_dynamic_loop_specializes(self):
+        program = parse_program(
+            "(define (sum n acc) (if (= n 0) acc "
+            "(sum (- n 1) (+ acc n))))")
+        result = specialize_simple(program, [DYN, 0])
+        assert Interpreter(result.program).run(4) == 10
+
+    def test_power_specialized_on_exponent(self):
+        program = WORKLOADS["power"].program()
+        result = specialize_simple(program, [DYN, 10])
+        assert Interpreter(result.program).run(2) == 1024
+        # Fully unfolded: no residual recursion on power.
+        assert "power" not in str(result.program).replace(
+            "(define (power", "")
+
+
+class TestEquivalenceWithEmptySuite:
+    """Figure 2 == Figure 3 with only the PE facet (no user facets)."""
+
+    CASES = [
+        ("(define (f x y) (+ (* x 2) y))", [3, DYN], [(5,), (0,)]),
+        ("(define (f x y) (if (< x y) x y))", [DYN, 7],
+         [(3,), (12,)]),
+        ("""(define (main n x) (loop n x))
+            (define (loop n x) (if (= n 0) x
+                                   (loop (- n 1) (* x x))))""",
+         [2, DYN], [(3,), (-1,)]),
+    ]
+
+    @pytest.mark.parametrize("src,inputs,tests", CASES)
+    def test_same_residual_semantics(self, src, inputs, tests):
+        program = parse_program(src)
+        suite = FacetSuite()
+        simple = specialize_simple(program, inputs)
+        ppe_inputs = [suite.unknown(None) if v is DYN else v
+                      for v in inputs]
+        online = specialize_online(program, ppe_inputs, suite)
+        for args in tests:
+            assert Interpreter(simple.program).run(*args) \
+                == Interpreter(online.program).run(*args)
+
+    def test_inner_product_gets_nothing_without_facets(self):
+        """The paper's motivation: without the Size facet, the vector
+        is just dynamic and SPE leaves the whole recursion residual."""
+        program = WORKLOADS["inner_product"].program()
+        result = specialize_simple(program, [DYN, DYN])
+        text = str(result.program)
+        assert "if" in text          # the loop test survives
+        assert "vsize" in text       # the size is never discovered
+
+    def test_higher_order_beta(self):
+        program = parse_program(
+            "(define (f x) ((lambda (y) (* y y)) (+ x 1)))")
+        result = specialize_simple(program, [DYN])
+        assert "lambda" not in str(result.program)
+        assert Interpreter(result.program).run(2) == 9

@@ -1,0 +1,59 @@
+"""Shared fixtures: parsed corpus programs, facet suites, sample data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.facets import (
+    FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract import AbstractSuite
+from repro.lang.parser import parse_program
+from repro.lang.values import Vector
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture
+def inner_product():
+    return WORKLOADS["inner_product"].program()
+
+
+@pytest.fixture
+def power():
+    return WORKLOADS["power"].program()
+
+
+@pytest.fixture
+def sign_pipeline():
+    return WORKLOADS["sign_pipeline"].program()
+
+
+@pytest.fixture
+def size_suite():
+    return FacetSuite([VectorSizeFacet()])
+
+
+@pytest.fixture
+def rich_suite():
+    """Sign + parity + interval + size: every shipped facet."""
+    return FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
+                       VectorSizeFacet()])
+
+
+@pytest.fixture
+def rich_abstract_suite(rich_suite):
+    return AbstractSuite(rich_suite)
+
+
+@pytest.fixture
+def vec3():
+    return Vector.of([1.0, 2.0, 3.0])
+
+
+@pytest.fixture
+def vec3b():
+    return Vector.of([4.0, 5.0, 6.0])
+
+
+def parse(src: str):
+    """Terse helper used across suites."""
+    return parse_program(src)

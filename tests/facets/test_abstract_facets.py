@@ -1,0 +1,224 @@
+"""Abstract facets: Definitions 8-10, Example 2, Section 6.2."""
+
+import pytest
+
+from repro.algebra.abstraction import bt_of_args, tau_offline
+from repro.algebra.safety import check_abstract_facet_safety
+from repro.facets import (
+    FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract import (
+    AbstractSuite, BT_FACET, DYNAMIC_SIZE, STATIC_SIZE,
+    AbstractVectorSizeFacet, IdentityAbstractFacet, derive_abstract)
+from repro.facets.abstract.derive import sig_for
+from repro.lang.primitives import get_primitive
+from repro.lang.values import BOOL, INT, VECTOR, Vector
+from repro.lattice.bt import BT
+from repro.lattice.pevalue import PEValue
+
+
+class TestBindingTimeFacet:
+    """Definition 10."""
+
+    def test_all_static_gives_static(self):
+        sig = get_primitive("+").resolve([INT, INT])
+        assert BT_FACET.apply("+", sig, [BT.STATIC, BT.STATIC]) \
+            is BT.STATIC
+
+    def test_any_dynamic_gives_dynamic(self):
+        sig = get_primitive("+").resolve([INT, INT])
+        assert BT_FACET.apply("+", sig, [BT.STATIC, BT.DYNAMIC]) \
+            is BT.DYNAMIC
+
+    def test_bottom_strict(self):
+        sig = get_primitive("+").resolve([INT, INT])
+        assert BT_FACET.apply("+", sig, [BT.BOT, BT.STATIC]) is BT.BOT
+
+    def test_alpha_is_tau_offline(self):
+        assert BT_FACET.abstract_of_pe(PEValue.const(3)) is BT.STATIC
+        assert BT_FACET.abstract_of_pe(PEValue.top()) is BT.DYNAMIC
+        assert BT_FACET.abstract_of_pe(PEValue.bottom()) is BT.BOT
+
+    def test_bt_of_args_helper(self):
+        assert bt_of_args([]) is BT.STATIC
+        assert bt_of_args([BT.STATIC, BT.DYNAMIC]) is BT.DYNAMIC
+
+
+class TestIdentityDerivation:
+    """Example 2: the abstract Sign facet is tau~ . sign ops."""
+
+    def test_sign_derives_identically(self):
+        sign = SignFacet()
+        abstract = derive_abstract(sign)
+        assert isinstance(abstract, IdentityAbstractFacet)
+        assert abstract.domain is sign.domain
+
+    def test_example_2_open_operator(self):
+        abstract = derive_abstract(SignFacet())
+        sig = get_primitive("<").resolve([INT, INT])
+        # pos < {neg, zero}: Static (paper's Example 2, first clause).
+        assert abstract.apply_open("<", sig, ["pos", "neg"]) \
+            is BT.STATIC
+        assert abstract.apply_open("<", sig, ["pos", "zero"]) \
+            is BT.STATIC
+        assert abstract.apply_open("<", sig, ["zero", "pos"]) \
+            is BT.STATIC
+        # pos < pos: Dynamic.
+        assert abstract.apply_open("<", sig, ["pos", "pos"]) \
+            is BT.DYNAMIC
+
+    def test_closed_operators_reused(self):
+        sign = SignFacet()
+        abstract = derive_abstract(sign)
+        sig = get_primitive("+").resolve([INT, INT])
+        assert abstract.apply_closed("+", sig, ["pos", "pos"]) == "pos"
+
+    def test_gamma_composition(self):
+        abstract = derive_abstract(SignFacet())
+        assert abstract.abstract(5) == "pos"
+
+    def test_foreign_position_ops_not_derived(self):
+        # ``mkvec``/``updvec`` read Values-typed positions; the
+        # identity derivation must skip them (a hand-written companion
+        # exists instead).  ``vsize``'s argument IS the carrier, so it
+        # derives fine.
+        size = VectorSizeFacet()
+        identity = IdentityAbstractFacet(size)
+        assert "mkvec" not in identity.closed_ops
+        assert "updvec" not in identity.closed_ops
+        assert "vsize" in identity.open_ops
+
+    def test_sig_for(self):
+        assert sig_for("+", INT).carrier == INT
+        assert sig_for("vsize", VECTOR).is_open
+        assert sig_for("nonsense", INT) is None
+
+
+class TestAbstractSizeFacet:
+    """Section 6.2, verbatim."""
+
+    @pytest.fixture
+    def abstract(self):
+        return derive_abstract(VectorSizeFacet())
+
+    def test_hand_written_companion_selected(self, abstract):
+        assert isinstance(abstract, AbstractVectorSizeFacet)
+
+    def test_alpha(self, abstract):
+        online = abstract.online
+        assert abstract.abstract_of_facet(3) == STATIC_SIZE
+        assert abstract.abstract_of_facet(online.domain.top) \
+            == DYNAMIC_SIZE
+        assert abstract.abstract_of_facet(online.domain.bottom) \
+            == abstract.domain.bottom
+
+    def test_mkvec(self, abstract):
+        sig = get_primitive("mkvec").sigs[0]
+        assert abstract.apply_closed("mkvec", sig, [BT.STATIC]) \
+            == STATIC_SIZE
+        assert abstract.apply_closed("mkvec", sig, [BT.DYNAMIC]) \
+            == DYNAMIC_SIZE
+
+    def test_updvec_preserves(self, abstract):
+        sig = get_primitive("updvec").sigs[0]
+        assert abstract.apply_closed(
+            "updvec", sig, [STATIC_SIZE, BT.DYNAMIC, BT.DYNAMIC]) \
+            == STATIC_SIZE
+
+    def test_vsize_static_size_is_static(self, abstract):
+        sig = get_primitive("vsize").sigs[0]
+        assert abstract.apply_open("vsize", sig, [STATIC_SIZE]) \
+            is BT.STATIC
+        assert abstract.apply_open("vsize", sig, [DYNAMIC_SIZE]) \
+            is BT.DYNAMIC
+
+    def test_vref_always_dynamic(self, abstract):
+        sig = get_primitive("vref").sigs[0]
+        assert abstract.apply_open("vref", sig,
+                                   [STATIC_SIZE, BT.STATIC]) \
+            is BT.DYNAMIC
+
+
+class TestAbstractSuite:
+    """Definition 9 products and Figure 4's K~ rules."""
+
+    @pytest.fixture
+    def suite(self):
+        return AbstractSuite(FacetSuite(
+            [SignFacet(), ParityFacet(), VectorSizeFacet()]))
+
+    def test_const_vector_is_static_with_gammas(self, suite):
+        v = suite.const_vector(6)
+        assert v.bt is BT.STATIC
+        assert v.user == ("pos", "even")
+
+    def test_input(self, suite):
+        v = suite.input(VECTOR, bt=BT.DYNAMIC, size=STATIC_SIZE)
+        assert v.bt is BT.DYNAMIC
+        assert v.user == (STATIC_SIZE,)
+
+    def test_abstract_of_online(self, suite):
+        online = suite.online
+        v = online.input(INT, sign="pos")
+        abstract = suite.abstract_of_online(v)
+        assert abstract.bt is BT.DYNAMIC
+        assert abstract.user[0] == "pos"
+
+    def test_abstract_of_online_const(self, suite):
+        abstract = suite.abstract_of_online(
+            suite.online.const_vector(4))
+        assert abstract.bt is BT.STATIC
+        assert abstract.user == ("pos", "even")
+
+    def test_open_product_static_via_facet(self, suite):
+        v = suite.input(VECTOR, bt=BT.DYNAMIC, size=STATIC_SIZE)
+        out = suite.apply_prim("vsize", [v])
+        assert out.static
+        assert out.producer == "size"
+        assert out.vector.bt is BT.STATIC
+
+    def test_open_product_static_via_bt(self, suite):
+        out = suite.apply_prim("<", [suite.static(INT),
+                                     suite.static(INT)])
+        assert out.static
+        assert out.producer == "bt"
+
+    def test_open_product_dynamic(self, suite):
+        out = suite.apply_prim("vref",
+                               [suite.input(VECTOR, bt=BT.DYNAMIC,
+                                            size=STATIC_SIZE),
+                                suite.static(INT)])
+        assert not out.static
+        assert out.vector.bt is BT.DYNAMIC
+
+    def test_closed_product(self, suite):
+        pos = suite.input(INT, bt=BT.DYNAMIC, sign="pos")
+        out = suite.apply_prim("+", [pos, pos])
+        assert out.vector.bt is BT.DYNAMIC
+        assert out.vector.user[0] == "pos"
+
+    def test_bottom_strict(self, suite):
+        out = suite.apply_prim("+", [suite.bottom(INT),
+                                     suite.static(INT)])
+        assert suite.is_bottom(out.vector)
+
+    def test_join_and_leq(self, suite):
+        s = suite.static(INT)
+        d = suite.dynamic(INT)
+        assert suite.leq(s, d)
+        assert suite.join(s, d).bt is BT.DYNAMIC
+
+    def test_needs_widening_with_interval(self):
+        plain = AbstractSuite(FacetSuite([SignFacet()]))
+        assert not plain.needs_widening()
+        with_interval = AbstractSuite(FacetSuite([IntervalFacet()]))
+        assert with_interval.needs_widening()
+
+
+class TestAbstractObligations:
+    """Property 6 and Definition 8 safety for every shipped facet."""
+
+    @pytest.mark.parametrize("facet_cls", [
+        SignFacet, ParityFacet, IntervalFacet, VectorSizeFacet])
+    def test_abstract_safety(self, facet_cls):
+        abstract = derive_abstract(facet_cls())
+        assert check_abstract_facet_safety(abstract) == []

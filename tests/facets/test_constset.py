@@ -1,0 +1,132 @@
+"""ConstSet facet unit tests (the user-defined-facet demonstration)."""
+
+import pytest
+
+from repro.algebra.safety import (
+    check_facet_monotonicity, check_facet_safety)
+from repro.facets import FacetSuite
+from repro.facets.library.constset import ConstSetFacet, \
+    ConstSetLattice
+from repro.lang.primitives import get_primitive
+from repro.lang.values import INT
+from repro.lattice.pevalue import PEValue
+
+
+@pytest.fixture
+def facet():
+    return ConstSetFacet(limit=4)
+
+
+def closed(facet, op, *args):
+    sig = get_primitive(op).resolve([INT] * len(args))
+    return facet.apply_closed(op, sig, list(args))
+
+
+def open_(facet, op, *args):
+    sig = get_primitive(op).resolve([INT] * len(args))
+    return facet.apply_open(op, sig, list(args))
+
+
+class TestLattice:
+    def test_inclusion_order(self):
+        lattice = ConstSetLattice(4)
+        assert lattice.leq(frozenset((1,)), frozenset((1, 2)))
+        assert not lattice.leq(frozenset((1, 3)), frozenset((1, 2)))
+        assert lattice.leq(frozenset((1, 2)), lattice.top)
+
+    def test_join_caps_at_limit(self):
+        lattice = ConstSetLattice(2)
+        joined = lattice.join(frozenset((1, 2)), frozenset((3,)))
+        assert joined == lattice.top
+
+    def test_meet(self):
+        lattice = ConstSetLattice(4)
+        assert lattice.meet(frozenset((1, 2)), frozenset((2, 3))) \
+            == frozenset((2,))
+        assert lattice.meet(lattice.top, frozenset((5,))) \
+            == frozenset((5,))
+
+    def test_height(self):
+        assert ConstSetLattice(3).height() == 4
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError):
+            ConstSetLattice(0)
+
+
+class TestClosedOps:
+    def test_elementwise_addition(self, facet):
+        out = closed(facet, "+", frozenset((1, 2)), frozenset((10,)))
+        assert out == frozenset((11, 12))
+
+    def test_product_growth_caps(self, facet):
+        out = closed(facet, "*", frozenset((1, 2, 3)),
+                     frozenset((1, 5)))
+        # 6 distinct products > limit 4: widen to top.
+        assert out == facet.domain.top
+
+    def test_erroring_combinations_skipped(self, facet):
+        out = closed(facet, "div", frozenset((6,)), frozenset((0, 2)))
+        # 6 div 0 errors (bottom concretization), 6 div 2 = 3.
+        assert out == frozenset((3,))
+
+    def test_all_erroring_is_top(self, facet):
+        out = closed(facet, "div", frozenset((6,)), frozenset((0,)))
+        assert out == facet.domain.top
+
+    def test_top_argument(self, facet):
+        out = closed(facet, "+", facet.domain.top, frozenset((1,)))
+        assert out == facet.domain.top
+
+
+class TestOpenOps:
+    def test_comparison_folds_when_all_agree(self, facet):
+        out = open_(facet, "<", frozenset((1, 2)), frozenset((7, 9)))
+        assert out == PEValue.const(True)
+
+    def test_comparison_mixed_is_top(self, facet):
+        out = open_(facet, "<", frozenset((1, 8)), frozenset((5,)))
+        assert out == PEValue.top()
+
+    def test_equality_on_disjoint_sets(self, facet):
+        out = open_(facet, "=", frozenset((1, 2)), frozenset((3, 4)))
+        assert out == PEValue.const(False)
+
+    def test_equality_same_singleton(self, facet):
+        out = open_(facet, "=", frozenset((5,)), frozenset((5,)))
+        assert out == PEValue.const(True)
+
+
+class TestObligations:
+    def test_safety(self, facet):
+        assert check_facet_safety(facet) == []
+
+    def test_monotonicity(self, facet):
+        assert check_facet_monotonicity(facet) == []
+
+
+class TestInSuite:
+    def test_specialization_with_constset(self):
+        from repro.lang.parser import parse_program
+        from repro.online import specialize_online
+        program = parse_program(
+            "(define (f x) (if (< x 10) (+ x 1) 0))")
+        suite = FacetSuite([ConstSetFacet()])
+        inputs = [suite.input(INT, constset=frozenset((3, 5)))]
+        result = specialize_online(program, inputs, suite)
+        # x in {3, 5}: both < 10, so the test folds; x+1 in {4, 6}
+        # stays residual (not a single constant).
+        assert str(result.program).strip() == "(define (f x) (+ x 1))"
+
+    def test_singleton_sets_decide_downstream_tests(self):
+        # Figure 3 folds closed results only through the PE component,
+        # so `(* x x)` itself stays residual — but the singleton set
+        # {49} it carries decides the downstream open comparison.
+        from repro.lang.parser import parse_program
+        from repro.online import specialize_online
+        program = parse_program(
+            "(define (f x) (if (= (* x x) 49) 1 0))")
+        suite = FacetSuite([ConstSetFacet()])
+        inputs = [suite.input(INT, constset=frozenset((7,)))]
+        result = specialize_online(program, inputs, suite)
+        assert str(result.program).strip() == "(define (f x) 1)"

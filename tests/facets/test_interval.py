@@ -1,0 +1,159 @@
+"""Interval facet unit tests (ranges + widening, footnote 1)."""
+
+import pytest
+
+from repro.algebra.safety import (
+    check_facet_monotonicity, check_facet_safety)
+from repro.facets.library.interval import (
+    EMPTY, FULL, Interval, IntervalFacet, IntervalLattice)
+from repro.lang.primitives import get_primitive
+from repro.lang.values import INT
+from repro.lattice.pevalue import PEValue
+
+
+@pytest.fixture
+def facet():
+    return IntervalFacet()
+
+
+@pytest.fixture
+def lattice():
+    return IntervalLattice()
+
+
+def closed(facet, op, *args):
+    sig = get_primitive(op).resolve([INT] * len(args))
+    return facet.apply_closed(op, sig, list(args))
+
+
+def open_(facet, op, *args):
+    sig = get_primitive(op).resolve([INT] * len(args))
+    return facet.apply_open(op, sig, list(args))
+
+
+class TestLattice:
+    def test_inclusion_order(self, lattice):
+        assert lattice.leq(Interval(1, 2), Interval(0, 5))
+        assert not lattice.leq(Interval(0, 5), Interval(1, 2))
+        assert lattice.leq(EMPTY, Interval(0, 0))
+        assert lattice.leq(Interval(0, 0), FULL)
+
+    def test_unbounded_sides(self, lattice):
+        assert lattice.leq(Interval(0, None), FULL)
+        assert lattice.leq(Interval(3, None), Interval(0, None))
+        assert not lattice.leq(Interval(None, 0), Interval(0, None))
+
+    def test_join_is_hull(self, lattice):
+        assert lattice.join(Interval(0, 1), Interval(5, 6)) \
+            == Interval(0, 6)
+        assert lattice.join(EMPTY, Interval(1, 2)) == Interval(1, 2)
+
+    def test_meet_is_intersection(self, lattice):
+        assert lattice.meet(Interval(0, 5), Interval(3, 9)) \
+            == Interval(3, 5)
+        assert lattice.meet(Interval(0, 1), Interval(5, 6)) == EMPTY
+
+    def test_widening_blows_unstable_bounds(self, lattice):
+        assert lattice.widen(Interval(0, 3), Interval(0, 5)) \
+            == Interval(0, None)
+        assert lattice.widen(Interval(0, 3), Interval(-1, 3)) \
+            == Interval(None, 3)
+        assert lattice.widen(Interval(0, 3), Interval(0, 3)) \
+            == Interval(0, 3)
+
+    def test_infinite_height_reported(self, lattice):
+        with pytest.raises(NotImplementedError):
+            lattice.height()
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+
+class TestClosedOps:
+    def test_addition(self, facet):
+        assert closed(facet, "+", Interval(1, 2), Interval(10, 20)) \
+            == Interval(11, 22)
+
+    def test_addition_unbounded(self, facet):
+        assert closed(facet, "+", Interval(1, None), Interval(0, 0)) \
+            == Interval(1, None)
+
+    def test_subtraction(self, facet):
+        assert closed(facet, "-", Interval(5, 6), Interval(1, 2)) \
+            == Interval(3, 5)
+
+    def test_multiplication_corners(self, facet):
+        assert closed(facet, "*", Interval(-2, 3), Interval(-1, 4)) \
+            == Interval(-8, 12)
+
+    def test_negation(self, facet):
+        assert closed(facet, "neg", Interval(1, 5)) == Interval(-5, -1)
+        assert closed(facet, "neg", Interval(0, None)) \
+            == Interval(None, 0)
+
+    def test_abs(self, facet):
+        assert closed(facet, "abs", Interval(-3, 2)) == Interval(0, 3)
+        assert closed(facet, "abs", Interval(2, 5)) == Interval(2, 5)
+        assert closed(facet, "abs", Interval(-5, -2)) == Interval(2, 5)
+
+    def test_min_max(self, facet):
+        assert closed(facet, "min", Interval(0, 9), Interval(4, 5)) \
+            == Interval(0, 5)
+        assert closed(facet, "max", Interval(0, 9), Interval(4, 5)) \
+            == Interval(4, 9)
+
+    def test_mod_bound(self, facet):
+        result = closed(facet, "mod", Interval(0, 100), Interval(1, 5))
+        assert facet.domain.leq(result, Interval(0, 4))
+
+    def test_mod_by_zero_only_is_bottom(self, facet):
+        assert closed(facet, "mod", Interval(1, 2), Interval(0, 0)) \
+            == EMPTY
+
+
+class TestOpenOps:
+    def test_disjoint_less_than(self, facet):
+        assert open_(facet, "<", Interval(0, 3), Interval(5, 9)) \
+            == PEValue.const(True)
+        assert open_(facet, "<", Interval(5, 9), Interval(0, 3)) \
+            == PEValue.const(False)
+
+    def test_touching_boundaries(self, facet):
+        assert open_(facet, "<", Interval(0, 3), Interval(3, 9)) \
+            == PEValue.top()
+        assert open_(facet, "<=", Interval(0, 3), Interval(3, 9)) \
+            == PEValue.const(True)
+        assert open_(facet, "<", Interval(3, 9), Interval(0, 3)) \
+            == PEValue.const(False)
+
+    def test_singleton_equality(self, facet):
+        assert open_(facet, "=", Interval(4, 4), Interval(4, 4)) \
+            == PEValue.const(True)
+        assert open_(facet, "=", Interval(4, 4), Interval(5, 5)) \
+            == PEValue.const(False)
+
+    def test_disjoint_equality_false(self, facet):
+        assert open_(facet, "=", Interval(0, 2), Interval(5, 9)) \
+            == PEValue.const(False)
+
+    def test_overlap_unknown(self, facet):
+        assert open_(facet, "=", Interval(0, 5), Interval(3, 9)) \
+            == PEValue.top()
+
+    def test_ge_gt(self, facet):
+        assert open_(facet, ">=", Interval(5, 9), Interval(0, 5)) \
+            == PEValue.const(True)
+        assert open_(facet, ">", Interval(6, 9), Interval(0, 5)) \
+            == PEValue.const(True)
+
+
+class TestObligations:
+    def test_safety(self, facet):
+        assert check_facet_safety(facet) == []
+
+    def test_monotonicity(self, facet):
+        assert check_facet_monotonicity(facet) == []
+
+    def test_abstract_is_singleton(self, facet):
+        assert facet.abstract(7) == Interval(7, 7)

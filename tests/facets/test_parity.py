@@ -1,0 +1,88 @@
+"""Parity facet unit tests."""
+
+import pytest
+
+from repro.algebra.safety import (
+    check_facet_monotonicity, check_facet_safety)
+from repro.facets.library.parity import EVEN, ODD, ParityFacet
+from repro.lang.primitives import get_primitive
+from repro.lang.values import INT
+from repro.lattice.pevalue import PEValue
+
+
+@pytest.fixture
+def parity():
+    return ParityFacet()
+
+
+def closed(facet, op, *args):
+    sig = get_primitive(op).resolve([INT] * len(args))
+    return facet.apply_closed(op, sig, list(args))
+
+
+def open_(facet, op, *args):
+    sig = get_primitive(op).resolve([INT] * len(args))
+    return facet.apply_open(op, sig, list(args))
+
+
+class TestAbstraction:
+    def test_alpha(self, parity):
+        assert parity.abstract(4) == EVEN
+        assert parity.abstract(7) == ODD
+        assert parity.abstract(0) == EVEN
+        assert parity.abstract(-3) == ODD
+
+
+class TestClosedOps:
+    def test_addition_table(self, parity):
+        assert closed(parity, "+", EVEN, EVEN) == EVEN
+        assert closed(parity, "+", ODD, ODD) == EVEN
+        assert closed(parity, "+", EVEN, ODD) == ODD
+
+    def test_subtraction_same_table(self, parity):
+        assert closed(parity, "-", ODD, EVEN) == ODD
+        assert closed(parity, "-", ODD, ODD) == EVEN
+
+    def test_multiplication(self, parity):
+        assert closed(parity, "*", EVEN, ODD) == EVEN
+        assert closed(parity, "*", ODD, ODD) == ODD
+        # even * anything is even, even unknown.
+        assert closed(parity, "*", EVEN, parity.domain.top) == EVEN
+
+    def test_neg_abs_preserve(self, parity):
+        assert closed(parity, "neg", ODD) == ODD
+        assert closed(parity, "abs", EVEN) == EVEN
+
+    def test_mod_by_even(self, parity):
+        assert closed(parity, "mod", ODD, EVEN) == ODD
+        assert closed(parity, "mod", EVEN, EVEN) == EVEN
+        assert closed(parity, "mod", ODD, ODD) == parity.domain.top
+
+    def test_min_max_same_parity(self, parity):
+        assert closed(parity, "min", ODD, ODD) == ODD
+        assert closed(parity, "max", EVEN, ODD) == parity.domain.top
+
+
+class TestOpenOps:
+    def test_distinct_parity_not_equal(self, parity):
+        assert open_(parity, "=", EVEN, ODD) == PEValue.const(False)
+        assert open_(parity, "!=", ODD, EVEN) == PEValue.const(True)
+
+    def test_same_parity_unknown(self, parity):
+        assert open_(parity, "=", EVEN, EVEN) == PEValue.top()
+        assert open_(parity, "!=", ODD, ODD) == PEValue.top()
+
+    def test_top_unknown(self, parity):
+        assert open_(parity, "=", parity.domain.top, ODD) \
+            == PEValue.top()
+
+    def test_comparisons_not_defined_default_top(self, parity):
+        assert open_(parity, "<", EVEN, ODD) == PEValue.top()
+
+
+class TestObligations:
+    def test_safety(self, parity):
+        assert check_facet_safety(parity) == []
+
+    def test_monotonicity(self, parity):
+        assert check_facet_monotonicity(parity) == []

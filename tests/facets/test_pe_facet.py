@@ -1,0 +1,62 @@
+"""Partial-evaluation facet unit tests — Definition 7."""
+
+import pytest
+
+from repro.facets.pe import PE_FACET
+from repro.lang.primitives import get_primitive
+from repro.lang.values import FLOAT, INT, Vector
+from repro.lattice.pevalue import PEValue
+
+
+def sig(op, sorts):
+    return get_primitive(op).resolve(sorts)
+
+
+class TestUniformOperator:
+    def test_all_constants_fold(self):
+        out = PE_FACET.apply("+", sig("+", [INT, INT]),
+                             [PEValue.const(2), PEValue.const(3)])
+        assert out == PEValue.const(5)
+
+    def test_open_operator_folds_too(self):
+        # Definition 7 covers open and closed operators uniformly.
+        out = PE_FACET.apply("<", sig("<", [INT, INT]),
+                             [PEValue.const(2), PEValue.const(3)])
+        assert out == PEValue.const(True)
+
+    def test_any_bottom_gives_bottom(self):
+        out = PE_FACET.apply("+", sig("+", [INT, INT]),
+                             [PEValue.bottom(), PEValue.const(3)])
+        assert out == PEValue.bottom()
+
+    def test_any_top_gives_top(self):
+        out = PE_FACET.apply("+", sig("+", [INT, INT]),
+                             [PEValue.top(), PEValue.const(3)])
+        assert out == PEValue.top()
+
+    def test_vector_ops(self):
+        v = Vector.of([1.0, 2.0])
+        out = PE_FACET.apply("vsize", get_primitive("vsize").sigs[0],
+                             [PEValue.const(v)])
+        assert out == PEValue.const(2)
+
+    def test_runtime_error_residualizes(self):
+        # Folding a division by zero would change observable
+        # behaviour; the facet answers top instead (see module doc).
+        out = PE_FACET.apply("div", sig("div", [INT, INT]),
+                             [PEValue.const(1), PEValue.const(0)])
+        assert out == PEValue.top()
+
+    def test_sort_error_residualizes(self):
+        out = PE_FACET.apply("+", sig("+", [INT, INT]),
+                             [PEValue.const(1), PEValue.const(2.0)])
+        assert out == PEValue.top()
+
+
+class TestAbstraction:
+    def test_alpha_is_tau(self):
+        assert PE_FACET.abstract(7) == PEValue.const(7)
+        assert PE_FACET.abstract(True) == PEValue.const(True)
+
+    def test_describe(self):
+        assert "Def. 7" in PE_FACET.describe()

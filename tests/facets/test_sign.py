@@ -1,0 +1,167 @@
+"""Sign facet unit tests — Example 1 of the paper."""
+
+import pytest
+
+from repro.algebra.safety import (
+    check_facet_monotonicity, check_facet_safety)
+from repro.facets.library.sign import NEG, POS, ZERO, SignFacet
+from repro.lang.primitives import get_primitive
+from repro.lang.values import FLOAT, INT
+from repro.lattice.pevalue import PEValue
+
+
+@pytest.fixture
+def sign():
+    return SignFacet()
+
+
+def closed(facet, op, *args):
+    sig = get_primitive(op).resolve([facet.carrier] * len(args))
+    return facet.apply_closed(op, sig, list(args))
+
+
+def open_(facet, op, *args):
+    sig = get_primitive(op).resolve([facet.carrier] * len(args))
+    return facet.apply_open(op, sig, list(args))
+
+
+class TestAbstraction:
+    def test_alpha(self, sign):
+        assert sign.abstract(5) == POS
+        assert sign.abstract(0) == ZERO
+        assert sign.abstract(-3) == NEG
+
+    def test_concretizes(self, sign):
+        assert sign.concretizes(5, POS)
+        assert sign.concretizes(5, sign.domain.top)
+        assert not sign.concretizes(5, NEG)
+        assert not sign.concretizes(5, sign.domain.bottom)
+
+    def test_float_instance(self):
+        facet = SignFacet(FLOAT)
+        assert facet.carrier == FLOAT
+        assert facet.abstract(-0.5) == NEG
+        assert facet.name == "sign_float"
+
+    def test_bad_carrier_rejected(self):
+        with pytest.raises(ValueError):
+            SignFacet("vector")
+
+
+class TestAddition:
+    """The paper's +^ definition, Example 1 item 4."""
+
+    def test_zero_is_unit(self, sign):
+        assert closed(sign, "+", ZERO, POS) == POS
+        assert closed(sign, "+", NEG, ZERO) == NEG
+        assert closed(sign, "+", ZERO, ZERO) == ZERO
+
+    def test_same_signs_persist(self, sign):
+        assert closed(sign, "+", POS, POS) == POS
+        assert closed(sign, "+", NEG, NEG) == NEG
+
+    def test_mixed_signs_lose(self, sign):
+        assert closed(sign, "+", POS, NEG) == sign.domain.top
+
+    def test_bottom_strict(self, sign):
+        assert closed(sign, "+", sign.domain.bottom, POS) \
+            == sign.domain.bottom
+
+    def test_top_absorbs(self, sign):
+        assert closed(sign, "+", sign.domain.top, POS) \
+            == sign.domain.top
+
+
+class TestOtherClosedOps:
+    def test_multiplication_sign_rules(self, sign):
+        assert closed(sign, "*", POS, POS) == POS
+        assert closed(sign, "*", POS, NEG) == NEG
+        assert closed(sign, "*", NEG, NEG) == POS
+
+    def test_zero_annihilates_even_top(self, sign):
+        assert closed(sign, "*", ZERO, sign.domain.top) == ZERO
+
+    def test_negation(self, sign):
+        assert closed(sign, "neg", POS) == NEG
+        assert closed(sign, "neg", ZERO) == ZERO
+        assert closed(sign, "neg", sign.domain.top) == sign.domain.top
+
+    def test_abs(self, sign):
+        assert closed(sign, "abs", NEG) == POS
+        assert closed(sign, "abs", ZERO) == ZERO
+
+    def test_subtraction(self, sign):
+        assert closed(sign, "-", POS, NEG) == POS
+        assert closed(sign, "-", ZERO, POS) == NEG
+        assert closed(sign, "-", POS, POS) == sign.domain.top
+
+    def test_max_min(self, sign):
+        assert closed(sign, "max", POS, NEG) == POS
+        assert closed(sign, "max", NEG, NEG) == NEG
+        assert closed(sign, "min", NEG, POS) == NEG
+        assert closed(sign, "min", POS, POS) == POS
+
+    def test_int_division_is_coarse(self, sign):
+        # 1 div 2 = 0: pos div pos is NOT pos.
+        assert closed(sign, "div", POS, POS) == sign.domain.top
+        assert closed(sign, "div", ZERO, POS) == ZERO
+
+    def test_float_multiplication_is_coarse(self):
+        # IEEE underflow: tiny*tiny = 0.0, so float sign rules for *
+        # and / are unsound except on a zero operand.
+        facet = SignFacet(FLOAT)
+        assert closed(facet, "*", POS, POS) == facet.domain.top
+        assert closed(facet, "*", ZERO, POS) == ZERO
+        assert closed(facet, "/", POS, NEG) == facet.domain.top
+        assert closed(facet, "/", ZERO, NEG) == ZERO
+
+
+class TestOpenOps:
+    """The paper's <^ (Example 1), extended to all comparisons."""
+
+    def test_paper_cases(self, sign):
+        assert open_(sign, "<", POS, NEG) == PEValue.const(False)
+        assert open_(sign, "<", POS, ZERO) == PEValue.const(False)
+        assert open_(sign, "<", ZERO, POS) == PEValue.const(True)
+        assert open_(sign, "<", ZERO, ZERO) == PEValue.const(False)
+        assert open_(sign, "<", ZERO, NEG) == PEValue.const(False)
+        assert open_(sign, "<", NEG, POS) == PEValue.const(True)
+        assert open_(sign, "<", NEG, ZERO) == PEValue.const(True)
+
+    def test_undecidable_cases_are_top(self, sign):
+        assert open_(sign, "<", POS, POS) == PEValue.top()
+        assert open_(sign, "<", NEG, NEG) == PEValue.top()
+        assert open_(sign, "<", sign.domain.top, POS) == PEValue.top()
+
+    def test_equality(self, sign):
+        assert open_(sign, "=", ZERO, ZERO) == PEValue.const(True)
+        assert open_(sign, "=", POS, NEG) == PEValue.const(False)
+        assert open_(sign, "=", POS, POS) == PEValue.top()
+
+    def test_inequality(self, sign):
+        assert open_(sign, "!=", POS, NEG) == PEValue.const(True)
+        assert open_(sign, "!=", ZERO, ZERO) == PEValue.const(False)
+
+    def test_le_ge(self, sign):
+        assert open_(sign, "<=", ZERO, ZERO) == PEValue.const(True)
+        assert open_(sign, "<=", NEG, POS) == PEValue.const(True)
+        assert open_(sign, ">=", POS, ZERO) == PEValue.const(True)
+        assert open_(sign, ">", POS, NEG) == PEValue.const(True)
+        assert open_(sign, ">", POS, POS) == PEValue.top()
+
+    def test_bottom_strict(self, sign):
+        assert open_(sign, "<", sign.domain.bottom, POS) \
+            == PEValue.bottom()
+
+
+class TestObligations:
+    def test_safety(self, sign):
+        assert check_facet_safety(sign) == []
+
+    def test_monotonicity(self, sign):
+        assert check_facet_monotonicity(sign) == []
+
+    def test_float_instance_obligations(self):
+        facet = SignFacet(FLOAT)
+        assert check_facet_safety(facet) == []
+        assert check_facet_monotonicity(facet) == []

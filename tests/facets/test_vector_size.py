@@ -1,0 +1,86 @@
+"""Size facet unit tests — Section 6.1 of the paper, verbatim cases."""
+
+import pytest
+
+from repro.algebra.safety import (
+    check_facet_monotonicity, check_facet_safety)
+from repro.facets.library.vector_size import VectorSizeFacet
+from repro.lang.primitives import get_primitive
+from repro.lang.values import Vector
+from repro.lattice.pevalue import PEValue
+
+
+@pytest.fixture
+def size():
+    return VectorSizeFacet()
+
+
+def sig(op):
+    return get_primitive(op).sigs[0]
+
+
+class TestAbstraction:
+    def test_alpha_is_size(self, size):
+        assert size.abstract(Vector.of([1.0, 2.0, 3.0])) == 3
+        assert size.abstract(Vector.empty(0)) == 0
+
+    def test_concretizes(self, size):
+        v = Vector.of([1.0, 2.0])
+        assert size.concretizes(v, 2)
+        assert size.concretizes(v, size.domain.top)
+        assert not size.concretizes(v, 3)
+
+
+class TestClosedOps:
+    def test_mkvec_with_constant_size(self, size):
+        assert size.apply_closed("mkvec", sig("mkvec"),
+                                 [PEValue.const(5)]) == 5
+
+    def test_mkvec_with_dynamic_size(self, size):
+        assert size.apply_closed("mkvec", sig("mkvec"),
+                                 [PEValue.top()]) == size.domain.top
+
+    def test_mkvec_bottom_strict(self, size):
+        assert size.apply_closed("mkvec", sig("mkvec"),
+                                 [PEValue.bottom()]) \
+            == size.domain.bottom
+
+    def test_updvec_preserves_size(self, size):
+        out = size.apply_closed(
+            "updvec", sig("updvec"),
+            [3, PEValue.top(), PEValue.top()])
+        assert out == 3
+
+    def test_updvec_bottom_argument(self, size):
+        out = size.apply_closed(
+            "updvec", sig("updvec"),
+            [3, PEValue.bottom(), PEValue.top()])
+        assert out == size.domain.bottom
+
+
+class TestOpenOps:
+    def test_vsize_of_known_size_is_the_constant(self, size):
+        # The operator that makes Section 6 work.
+        assert size.apply_open("vsize", sig("vsize"), [3]) \
+            == PEValue.const(3)
+
+    def test_vsize_of_unknown_size(self, size):
+        assert size.apply_open("vsize", sig("vsize"),
+                               [size.domain.top]) == PEValue.top()
+
+    def test_vref_never_folds(self, size):
+        assert size.apply_open("vref", sig("vref"),
+                               [3, PEValue.const(1)]) == PEValue.top()
+
+    def test_vref_bottom_strict(self, size):
+        assert size.apply_open("vref", sig("vref"),
+                               [size.domain.bottom, PEValue.const(1)]) \
+            == PEValue.bottom()
+
+
+class TestObligations:
+    def test_safety(self, size):
+        assert check_facet_safety(size) == []
+
+    def test_monotonicity(self, size):
+        assert check_facet_monotonicity(size) == []

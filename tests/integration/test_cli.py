@@ -1,0 +1,91 @@
+"""CLI integration tests (``ppe`` entry point)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "iprod.ppe"
+    path.write_text("""
+(define (iprod A B)
+  (let ((n (vsize A)))
+    (dotprod A B n)))
+(define (dotprod A B n)
+  (if (= n 0) 0.0
+      (+ (* (vref A n) (vref B n)) (dotprod A B (- n 1)))))
+""")
+    return path
+
+
+@pytest.fixture
+def abs_file(tmp_path):
+    path = tmp_path / "abs.ppe"
+    path.write_text("(define (f x) (if (< x 0) (neg x) x))")
+    return path
+
+
+class TestRun:
+    def test_run_program(self, capsys, program_file):
+        code = main(["run", str(program_file), "#(1 2 3)", "#(4 5 6)"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "32.0"
+
+    def test_run_scalar(self, capsys, abs_file):
+        main(["run", str(abs_file), "-7"])
+        assert capsys.readouterr().out.strip() == "7"
+
+
+class TestSpecialize:
+    def test_size_spec(self, capsys, program_file):
+        code = main(["specialize", str(program_file), "size=3",
+                     "size=3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(vref A 3)" in out
+        assert "dotprod" not in out
+
+    def test_sign_spec(self, capsys, abs_file):
+        main(["specialize", str(abs_file), "sign=pos"])
+        assert "(define (f x) x)" in capsys.readouterr().out
+
+    def test_literal_spec(self, capsys, abs_file):
+        main(["specialize", str(abs_file), "-5"])
+        assert "(define (f) 5)" in capsys.readouterr().out
+
+    def test_dyn_spec(self, capsys, abs_file):
+        main(["specialize", str(abs_file), "dyn"])
+        assert "(if (< x 0)" in capsys.readouterr().out
+
+    def test_interval_spec(self, capsys, abs_file):
+        main(["specialize", str(abs_file), "interval=1:9"])
+        assert "(define (f x) x)" in capsys.readouterr().out
+
+    def test_unknown_facet_rejected(self, abs_file):
+        with pytest.raises(SystemExit):
+            main(["specialize", str(abs_file), "flavor=hot"])
+
+
+class TestAnalyzeAndOffline:
+    def test_analyze_prints_figure9_table(self, capsys, program_file):
+        code = main(["analyze", str(program_file), "size=3",
+                     "size=3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Facet signatures" in out
+        assert "iprod" in out and "dotprod" in out
+
+    def test_offline_specializes(self, capsys, program_file):
+        code = main(["offline", str(program_file), "size=2",
+                     "size=2"])
+        assert code == 0
+        assert "(vref A 2)" in capsys.readouterr().out
+
+
+class TestWorkloads:
+    def test_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "inner_product" in out
+        assert "higher-order" in out

@@ -1,0 +1,196 @@
+"""Corpus-wide residual-correctness integration tests.
+
+Every first-order workload is specialized under several divisions and
+the residuals are run against the source on a grid of inputs — the
+golden equation ``residual(d) = source(s, d)`` at repository scale.
+"""
+
+import pytest
+
+from repro.baselines.simple_pe import DYN, specialize_simple
+from repro.facets import (
+    FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.values import INT, VECTOR, Vector
+from repro.online import PEConfig, UnfoldStrategy, specialize_online
+from repro.offline.specializer import specialize_offline
+from repro.workloads import WORKLOADS, vm_program_square_plus
+
+
+def rich_suite():
+    return FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
+                       VectorSizeFacet()])
+
+
+def vectors(n, scale=1.0):
+    return Vector.of([scale * (i + 1) for i in range(n)])
+
+
+class TestInnerProductFamily:
+    @pytest.mark.parametrize("size", [1, 3, 6])
+    def test_all_strategies_agree(self, size):
+        program = WORKLOADS["inner_product"].program()
+        suite = rich_suite()
+        inputs = [suite.input(VECTOR, size=size)] * 2
+        online = specialize_online(program, inputs, suite)
+        offline = specialize_offline(program, inputs, suite)
+        a, b = vectors(size), vectors(size, 0.5)
+        want = run_program(program, a, b)
+        assert Interpreter(online.program).run(a, b) == want
+        assert Interpreter(offline.program).run(a, b) == want
+
+
+class TestPolyEval:
+    @pytest.mark.parametrize("degree", [1, 4])
+    def test_static_degree(self, degree):
+        program = WORKLOADS["poly_eval"].program()
+        suite = rich_suite()
+        inputs = [suite.input(VECTOR, size=degree),
+                  suite.unknown("float")]
+        result = specialize_online(program, inputs, suite)
+        coefficients = vectors(degree)
+        for x in (0.0, 1.5, -2.0):
+            assert Interpreter(result.program).run(coefficients, x) \
+                == run_program(program, coefficients, x)
+
+
+class TestMiniVM:
+    def test_futamura_projection(self):
+        program = WORKLOADS["mini_vm"].program()
+        suite = FacetSuite()
+        code = Vector.of(vm_program_square_plus(4.0))
+        result = specialize_online(
+            program, [code, suite.unknown("float")], suite)
+        # All interpretation is gone: no calls, no vrefs.
+        text = str(result.program)
+        assert "vref" not in text
+        for x in (0.0, 2.0, -1.5):
+            assert Interpreter(result.program).run(x) \
+                == run_program(program, code, x)
+
+
+class TestGcdAndFib:
+    def test_gcd_fully_static(self):
+        program = WORKLOADS["gcd"].program()
+        result = specialize_simple(program, [252, 105])
+        assert str(result.program).strip() == "(define (gcd) 21)"
+
+    def test_fib_static(self):
+        program = WORKLOADS["fib"].program()
+        result = specialize_simple(program, [12])
+        assert str(result.program).strip() == "(define (fib) 144)"
+
+    def test_fib_dynamic_specializes_finitely(self):
+        program = WORKLOADS["fib"].program()
+        config = PEConfig(unfold_strategy=UnfoldStrategy.NEVER)
+        result = specialize_simple(program, [DYN], config)
+        assert Interpreter(result.program).run(10) == 55
+
+
+class TestClampedLookup:
+    def test_interval_and_size_facets_together(self):
+        program = WORKLOADS["clamped_lookup"].program()
+        suite = rich_suite()
+        inputs = [suite.input(VECTOR, size=8), suite.unknown(INT),
+                  1, 8]
+        result = specialize_online(program, inputs, suite)
+        table = vectors(8)
+        for index in (-2, 1, 5, 8, 99):
+            assert Interpreter(result.program).run(table, index) \
+                == run_program(program, table, index, 1, 8)
+
+
+class TestAlternatingSum:
+    @pytest.mark.parametrize("size", [2, 5])
+    def test_static_size(self, size):
+        program = WORKLOADS["alternating_sum"].program()
+        suite = rich_suite()
+        inputs = [suite.input(VECTOR, size=size)]
+        result = specialize_online(program, inputs, suite)
+        v = vectors(size)
+        assert Interpreter(result.program).run(v) \
+            == run_program(program, v)
+        # The parity dispatch inside the loop folded away.
+        assert "mod" not in str(result.program)
+
+
+class TestSignPipelineDivisions:
+    @pytest.mark.parametrize("sign,samples", [
+        ("pos", [(3, 2), (9, 4)]),
+        ("neg", [(-3, 2), (-9, 4)]),
+        ("zero", [(0, 5)]),
+    ])
+    def test_each_sign_class(self, sign, samples):
+        program = WORKLOADS["sign_pipeline"].program()
+        suite = rich_suite()
+        config = PEConfig(unfold_strategy=UnfoldStrategy.NEVER)
+        inputs = [suite.input(INT, sign=sign),
+                  suite.input(INT, sign="pos")]
+        result = specialize_online(program, inputs, suite, config)
+        for x, scale in samples:
+            assert Interpreter(result.program).run(x, scale) \
+                == run_program(program, x, scale)
+
+
+class TestMatVec:
+    def test_static_dims_unroll_completely(self):
+        from repro.lang.ast import Call, walk
+        program = WORKLOADS["matvec"].program()
+        suite = rich_suite()
+        inputs = [suite.input(VECTOR, size=6),   # 2x3 matrix, flat
+                  suite.input(VECTOR, size=3),   # x
+                  suite.input(VECTOR, size=2)]   # out
+        result = specialize_online(program, inputs, suite)
+        assert not any(isinstance(n, Call)
+                       for d in result.program.defs
+                       for n in walk(d.body)), "loops must unroll"
+        m = Vector.of([1, 2, 3, 4, 5, 6])
+        x = Vector.of([1.0, 0.5, 2.0])
+        out = Vector.empty(2)
+        assert Interpreter(result.program).run(m, x, out) \
+            == run_program(program, m, x, out)
+
+    def test_offline_agrees(self):
+        from repro.offline.specializer import specialize_offline
+        program = WORKLOADS["matvec"].program()
+        suite = rich_suite()
+        inputs = [suite.input(VECTOR, size=4),
+                  suite.input(VECTOR, size=2),
+                  suite.input(VECTOR, size=2)]
+        online = specialize_online(program, inputs, suite)
+        offline = specialize_offline(program, inputs, suite)
+        m = Vector.of([2.0, 0.0, 0.0, 2.0])
+        x = Vector.of([3.0, 4.0])
+        out = Vector.empty(2)
+        want = run_program(program, m, x, out)
+        assert Interpreter(online.program).run(m, x, out) == want
+        assert Interpreter(offline.program).run(m, x, out) == want
+
+
+class TestBinarySearch:
+    def test_probe_tree_unrolls_on_static_size(self):
+        from repro.lang.ast import Call, walk
+        program = WORKLOADS["binary_search"].program()
+        suite = rich_suite()
+        inputs = [suite.input(VECTOR, size=7), suite.unknown("float")]
+        result = specialize_online(program, inputs, suite)
+        assert not any(isinstance(n, Call)
+                       for d in result.program.defs
+                       for n in walk(d.body)), "probe tree must unroll"
+        # All residual vrefs use constant (statically known) indices.
+        from repro.lang.ast import Const, Prim
+        for d in result.program.defs:
+            for node in walk(d.body):
+                if isinstance(node, Prim) and node.op == "vref":
+                    assert isinstance(node.args[1], Const)
+
+    @pytest.mark.parametrize("key,expected", [
+        (1.0, 1), (7.0, 4), (13.0, 7), (2.0, 0), (99.0, 0)])
+    def test_residual_finds_the_same_answers(self, key, expected):
+        program = WORKLOADS["binary_search"].program()
+        suite = rich_suite()
+        inputs = [suite.input(VECTOR, size=7), suite.unknown("float")]
+        result = specialize_online(program, inputs, suite)
+        v = Vector.of([1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0])
+        got = Interpreter(result.program).run(v, key)
+        assert got == expected == run_program(program, v, key)

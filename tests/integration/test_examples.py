@@ -1,0 +1,38 @@
+"""Every shipped example must run clean (they assert their own claims).
+
+Examples double as executable documentation; this suite keeps them from
+rotting.  Each module exposes ``main()`` and raises on any regression.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_expected_examples_present():
+    assert {"quickstart", "inner_product", "sign_specialization",
+            "interval_bounds_check", "futamura_vm",
+            "higher_order_analysis", "offline_amortization",
+            "custom_facet", "constraint_propagation",
+            "generating_extension"} <= set(EXAMPLES)

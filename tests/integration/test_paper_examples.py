@@ -1,0 +1,159 @@
+"""End-to-end checks of the paper's worked material (Section 6).
+
+These are the repository's ground-truth tests: Figure 7 in, Figure 8
+out, Figure 9 in between — for both the online and offline strategies.
+"""
+
+import pytest
+
+from repro.baselines.simple_pe import DYN, specialize_simple
+from repro.facets import FacetSuite, SignFacet, VectorSizeFacet
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.ast import Call, Prim, walk
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.values import VECTOR, Vector
+from repro.lattice.bt import BT
+from repro.offline.analysis import analyze
+from repro.offline.specializer import OfflineSpecializer, \
+    specialize_offline
+from repro.online import specialize_online
+from repro.workloads import WORKLOADS
+
+#: Figure 8, transcribed (associativity of + follows the unfolding).
+FIGURE_8 = """
+(define (iprod A B)
+  (+ (* (vref A 3) (vref B 3))
+     (+ (* (vref A 2) (vref B 2))
+        (* (vref A 1) (vref B 1)))))
+"""
+
+
+@pytest.fixture
+def suite():
+    return FacetSuite([VectorSizeFacet()])
+
+
+class TestFigure8:
+    def test_online_residual_is_figure_8(self, inner_product, suite):
+        inputs = [suite.input(VECTOR, size=3)] * 2
+        result = specialize_online(inner_product, inputs, suite)
+        expected = parse_program(FIGURE_8)
+        assert result.program == expected
+
+    def test_offline_residual_is_figure_8(self, inner_product, suite):
+        inputs = [suite.input(VECTOR, size=3)] * 2
+        result = specialize_offline(inner_product, inputs, suite)
+        assert result.program == parse_program(FIGURE_8)
+
+    def test_residual_is_non_recursive(self, inner_product, suite):
+        inputs = [suite.input(VECTOR, size=3)] * 2
+        result = specialize_online(inner_product, inputs, suite)
+        assert not any(isinstance(n, Call)
+                       for d in result.program.defs
+                       for n in walk(d.body))
+
+    def test_vref_stays_residual(self, inner_product, suite):
+        # "since elements of the vectors are unknown ... Vref cannot be
+        # reduced; therefore, both the multiplication and addition
+        # operations are residual."
+        inputs = [suite.input(VECTOR, size=3)] * 2
+        result = specialize_online(inner_product, inputs, suite)
+        body = result.program.main.body
+        vrefs = [n for n in walk(body)
+                 if isinstance(n, Prim) and n.op == "vref"]
+        assert len(vrefs) == 6
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 3, 5, 8])
+    def test_any_size_residual_agrees_with_source(self, inner_product,
+                                                  suite, size):
+        inputs = [suite.input(VECTOR, size=size)] * 2
+        result = specialize_online(inner_product, inputs, suite)
+        a = Vector.of([float(i + 1) for i in range(size)])
+        b = Vector.of([float(i * 2 + 1) for i in range(size)])
+        assert Interpreter(result.program).run(a, b) \
+            == run_program(inner_product, a, b)
+
+    def test_conventional_pe_gets_nothing(self, inner_product):
+        # The paper's motivation: without the Size facet there is
+        # nothing static about a dynamic vector.
+        result = specialize_simple(inner_product, [DYN, DYN])
+        assert any(isinstance(n, Call)
+                   for d in result.program.defs
+                   for n in walk(d.body)), \
+            "the recursion should have survived"
+
+
+class TestFigure9:
+    @pytest.fixture
+    def analysis(self, inner_product):
+        suite = AbstractSuite(FacetSuite([VectorSizeFacet()]))
+        inputs = [suite.input(VECTOR, bt=BT.DYNAMIC,
+                              size=STATIC_SIZE)] * 2
+        return analyze(inner_product, inputs, suite)
+
+    def test_n_is_static(self, analysis):
+        assert analysis.signatures["dotprod"].args[2].bt is BT.STATIC
+
+    def test_vectors_stay_dynamic_with_static_size(self, analysis):
+        for position in (0, 1):
+            arg = analysis.signatures["dotprod"].args[position]
+            assert arg.bt is BT.DYNAMIC
+            assert arg.user == (STATIC_SIZE,)
+
+    def test_size_needed_only_in_iprod(self, analysis):
+        assert analysis.needed_facets["iprod"] == {"size"}
+        assert analysis.needed_facets["dotprod"] == frozenset()
+
+
+class TestOnlineOfflineAgreement:
+    """Both strategies produce semantically equal residuals across the
+    first-order corpus with facet-informed inputs."""
+
+    def test_alternating_sum(self):
+        program = WORKLOADS["alternating_sum"].program()
+        suite = FacetSuite([VectorSizeFacet()])
+        inputs = [suite.input(VECTOR, size=4)]
+        online = specialize_online(program, inputs, suite)
+        offline = specialize_offline(program, inputs, suite)
+        v = Vector.of([1.0, 2.0, 3.0, 4.0])
+        assert Interpreter(online.program).run(v) \
+            == Interpreter(offline.program).run(v) \
+            == run_program(program, v)
+
+    def test_sign_pipeline(self):
+        from repro.online import PEConfig, UnfoldStrategy
+        program = WORKLOADS["sign_pipeline"].program()
+        suite = FacetSuite([SignFacet()])
+        config = PEConfig(unfold_strategy=UnfoldStrategy.NEVER)
+        inputs = [suite.input("int", sign="neg"),
+                  suite.input("int", sign="pos")]
+        online = specialize_online(program, inputs, suite, config)
+        offline = specialize_offline(program, inputs, suite,
+                                     config=config)
+        for x, scale in [(-7, 2), (-1, 5)]:
+            want = run_program(program, x, scale)
+            assert Interpreter(online.program).run(x, scale) == want
+            assert Interpreter(offline.program).run(x, scale) == want
+
+
+class TestAmortization:
+    def test_one_analysis_serves_many_specializations(
+            self, inner_product, suite):
+        abstract_suite = AbstractSuite(suite)
+        pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                        size=STATIC_SIZE)] * 2
+        analysis = analyze(inner_product, pattern, abstract_suite)
+        total_offline = 0
+        total_online = 0
+        for size in (2, 3, 4, 6):
+            inputs = [suite.input(VECTOR, size=size)] * 2
+            offline = OfflineSpecializer(
+                analysis, suite).specialize(inputs)
+            online = specialize_online(inner_product, inputs, suite)
+            assert offline.program == online.program
+            total_offline += offline.stats.facet_evaluations
+            total_online += online.stats.facet_evaluations
+        assert total_offline < total_online

@@ -1,0 +1,167 @@
+"""Standard semantics (Figure 1) unit tests."""
+
+import pytest
+
+from repro.lang.errors import EvalError, FuelExhausted
+from repro.lang.interp import (
+    Closure, Interpreter, run_program, run_with_stats)
+from repro.lang.parser import parse_program
+from repro.lang.values import Vector
+
+
+def run(src: str, *args, fuel=100_000):
+    return run_program(parse_program(src), *args, fuel=fuel)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert run("(define (f x) x)", 5) == 5
+
+    def test_constant_function(self):
+        assert run("(define (f x) 42)", 0) == 42
+
+    def test_arithmetic(self):
+        assert run("(define (f x) (+ (* x x) 1))", 4) == 17
+
+    def test_conditional_true(self):
+        assert run("(define (f x) (if (< x 0) (neg x) x))", -5) == 5
+
+    def test_conditional_false(self):
+        assert run("(define (f x) (if (< x 0) (neg x) x))", 5) == 5
+
+    def test_conditional_is_lazy_in_branches(self):
+        # The untaken branch would divide by zero.
+        assert run("(define (f x) (if (= x 0) 0 (div 10 x)))", 0) == 0
+
+    def test_non_bool_test_rejected(self):
+        with pytest.raises(EvalError, match="boolean"):
+            run("(define (f x) (if x 1 2))", 3)
+
+    def test_let(self):
+        assert run("(define (f x) (let ((y (+ x 1))) (* y y)))", 2) == 9
+
+    def test_let_shadowing(self):
+        src = "(define (f x) (let ((x (+ x 1))) (let ((x (* x 2))) x)))"
+        assert run(src, 3) == 8
+
+    def test_goal_arity_checked(self):
+        with pytest.raises(EvalError, match="expected 1"):
+            run("(define (f x) x)", 1, 2)
+
+
+class TestFunctions:
+    def test_call(self):
+        src = """
+        (define (main x) (double (double x)))
+        (define (double y) (* 2 y))
+        """
+        assert run(src, 3) == 12
+
+    def test_recursion(self):
+        src = """
+        (define (fact n) (if (<= n 1) 1 (* n (fact (- n 1)))))
+        """
+        assert run(src, 6) == 720
+
+    def test_mutual_recursion(self):
+        src = """
+        (define (even? n) (if (= n 0) true (odd? (- n 1))))
+        (define (odd? n) (if (= n 0) false (even? (- n 1))))
+        """
+        assert run(src, 10) is True
+
+    def test_divergence_hits_fuel(self):
+        src = "(define (loop n) (loop n))"
+        with pytest.raises(FuelExhausted):
+            run(src, 0, fuel=1_000)
+
+    def test_strict_arguments(self):
+        # Arguments evaluate before the call: the error in the unused
+        # argument still fires (strict semantics).
+        src = """
+        (define (main x) (const (div 1 x)))
+        (define (const y) 0)
+        """
+        with pytest.raises(EvalError, match="zero"):
+            run(src, 0)
+
+
+class TestVectors:
+    def test_inner_product(self, inner_product, vec3, vec3b):
+        assert run_program(inner_product, vec3, vec3b) == 32.0
+
+    def test_build_and_sum(self):
+        src = """
+        (define (main n)
+          (let ((v (fill (mkvec n) n)))
+            (total v n)))
+        (define (fill v i)
+          (if (= i 0) v (fill (updvec v i (itof i)) (- i 1))))
+        (define (total v i)
+          (if (= i 0) 0.0 (+ (vref v i) (total v (- i 1)))))
+        """
+        assert run(src, 4) == 10.0
+
+
+class TestHigherOrder:
+    def test_lambda_application(self):
+        assert run("(define (f x) ((lambda (y) (+ y 1)) x))", 4) == 5
+
+    def test_closure_captures_environment(self):
+        src = """
+        (define (main x)
+          (let ((add-x (lambda (y) (+ x y))))
+            (add-x 10)))
+        """
+        assert run(src, 5) == 15
+
+    def test_function_as_argument(self):
+        src = """
+        (define (main x) (twice (lambda (y) (* y y)) x))
+        (define (twice f v) (f (f v)))
+        """
+        assert run(src, 2) == 16
+
+    def test_function_returned(self):
+        src = """
+        (define (main x) ((make-adder 3) x))
+        (define (make-adder k) (lambda (y) (+ y k)))
+        """
+        assert run(src, 4) == 7
+
+    def test_first_class_named_function(self):
+        src = """
+        (define (main x) (call inc x))
+        (define (inc y) (+ y 1))
+        (define (call f v) (f v))
+        """
+        assert run(src, 1) == 2
+
+    def test_applying_non_function_fails(self):
+        src = "(define (main x) (x 1))"
+        with pytest.raises(EvalError, match="apply"):
+            run(src, 3)
+
+    def test_closure_arity_checked(self):
+        src = "(define (main x) ((lambda (a b) a) x))"
+        with pytest.raises(EvalError, match="expects 2"):
+            run(src, 1)
+
+    def test_primitive_rejects_closures(self):
+        src = "(define (main x) (+ (lambda (y) y) 1))"
+        with pytest.raises(EvalError, match="functional value"):
+            run(src, 1)
+
+
+class TestStats:
+    def test_steps_counted(self):
+        _, stats = run_with_stats(
+            parse_program("(define (f x) (+ x 1))"), 1)
+        assert stats.steps > 0
+        assert stats.prim_applications == 1
+        assert stats.fun_calls == 1
+
+    def test_recursion_counts_calls(self):
+        src = "(define (f n) (if (= n 0) 0 (f (- n 1))))"
+        _, stats = run_with_stats(parse_program(src), 5)
+        assert stats.fun_calls == 6

@@ -1,0 +1,138 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.lang import lexer
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof_only(self):
+        assert kinds("") == [lexer.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("  \t \n  ") == [lexer.EOF]
+
+    def test_parens(self):
+        assert kinds("()") == [lexer.LPAREN, lexer.RPAREN, lexer.EOF]
+
+    def test_nested_parens(self):
+        assert texts("((()))") == ["(", "(", "(", ")", ")", ")"]
+
+    def test_symbol(self):
+        tokens = tokenize("foo")
+        assert tokens[0].kind == lexer.SYMBOL
+        assert tokens[0].text == "foo"
+
+    def test_symbol_with_punctuation(self):
+        for sym in ["+", "-", "*", "<=", ">=", "!=", "f!3", "x_1",
+                    "vec-ref", "a.b"]:
+            tokens = tokenize(sym)
+            assert tokens[0].kind == lexer.SYMBOL, sym
+            assert tokens[0].text == sym
+
+
+class TestNumbers:
+    def test_int(self):
+        token = tokenize("42")[0]
+        assert token.kind == lexer.INT
+        assert token.value == 42
+
+    def test_negative_int(self):
+        token = tokenize("-17")[0]
+        assert token.kind == lexer.INT
+        assert token.value == -17
+
+    def test_positive_signed_int(self):
+        token = tokenize("+9")[0]
+        assert token.kind == lexer.INT
+        assert token.value == 9
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.kind == lexer.FLOAT
+        assert token.value == 3.25
+
+    def test_negative_float(self):
+        token = tokenize("-0.5")[0]
+        assert token.kind == lexer.FLOAT
+        assert token.value == -0.5
+
+    def test_scientific_float(self):
+        token = tokenize("1e3")[0]
+        assert token.kind == lexer.FLOAT
+        assert token.value == 1000.0
+
+    def test_minus_alone_is_a_symbol(self):
+        assert tokenize("-")[0].kind == lexer.SYMBOL
+
+    def test_dots_without_digits_are_symbols(self):
+        assert tokenize("..")[0].kind == lexer.SYMBOL
+
+
+class TestBooleans:
+    def test_true(self):
+        token = tokenize("true")[0]
+        assert token.kind == lexer.BOOL
+        assert token.value is True
+
+    def test_false(self):
+        token = tokenize("false")[0]
+        assert token.kind == lexer.BOOL
+        assert token.value is False
+
+    def test_truthy_is_a_symbol(self):
+        assert tokenize("truthy")[0].kind == lexer.SYMBOL
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert kinds("; a comment\n42") == [lexer.INT, lexer.EOF]
+
+    def test_comment_to_eof(self):
+        assert kinds("; nothing else") == [lexer.EOF]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [(t.line, t.column) for t in tokens[:-1]] == \
+            [(1, 1), (2, 1), (3, 3)]
+
+    def test_column_after_parens(self):
+        tokens = tokenize("(ab cd)")
+        assert tokens[1].column == 2
+        assert tokens[2].column == 5
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("abc \x01")
+        assert err.value.line == 1
+        assert err.value.column == 5
+
+    def test_error_on_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("[1 2]")
+
+
+class TestMixed:
+    def test_full_define(self):
+        tokens = tokenize("(define (f x) (+ x 1))")
+        assert [t.kind for t in tokens] == [
+            lexer.LPAREN, lexer.SYMBOL, lexer.LPAREN, lexer.SYMBOL,
+            lexer.SYMBOL, lexer.RPAREN, lexer.LPAREN, lexer.SYMBOL,
+            lexer.SYMBOL, lexer.INT, lexer.RPAREN, lexer.RPAREN,
+            lexer.EOF]
+
+    def test_adjacent_tokens_without_space(self):
+        assert texts("(f(g))") == ["(", "f", "(", "g", ")", ")"]
+
+    def test_token_value_for_symbol_is_text(self):
+        assert tokenize("hello")[0].value == "hello"

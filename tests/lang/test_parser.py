@@ -1,0 +1,174 @@
+"""Parser unit tests: lowering, classification, error reporting."""
+
+import pytest
+
+from repro.lang.ast import (
+    App, Call, Const, If, Lam, Let, Prim, Var)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expr, parse_program
+
+
+class TestExpressions:
+    def test_int_literal(self):
+        assert parse_expr("7") == Const(7)
+
+    def test_bool_literal(self):
+        assert parse_expr("true") == Const(True)
+
+    def test_float_literal(self):
+        assert parse_expr("2.5") == Const(2.5)
+
+    def test_variable_in_scope(self):
+        assert parse_expr("x", scope={"x"}) == Var("x")
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ParseError, match="unbound"):
+            parse_expr("x")
+
+    def test_primitive_application(self):
+        expr = parse_expr("(+ 1 2)")
+        assert expr == Prim("+", (Const(1), Const(2)))
+
+    def test_nested_primitives(self):
+        expr = parse_expr("(* (+ 1 2) 3)")
+        assert expr == Prim("*", (Prim("+", (Const(1), Const(2))),
+                                  Const(3)))
+
+    def test_call_to_known_function(self):
+        expr = parse_expr("(f 1)", function_names={"f"})
+        assert expr == Call("f", (Const(1),))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ParseError, match="unknown operator"):
+            parse_expr("(mystery 1)")
+
+    def test_if(self):
+        expr = parse_expr("(if true 1 2)")
+        assert expr == If(Const(True), Const(1), Const(2))
+
+    def test_if_arity_checked(self):
+        with pytest.raises(ParseError, match="if needs"):
+            parse_expr("(if true 1)")
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ParseError, match="empty application"):
+            parse_expr("()")
+
+    def test_primitive_not_first_class(self):
+        with pytest.raises(ParseError, match="not.*first-class"):
+            parse_expr("+")
+
+
+class TestLet:
+    def test_single_binding(self):
+        expr = parse_expr("(let ((x 1)) x)")
+        assert expr == Let("x", Const(1), Var("x"))
+
+    def test_multiple_bindings_nest_sequentially(self):
+        expr = parse_expr("(let ((x 1) (y (+ x 1))) y)")
+        assert expr == Let("x", Const(1),
+                           Let("y", Prim("+", (Var("x"), Const(1))),
+                               Var("y")))
+
+    def test_let_body_sees_binding(self):
+        expr = parse_expr("(let ((x 1)) (+ x x))")
+        assert isinstance(expr, Let)
+
+    def test_empty_bindings_rejected(self):
+        with pytest.raises(ParseError, match="at least one binding"):
+            parse_expr("(let () 1)")
+
+    def test_malformed_binding_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("(let ((x)) x)")
+
+    def test_keyword_as_binding_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("(let ((if 1)) 2)")
+
+
+class TestLambdaAndApp:
+    def test_lambda(self):
+        expr = parse_expr("(lambda (x) (+ x 1))")
+        assert expr == Lam(("x",), Prim("+", (Var("x"), Const(1))))
+
+    def test_lambda_multi_param(self):
+        expr = parse_expr("(lambda (x y) x)")
+        assert expr == Lam(("x", "y"), Var("x"))
+
+    def test_application_of_bound_variable(self):
+        expr = parse_expr("(f 1)", scope={"f"})
+        assert expr == App(Var("f"), (Const(1),))
+
+    def test_application_of_compound(self):
+        expr = parse_expr("((lambda (x) x) 1)")
+        assert isinstance(expr, App)
+        assert isinstance(expr.fn, Lam)
+
+    def test_local_binding_shadows_function_name(self):
+        # `f` bound by lambda: application, not Call.
+        expr = parse_expr("(lambda (f) (f 1))", function_names={"f"})
+        assert isinstance(expr.body, App)
+
+    def test_zero_arg_application(self):
+        expr = parse_expr("(f)", scope={"f"})
+        assert expr == App(Var("f"), ())
+
+
+class TestPrograms:
+    def test_minimal_program(self):
+        program = parse_program("(define (main x) x)")
+        assert program.main.name == "main"
+        assert program.main.params == ("x",)
+
+    def test_functions_see_each_other_regardless_of_order(self):
+        program = parse_program("""
+            (define (a x) (b x))
+            (define (b x) x)
+        """)
+        assert isinstance(program.get("a").body, Call)
+
+    def test_forward_reference(self):
+        program = parse_program("""
+            (define (main x) (helper x))
+            (define (helper y) (+ y 1))
+        """)
+        assert program.get("main").body == Call("helper", (Var("x"),))
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError, match="empty program"):
+            parse_program("")
+
+    def test_non_define_top_level_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(+ 1 2)")
+
+    def test_define_inside_expression_rejected(self):
+        with pytest.raises(ParseError, match="top level"):
+            parse_program("(define (f x) (define (g y) y))")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError, match="unclosed"):
+            parse_program("(define (f x) (+ x 1)")
+
+    def test_stray_close_paren(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            parse_program("(define (f x) x))")
+
+    def test_first_class_function_reference(self):
+        program = parse_program("""
+            (define (main x) (apply-to main x))
+            (define (apply-to f x) (f x))
+        """)
+        # `main` in argument position is a Var (first-class reference).
+        call = program.get("main").body
+        assert isinstance(call, Call)
+        assert call.args[0] == Var("main")
+
+    def test_comments_everywhere(self):
+        program = parse_program("""
+            ; leading comment
+            (define (f x) ; trailing
+              x)          ; more
+        """)
+        assert program.main.body == Var("x")

@@ -1,0 +1,75 @@
+"""Pretty-printer unit tests, including parse/print round-trips."""
+
+import pytest
+
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import (
+    pretty, pretty_def, pretty_indented, pretty_program)
+from repro.workloads import WORKLOADS
+
+
+class TestPrettyExpr:
+    def test_constants(self):
+        assert pretty(parse_expr("42")) == "42"
+        assert pretty(parse_expr("true")) == "true"
+        assert pretty(parse_expr("2.5")) == "2.5"
+
+    def test_prim(self):
+        assert pretty(parse_expr("(+ 1 2)")) == "(+ 1 2)"
+
+    def test_if(self):
+        assert pretty(parse_expr("(if true 1 2)")) == "(if true 1 2)"
+
+    def test_let(self):
+        assert pretty(parse_expr("(let ((x 1)) x)")) \
+            == "(let ((x 1)) x)"
+
+    def test_lambda(self):
+        assert pretty(parse_expr("(lambda (x y) x)")) \
+            == "(lambda (x y) x)"
+
+    def test_application(self):
+        e = parse_expr("(f 1 2)", scope={"f"})
+        assert pretty(e) == "(f 1 2)"
+
+    def test_zero_arg_application(self):
+        e = parse_expr("(f)", scope={"f"})
+        assert pretty(e) == "(f)"
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workload_roundtrip(self, name):
+        program = WORKLOADS[name].program()
+        reparsed = parse_program(pretty_program(program))
+        assert reparsed == program
+
+    @pytest.mark.parametrize("src", [
+        "(+ 1 (* 2 (- 3 4)))",
+        "(if (< x 0) (neg x) x)",
+        "(let ((a 1) (b 2)) (+ a b))",
+        "(lambda (f) (f 1))",
+        "((lambda (x) x) 5)",
+    ])
+    def test_expr_roundtrip(self, src):
+        e = parse_expr(src, scope={"x"})
+        assert parse_expr(pretty(e), scope={"x"}) == e
+
+
+class TestLayout:
+    def test_short_definitions_stay_on_one_line(self):
+        program = parse_program("(define (f x) x)")
+        assert pretty_program(program).strip() == "(define (f x) x)"
+
+    def test_long_bodies_indent(self):
+        program = WORKLOADS["inner_product"].program()
+        text = pretty_def(program.get("dotprod"), width=40)
+        assert "\n" in text
+
+    def test_indented_respects_width(self):
+        e = parse_expr("(+ 1 2)")
+        assert pretty_indented(e, width=72) == "(+ 1 2)"
+
+    def test_program_has_blank_lines_between_defs(self):
+        program = WORKLOADS["inner_product"].program()
+        assert "\n\n" in pretty_program(program)

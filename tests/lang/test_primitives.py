@@ -1,0 +1,143 @@
+"""Primitive registry and concrete semantics (``K_p``) unit tests."""
+
+import pytest
+
+from repro.lang.errors import EvalError
+from repro.lang.primitives import (
+    PRIMITIVES, apply_primitive, get_primitive, is_primitive,
+    primitives_for_carrier)
+from repro.lang.values import BOOL, FLOAT, INT, VECTOR, Vector
+
+
+class TestRegistry:
+    def test_known_primitives(self):
+        for name in ["+", "-", "*", "div", "mod", "/", "<", "=", "and",
+                     "not", "mkvec", "updvec", "vsize", "vref", "neg",
+                     "abs", "min", "max", "itof"]:
+            assert is_primitive(name), name
+
+    def test_unknown(self):
+        assert not is_primitive("frobnicate")
+        with pytest.raises(EvalError):
+            get_primitive("frobnicate")
+
+    def test_open_closed_classification(self):
+        # Section 3.2 / Section 6: closed iff co-domain = carrier.
+        plus_int = get_primitive("+").resolve([INT, INT])
+        assert plus_int.is_closed
+        less_int = get_primitive("<").resolve([INT, INT])
+        assert less_int.is_open
+        assert get_primitive("mkvec").sigs[0].is_closed
+        assert get_primitive("updvec").sigs[0].is_closed
+        assert get_primitive("vsize").sigs[0].is_open
+        assert get_primitive("vref").sigs[0].is_open
+
+    def test_overload_resolution(self):
+        plus = get_primitive("+")
+        assert plus.resolve([INT, INT]).carrier == INT
+        assert plus.resolve([FLOAT, FLOAT]).carrier == FLOAT
+        assert plus.resolve([INT, FLOAT]) is None
+
+    def test_primitives_for_carrier(self):
+        vector_ops = dict(primitives_for_carrier(VECTOR))
+        assert set(vector_ops) == {"mkvec", "updvec", "vsize", "vref"}
+        bool_ops = dict(primitives_for_carrier(BOOL))
+        assert set(bool_ops) == {"and", "or", "not"}
+
+
+class TestArithmetic:
+    def test_int_ops(self):
+        assert apply_primitive("+", [2, 3]) == 5
+        assert apply_primitive("-", [2, 3]) == -1
+        assert apply_primitive("*", [4, -3]) == -12
+        assert apply_primitive("neg", [5]) == -5
+        assert apply_primitive("abs", [-5]) == 5
+        assert apply_primitive("min", [2, 3]) == 2
+        assert apply_primitive("max", [2, 3]) == 3
+
+    def test_float_ops(self):
+        assert apply_primitive("+", [1.5, 2.0]) == 3.5
+        assert apply_primitive("/", [7.0, 2.0]) == 3.5
+        assert apply_primitive("itof", [3]) == 3.0
+
+    def test_truncating_division(self):
+        assert apply_primitive("div", [7, 2]) == 3
+        assert apply_primitive("div", [-7, 2]) == -3
+        assert apply_primitive("div", [7, -2]) == -3
+        assert apply_primitive("div", [-7, -2]) == 3
+
+    def test_mod_follows_truncation(self):
+        assert apply_primitive("mod", [7, 2]) == 1
+        assert apply_primitive("mod", [-7, 2]) == -1
+        assert apply_primitive("mod", [7, -2]) == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError, match="zero"):
+            apply_primitive("div", [1, 0])
+        with pytest.raises(EvalError, match="zero"):
+            apply_primitive("mod", [1, 0])
+        with pytest.raises(EvalError, match="zero"):
+            apply_primitive("/", [1.0, 0.0])
+
+    def test_mixed_sorts_rejected(self):
+        with pytest.raises(EvalError):
+            apply_primitive("+", [1, 2.0])
+
+    def test_bools_not_numbers(self):
+        with pytest.raises(EvalError):
+            apply_primitive("+", [True, 1])
+
+
+class TestComparisons:
+    def test_int_comparisons(self):
+        assert apply_primitive("<", [1, 2]) is True
+        assert apply_primitive("<=", [2, 2]) is True
+        assert apply_primitive(">", [1, 2]) is False
+        assert apply_primitive(">=", [2, 3]) is False
+        assert apply_primitive("=", [3, 3]) is True
+        assert apply_primitive("!=", [3, 3]) is False
+
+    def test_float_comparisons(self):
+        assert apply_primitive("<", [1.0, 1.5]) is True
+        assert apply_primitive("=", [2.5, 2.5]) is True
+
+    def test_result_is_bool(self):
+        assert apply_primitive("=", [1, 1]) is True
+        assert isinstance(apply_primitive("=", [1, 1]), bool)
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        assert apply_primitive("and", [True, False]) is False
+        assert apply_primitive("or", [True, False]) is True
+        assert apply_primitive("not", [False]) is True
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(EvalError):
+            apply_primitive("and", [1, True])
+
+
+class TestVectorOps:
+    def test_mkvec(self):
+        v = apply_primitive("mkvec", [3])
+        assert isinstance(v, Vector)
+        assert v.size == 3
+
+    def test_updvec_vref(self):
+        v = apply_primitive("mkvec", [2])
+        v = apply_primitive("updvec", [v, 1, 5.0])
+        assert apply_primitive("vref", [v, 1]) == 5.0
+
+    def test_vsize(self):
+        assert apply_primitive("vsize", [Vector.of([1.0, 2.0])]) == 2
+
+    def test_updvec_requires_float_element(self):
+        v = Vector.empty(1)
+        with pytest.raises(EvalError, match="overload"):
+            apply_primitive("updvec", [v, 1, 5])
+
+    def test_arity_checked(self):
+        with pytest.raises(EvalError, match="expected 2"):
+            apply_primitive("+", [1])
+        with pytest.raises(EvalError, match="expected 1"):
+            apply_primitive("vsize", [])

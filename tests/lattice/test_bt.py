@@ -1,0 +1,42 @@
+"""Binding-time chain unit tests (Section 3.2's ``Values~``)."""
+
+from repro.lattice.bt import BT, BT_LATTICE
+from repro.lattice.laws import check_lattice
+
+
+class TestBT:
+    def test_chain_order(self):
+        assert BT.BOT <= BT.STATIC <= BT.DYNAMIC
+        assert BT.BOT < BT.DYNAMIC
+        assert not BT.DYNAMIC <= BT.STATIC
+
+    def test_predicates(self):
+        assert BT.STATIC.is_static
+        assert BT.DYNAMIC.is_dynamic
+        assert BT.BOT.is_bottom
+        assert not BT.STATIC.is_dynamic
+
+    def test_join(self):
+        assert BT.STATIC.join(BT.DYNAMIC) is BT.DYNAMIC
+        assert BT.BOT.join(BT.STATIC) is BT.STATIC
+        assert BT.STATIC.join(BT.STATIC) is BT.STATIC
+
+    def test_str(self):
+        assert str(BT.STATIC) == "Static"
+        assert str(BT.DYNAMIC) == "Dynamic"
+        assert str(BT.BOT) == "⊥"
+
+
+class TestBTLattice:
+    def test_laws(self):
+        assert check_lattice(BT_LATTICE) == []
+
+    def test_bounds(self):
+        assert BT_LATTICE.bottom is BT.BOT
+        assert BT_LATTICE.top is BT.DYNAMIC
+
+    def test_height_matches_paper(self):
+        # The paper calls Values~ "an algebraic lattice of height 3"
+        # counting elements; our convention counts edges.
+        assert BT_LATTICE.height() == 2
+        assert len(list(BT_LATTICE.elements())) == 3

@@ -1,0 +1,108 @@
+"""Fixpoint engine unit tests."""
+
+import pytest
+
+from repro.lattice.flat import ChainLattice
+from repro.lattice.fixpoint import (
+    FixpointStats, WorklistSolver, lfp_table)
+
+
+@pytest.fixture
+def chain():
+    return ChainLattice("c", [0, 1, 2, 3, 4])
+
+
+class TestLfpTable:
+    def test_constant_transformer(self, chain):
+        result = lfp_table({"a": 0}, lambda t: {"a": 2}, chain)
+        assert result["a"] == 2
+
+    def test_dependent_entries(self, chain):
+        # b follows a, capped by the chain top.
+        def transformer(table):
+            return {"a": 3, "b": table.get("a", 0)}
+
+        result = lfp_table({"a": 0, "b": 0}, transformer, chain)
+        assert result == {"a": 3, "b": 3}
+
+    def test_monotone_growth_joins(self, chain):
+        # The transformer proposes a *smaller* value; the join keeps
+        # the old one, so iteration stabilizes.
+        def transformer(table):
+            return {"a": 1 if table["a"] >= 1 else 2}
+
+        result = lfp_table({"a": 2}, transformer, chain)
+        assert result["a"] == 2
+
+    def test_iteration_bound(self, chain):
+        calls = {"n": 0}
+
+        def diverging(table):
+            calls["n"] += 1
+            return {"a": min(4, table["a"] + 1)}
+
+        # converges at 4, well within the bound
+        result = lfp_table({"a": 0}, diverging, chain,
+                           max_iterations=100)
+        assert result["a"] == 4
+
+    def test_stats_recorded(self, chain):
+        stats = FixpointStats()
+        lfp_table({"a": 0}, lambda t: {"a": 4}, chain, stats=stats)
+        assert stats.iterations >= 2
+
+
+class TestWorklistSolver:
+    def test_single_cell(self, chain):
+        solver = WorklistSolver(chain, lambda s, cell: 3)
+        assert solver.solve("x") == 3
+
+    def test_dependency_chain(self, chain):
+        def equation(solver, cell):
+            if cell == "a":
+                return 2
+            return solver.ask("a")
+
+        solver = WorklistSolver(chain, equation)
+        assert solver.solve("b") == 2
+
+    def test_mutual_recursion_reaches_fixpoint(self, chain):
+        # a = max(1, b), b = a: both settle at 1.
+        def equation(solver, cell):
+            if cell == "a":
+                return max(1, solver.ask("b"))
+            return solver.ask("a")
+
+        solver = WorklistSolver(chain, equation)
+        assert solver.solve("a") == 1
+        assert solver.values["b"] == 1
+
+    def test_increasing_cycle_hits_top(self, chain):
+        # a = min(top, b + 1), b = a: climbs to the chain top and
+        # stops.
+        def equation(solver, cell):
+            if cell == "a":
+                return min(4, solver.ask("b") + 1)
+            return solver.ask("a")
+
+        solver = WorklistSolver(chain, equation)
+        assert solver.solve("a") == 4
+
+    def test_drain_returns_growth_count(self, chain):
+        solver = WorklistSolver(chain, lambda s, cell: 1)
+        solver.ask("x")
+        assert solver.drain() == 1
+        assert solver.drain() == 0
+
+    def test_update_budget(self, chain):
+        def equation(solver, cell):
+            return solver.ask(("next", cell))
+
+        solver = WorklistSolver(chain, equation, max_updates=10)
+        with pytest.raises(RuntimeError, match="budget"):
+            solver.solve("start")
+
+    def test_reentrant_drain_rejected(self, chain):
+        solver = WorklistSolver(chain, lambda s, cell: s.drain() or 0)
+        with pytest.raises(AssertionError):
+            solver.solve("x")

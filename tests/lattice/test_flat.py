@@ -1,0 +1,105 @@
+"""Flat and chain lattice unit tests."""
+
+import pytest
+
+from repro.lattice.flat import ChainLattice, FlatLattice
+from repro.lattice.laws import check_lattice
+
+
+class TestFlatEnumerable:
+    @pytest.fixture
+    def lattice(self):
+        return FlatLattice("signs", ["pos", "zero", "neg"])
+
+    def test_laws(self, lattice):
+        assert check_lattice(lattice) == []
+
+    def test_bounds(self, lattice):
+        assert lattice.leq(lattice.bottom, "pos")
+        assert lattice.leq("pos", lattice.top)
+        assert not lattice.leq(lattice.top, "pos")
+
+    def test_points_incomparable(self, lattice):
+        assert not lattice.leq("pos", "neg")
+        assert not lattice.leq("neg", "pos")
+
+    def test_join_of_distinct_points_is_top(self, lattice):
+        assert lattice.join("pos", "neg") == lattice.top
+
+    def test_join_identity(self, lattice):
+        assert lattice.join(lattice.bottom, "zero") == "zero"
+        assert lattice.join("zero", "zero") == "zero"
+
+    def test_meet_of_distinct_points_is_bottom(self, lattice):
+        assert lattice.meet("pos", "neg") == lattice.bottom
+
+    def test_height_is_two(self, lattice):
+        assert lattice.height() == 2
+
+    def test_contains(self, lattice):
+        assert lattice.contains("pos")
+        assert lattice.contains(lattice.top)
+        assert not lattice.contains("maybe")
+
+    def test_is_point(self, lattice):
+        assert lattice.is_point("pos")
+        assert not lattice.is_point(lattice.top)
+        assert not lattice.is_point(lattice.bottom)
+
+    def test_distinct_lattices_have_distinct_extremes(self):
+        a = FlatLattice("a", ["x"])
+        b = FlatLattice("b", ["x"])
+        assert a.top != b.top
+        assert a.bottom != b.bottom
+
+
+class TestFlatInfinite:
+    @pytest.fixture
+    def lattice(self):
+        return FlatLattice("sizes", points=None)
+
+    def test_not_enumerable(self, lattice):
+        assert not lattice.is_enumerable()
+        with pytest.raises(NotImplementedError):
+            list(lattice.elements())
+
+    def test_any_point_accepted(self, lattice):
+        assert lattice.contains(42)
+        assert lattice.leq(42, 42)
+        assert lattice.join(42, 43) == lattice.top
+
+    def test_height_still_finite(self, lattice):
+        assert lattice.height() == 2
+
+
+class TestChain:
+    @pytest.fixture
+    def chain(self):
+        return ChainLattice("bt", ["bot", "static", "dynamic"])
+
+    def test_laws(self, chain):
+        assert check_lattice(chain) == []
+
+    def test_total_order(self, chain):
+        assert chain.leq("bot", "static")
+        assert chain.leq("static", "dynamic")
+        assert not chain.leq("dynamic", "static")
+
+    def test_join_meet(self, chain):
+        assert chain.join("static", "dynamic") == "dynamic"
+        assert chain.meet("static", "dynamic") == "static"
+
+    def test_height(self, chain):
+        assert chain.height() == 2
+
+    def test_unknown_element_rejected(self, chain):
+        with pytest.raises(ValueError):
+            chain.leq("bot", "nonsense")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ChainLattice("bad", ["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ChainLattice("bad", [])

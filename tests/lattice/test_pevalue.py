@@ -1,0 +1,84 @@
+"""The ``Values`` lattice (PE values) unit tests."""
+
+import pytest
+
+from repro.lattice.laws import check_lattice
+from repro.lattice.pevalue import PE_LATTICE, PEValue
+
+
+class TestConstruction:
+    def test_bottom_top_singletons(self):
+        assert PEValue.bottom() is PEValue.bottom()
+        assert PEValue.top() is PEValue.top()
+
+    def test_const(self):
+        c = PEValue.const(3)
+        assert c.is_const
+        assert c.constant() == 3
+
+    def test_const_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            PEValue.const("hello")
+
+    def test_constant_of_non_const_raises(self):
+        with pytest.raises(ValueError):
+            PEValue.top().constant()
+
+    def test_sort(self):
+        assert PEValue.const(3).sort == "int"
+        assert PEValue.const(True).sort == "bool"
+        assert PEValue.top().sort is None
+
+
+class TestEquality:
+    def test_same_constant(self):
+        assert PEValue.const(3) == PEValue.const(3)
+
+    def test_sorts_distinguished(self):
+        # Python would say 1 == 1.0 == True; the lattice must not.
+        assert PEValue.const(1) != PEValue.const(1.0)
+        assert PEValue.const(1) != PEValue.const(True)
+        assert PEValue.const(0) != PEValue.const(False)
+
+    def test_hash_consistent_with_eq(self):
+        values = {PEValue.const(1), PEValue.const(1.0),
+                  PEValue.const(True)}
+        assert len(values) == 3
+
+    def test_str(self):
+        assert str(PEValue.const(2)) == "2"
+        assert str(PEValue.bottom()) == "⊥"
+        assert str(PEValue.top()) == "⊤"
+
+
+class TestLattice:
+    def test_laws_on_sample(self):
+        sample = list(PE_LATTICE.sample_elements())
+        assert check_lattice(PE_LATTICE, sample) == []
+
+    def test_flat_order(self):
+        bot, top = PEValue.bottom(), PEValue.top()
+        c1, c2 = PEValue.const(1), PEValue.const(2)
+        assert PE_LATTICE.leq(bot, c1)
+        assert PE_LATTICE.leq(c1, top)
+        assert not PE_LATTICE.leq(c1, c2)
+        assert not PE_LATTICE.leq(top, c1)
+
+    def test_join(self):
+        c1, c2 = PEValue.const(1), PEValue.const(2)
+        assert PE_LATTICE.join(c1, c1) == c1
+        assert PE_LATTICE.join(c1, c2) == PEValue.top()
+        assert PE_LATTICE.join(PEValue.bottom(), c1) == c1
+
+    def test_meet(self):
+        c1, c2 = PEValue.const(1), PEValue.const(2)
+        assert PE_LATTICE.meet(c1, c2) == PEValue.bottom()
+        assert PE_LATTICE.meet(PEValue.top(), c1) == c1
+
+    def test_height(self):
+        assert PE_LATTICE.height() == 2
+
+    def test_join_all(self):
+        assert PE_LATTICE.join_all([]) == PEValue.bottom()
+        assert PE_LATTICE.join_all(
+            [PEValue.const(1), PEValue.const(1)]) == PEValue.const(1)

@@ -1,0 +1,87 @@
+"""Smashed product unit tests (Definitions 5/9, footnote 2)."""
+
+import pytest
+
+from repro.lattice.flat import ChainLattice, FlatLattice
+from repro.lattice.laws import check_lattice
+from repro.lattice.product import SmashedProduct
+
+
+@pytest.fixture
+def product():
+    signs = FlatLattice("signs", ["pos", "neg"])
+    bt = ChainLattice("bt", ["bot", "s", "d"])
+    return SmashedProduct("test", [signs, bt])
+
+
+class TestStructure:
+    def test_laws(self, product):
+        assert check_lattice(product, with_meet=False) == []
+
+    def test_bottom_top(self, product):
+        signs, bt = product.components
+        assert product.bottom == (signs.bottom, "bot")
+        assert product.top == (signs.top, "d")
+
+    def test_height_is_sum(self, product):
+        assert product.height() == 4
+
+    def test_arity(self, product):
+        assert product.arity == 2
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(ValueError):
+            SmashedProduct("empty", [])
+
+
+class TestSmash:
+    def test_proper_tuple_unchanged(self, product):
+        assert product.smash(("pos", "s")) == ("pos", "s")
+
+    def test_any_bottom_collapses(self, product):
+        signs, _bt = product.components
+        assert product.smash((signs.bottom, "d")) == product.bottom
+        assert product.smash(("pos", "bot")) == product.bottom
+
+    def test_is_bottom(self, product):
+        signs, _ = product.components
+        assert product.is_bottom((signs.bottom, "d"))
+        assert not product.is_bottom(("pos", "s"))
+
+    def test_wrong_arity_rejected(self, product):
+        with pytest.raises(ValueError):
+            product.smash(("pos",))
+
+
+class TestOrder:
+    def test_componentwise(self, product):
+        assert product.leq(("pos", "s"), ("pos", "d"))
+        assert not product.leq(("pos", "d"), ("pos", "s"))
+
+    def test_bottom_below_all(self, product):
+        signs, _ = product.components
+        assert product.leq((signs.bottom, "bot"), ("neg", "s"))
+        # Smashing: a tuple with one bottom component IS bottom.
+        assert product.leq((signs.bottom, "d"), ("neg", "s"))
+
+    def test_join(self, product):
+        signs, _ = product.components
+        assert product.join(("pos", "s"), ("neg", "s")) \
+            == (signs.top, "s")
+        assert product.join(product.bottom, ("pos", "s")) \
+            == ("pos", "s")
+
+    def test_meet(self, product):
+        assert product.meet(("pos", "d"), ("pos", "s")) == ("pos", "s")
+        assert product.meet(("pos", "s"), ("neg", "s")) \
+            == product.bottom
+
+    def test_elements_deduplicate_bottoms(self, product):
+        elements = list(product.elements())
+        bottoms = [e for e in elements if product.is_bottom(e)]
+        assert len(bottoms) == 1
+
+    def test_contains(self, product):
+        assert product.contains(("pos", "s"))
+        assert not product.contains(("pos",))
+        assert not product.contains(("maybe", "s"))

@@ -1,0 +1,185 @@
+"""Facet analysis (Figure 4) unit tests."""
+
+import pytest
+
+from repro.baselines.bta import bta
+from repro.facets import (
+    FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.facets.library.interval import Interval
+from repro.lang.ast import Call, If, Prim, walk
+from repro.lang.errors import PEError
+from repro.lang.parser import parse_program
+from repro.lang.values import INT, VECTOR
+from repro.lattice.bt import BT
+from repro.offline.analysis import (
+    FOLD, FacetAnalyzer, IfAnnotation, PrimAnnotation, RESIDUAL,
+    TRIGGER, analyze)
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture
+def size_abs():
+    return AbstractSuite(FacetSuite([VectorSizeFacet()]))
+
+
+@pytest.fixture
+def sign_abs():
+    return AbstractSuite(FacetSuite([SignFacet()]))
+
+
+class TestInnerProduct:
+    """Figure 9, as assertions."""
+
+    @pytest.fixture
+    def analysis(self, inner_product, size_abs):
+        inputs = [size_abs.input(VECTOR, bt=BT.DYNAMIC, size=STATIC_SIZE)] * 2
+        return analyze(inner_product, inputs, size_abs)
+
+    def test_signatures(self, analysis):
+        iprod = analysis.signatures["iprod"]
+        assert iprod.args[0].bt is BT.DYNAMIC
+        assert iprod.args[0].user == (STATIC_SIZE,)
+        assert iprod.result.bt is BT.DYNAMIC
+        dotprod = analysis.signatures["dotprod"]
+        assert dotprod.args[2].bt is BT.STATIC   # n is Static!
+        assert dotprod.result.bt is BT.DYNAMIC
+
+    def test_vsize_triggers_via_size_facet(self, analysis,
+                                           inner_product):
+        body = inner_product.get("iprod").body
+        vsize = next(n for n in walk(body)
+                     if isinstance(n, Prim) and n.op == "vsize")
+        annotation = analysis.annotation_of(vsize)
+        assert isinstance(annotation, PrimAnnotation)
+        assert annotation.action == TRIGGER
+        assert annotation.producer == "size"
+
+    def test_dotprod_test_is_reducible(self, analysis, inner_product):
+        body = inner_product.get("dotprod").body
+        conditional = next(n for n in walk(body) if isinstance(n, If))
+        annotation = analysis.annotation_of(conditional)
+        assert isinstance(annotation, IfAnnotation)
+        assert annotation.test_bt.is_static
+
+    def test_vref_residual(self, analysis, inner_product):
+        body = inner_product.get("dotprod").body
+        vref = next(n for n in walk(body)
+                    if isinstance(n, Prim) and n.op == "vref")
+        annotation = analysis.annotation_of(vref)
+        assert annotation.action == RESIDUAL
+
+    def test_decrement_folds(self, analysis, inner_product):
+        body = inner_product.get("dotprod").body
+        decrement = next(n for n in walk(body)
+                         if isinstance(n, Prim) and n.op == "-")
+        assert analysis.annotation_of(decrement).action == FOLD
+
+    def test_needed_facets_match_paper_narrative(self, analysis):
+        # "size facet computation is only required for iprod ...
+        #  binding time analysis is the only facet computation
+        #  performed for dotProd."
+        assert analysis.needed_facets["iprod"] == {"size"}
+        assert analysis.needed_facets["dotprod"] == frozenset()
+
+
+class TestSignAnalysis:
+    def test_sign_information_propagates(self, sign_abs):
+        program = parse_program(
+            "(define (f x) (if (< x 0) (neg x) x))")
+        inputs = [sign_abs.input(INT, bt=BT.DYNAMIC, sign="pos")]
+        analysis = analyze(program, inputs, sign_abs)
+        conditional = program.main.body
+        annotation = analysis.annotation_of(conditional)
+        assert annotation.test_bt.is_static  # pos < 0 decided
+
+    def test_sign_flows_through_closed_ops(self, sign_abs):
+        program = parse_program(
+            "(define (f x) (if (> (* x x) 0) 1 2))")
+        # x pos: x*x pos, pos > 0 is Static.
+        inputs = [sign_abs.input(INT, bt=BT.DYNAMIC, sign="pos")]
+        analysis = analyze(program, inputs, sign_abs)
+        assert analysis.annotation_of(
+            program.main.body).test_bt.is_static
+
+    def test_without_facet_info_everything_dynamic(self, sign_abs):
+        program = parse_program(
+            "(define (f x) (if (< x 0) (neg x) x))")
+        inputs = [sign_abs.dynamic(INT)]
+        analysis = analyze(program, inputs, sign_abs)
+        assert analysis.annotation_of(
+            program.main.body).test_bt.is_dynamic
+
+
+class TestFixpointBehaviour:
+    def test_recursive_static_parameter(self, size_abs):
+        program = WORKLOADS["poly_eval"].program()
+        inputs = [size_abs.input(VECTOR, bt=BT.DYNAMIC,
+                                 size=STATIC_SIZE),
+                  size_abs.dynamic("float")]
+        analysis = analyze(program, inputs, size_abs)
+        horner = analysis.signatures["horner"]
+        assert horner.args[2].bt is BT.STATIC  # n stays static
+        assert horner.args[3].bt is BT.DYNAMIC  # acc is dynamic
+
+    def test_static_and_dynamic_call_sites_join(self):
+        suite = AbstractSuite(FacetSuite())
+        program = parse_program("""
+            (define (main s d) (+ (helper s) (helper d)))
+            (define (helper v) (+ v 1))
+        """)
+        analysis = analyze(program,
+                           [suite.static(INT), suite.dynamic(INT)],
+                           suite)
+        assert analysis.signatures["helper"].args[0].bt is BT.DYNAMIC
+
+    def test_purely_static_function(self):
+        suite = AbstractSuite(FacetSuite())
+        program = WORKLOADS["gcd"].program()
+        analysis = analyze(program,
+                           [suite.static(INT), suite.static(INT)],
+                           suite)
+        assert analysis.signatures["gcd"].result.bt is BT.STATIC
+
+    def test_interval_domain_converges_with_widening(self):
+        suite = AbstractSuite(FacetSuite([IntervalFacet()]))
+        # k grows without bound: only widening terminates this.
+        program = parse_program("""
+            (define (main d) (grow 0 d))
+            (define (grow k d) (if (< d 0) k (grow (+ k 1) d)))
+        """)
+        analysis = analyze(program, [suite.dynamic(INT)], suite)
+        assert "grow" in analysis.signatures
+
+    def test_agreement_with_bta_when_no_facets(self):
+        """Facet analysis with the empty suite IS conventional BTA."""
+        program = WORKLOADS["power"].program()
+        suite = AbstractSuite(FacetSuite())
+        analysis = analyze(program,
+                           [suite.dynamic(INT), suite.static(INT)],
+                           suite)
+        baseline = bta(program, "DS")
+        for name, division in baseline.divisions.items():
+            signature = analysis.signatures[name]
+            assert tuple(a.bt for a in signature.args) \
+                == division.args, name
+            assert signature.result.bt == division.result, name
+
+
+class TestValidation:
+    def test_arity_checked(self, sign_abs):
+        program = parse_program("(define (f x) x)")
+        with pytest.raises(PEError, match="expected 1"):
+            analyze(program, [], sign_abs)
+
+    def test_higher_order_programs_rejected(self, sign_abs):
+        program = WORKLOADS["ho_pipeline"].program()
+        with pytest.raises(PEError, match="higher_order"):
+            FacetAnalyzer(program, sign_abs)
+
+    def test_concrete_values_accepted_as_inputs(self, sign_abs):
+        program = parse_program("(define (f x) (+ x 1))")
+        analysis = analyze(program, [5], sign_abs)
+        assert analysis.signatures["f"].result.bt is BT.STATIC
+        assert analysis.signatures["f"].args[0].user[0] == "pos"

@@ -1,0 +1,148 @@
+"""Generating-extension tests: staged = unstaged, only faster."""
+
+import pytest
+
+from repro.facets import (
+    FacetSuite, IntervalFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.errors import PEError
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.parser import parse_program
+from repro.lang.values import INT, VECTOR, Vector
+from repro.lattice.bt import BT
+from repro.offline.analysis import analyze
+from repro.offline.cogen import make_generating_extension
+from repro.offline.specializer import OfflineSpecializer
+from repro.online import PEConfig, UnfoldStrategy
+from repro.workloads import WORKLOADS
+
+
+def _pipeline(program, suite, pattern):
+    abstract_suite = AbstractSuite(suite)
+    analysis = analyze(program, pattern, abstract_suite)
+    return (OfflineSpecializer(analysis, suite),
+            make_generating_extension(analysis, suite))
+
+
+class TestAgreement:
+    def test_inner_product_residuals_identical(self):
+        program = WORKLOADS["inner_product"].program()
+        suite = FacetSuite([VectorSizeFacet()])
+        abstract_suite = AbstractSuite(suite)
+        pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                        size=STATIC_SIZE)] * 2
+        specializer, genext = _pipeline(program, suite, pattern)
+        for size in (1, 3, 5):
+            inputs = [suite.input(VECTOR, size=size)] * 2
+            assert genext.specialize(inputs).program \
+                == specializer.specialize(inputs).program
+
+    def test_power_agreement(self):
+        program = WORKLOADS["power"].program()
+        suite = FacetSuite()
+        abstract_suite = AbstractSuite(suite)
+        pattern = [abstract_suite.dynamic(INT),
+                   abstract_suite.static(INT)]
+        specializer, genext = _pipeline(program, suite, pattern)
+        for exponent in (0, 3, 12):
+            inputs = [suite.unknown(INT), exponent]
+            left = genext.specialize(inputs).program
+            right = specializer.specialize(inputs).program
+            assert left == right
+            assert Interpreter(left).run(2) \
+                == run_program(program, 2, exponent)
+
+    def test_sign_triggers_staged(self):
+        program = WORKLOADS["sign_pipeline"].program()
+        suite = FacetSuite([SignFacet()])
+        abstract_suite = AbstractSuite(suite)
+        pattern = [
+            abstract_suite.input(INT, bt=BT.DYNAMIC, sign="pos"),
+            abstract_suite.input(INT, bt=BT.DYNAMIC, sign="pos")]
+        config = PEConfig(unfold_strategy=UnfoldStrategy.NEVER)
+        analysis = analyze(program, pattern, abstract_suite)
+        genext = make_generating_extension(analysis, suite, config)
+        specializer = OfflineSpecializer(analysis, suite, config)
+        inputs = [suite.input(INT, sign="pos"),
+                  suite.input(INT, sign="pos")]
+        assert genext.specialize(inputs).program \
+            == specializer.specialize(inputs).program
+
+    def test_stats_match(self):
+        program = WORKLOADS["inner_product"].program()
+        suite = FacetSuite([VectorSizeFacet()])
+        abstract_suite = AbstractSuite(suite)
+        pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                        size=STATIC_SIZE)] * 2
+        specializer, genext = _pipeline(program, suite, pattern)
+        inputs = [suite.input(VECTOR, size=4)] * 2
+        staged = genext.specialize(inputs).stats
+        unstaged = specializer.specialize(inputs).stats
+        assert staged.facet_evaluations == unstaged.facet_evaluations
+        assert staged.prim_folds == unstaged.prim_folds
+        assert staged.if_reductions == unstaged.if_reductions
+
+
+class TestReuse:
+    def test_one_compilation_many_specializations(self):
+        program = WORKLOADS["poly_eval"].program()
+        suite = FacetSuite([VectorSizeFacet()])
+        abstract_suite = AbstractSuite(suite)
+        pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                        size=STATIC_SIZE),
+                   abstract_suite.dynamic("float")]
+        analysis = analyze(program, pattern, abstract_suite)
+        genext = make_generating_extension(analysis, suite)
+        for degree in (1, 2, 5):
+            inputs = [suite.input(VECTOR, size=degree),
+                      suite.unknown("float")]
+            result = genext.specialize(inputs)
+            coefficients = Vector.of([1.0] * degree)
+            assert Interpreter(result.program).run(coefficients, 2.0) \
+                == run_program(program, coefficients, 2.0)
+
+    def test_runs_are_independent(self):
+        program = parse_program("(define (f x n) (+ x n))")
+        suite = FacetSuite()
+        abstract_suite = AbstractSuite(suite)
+        analysis = analyze(program, [abstract_suite.dynamic(INT),
+                                     abstract_suite.static(INT)],
+                           abstract_suite)
+        genext = make_generating_extension(analysis, suite)
+        first = genext.specialize([suite.unknown(INT), 1])
+        second = genext.specialize([suite.unknown(INT), 2])
+        assert "(+ x 1)" in str(first.program)
+        assert "(+ x 2)" in str(second.program)
+
+
+class TestStrictness:
+    def test_pattern_violation_raises(self):
+        program = parse_program(
+            "(define (f x n) (if (= n 0) x (* x n)))")
+        suite = FacetSuite()
+        abstract_suite = AbstractSuite(suite)
+        analysis = analyze(program, [abstract_suite.dynamic(INT),
+                                     abstract_suite.static(INT)],
+                           abstract_suite)
+        genext = make_generating_extension(analysis, suite)
+        with pytest.raises(PEError, match="Static"):
+            # n was analyzed Static but is supplied dynamic.
+            genext.specialize([suite.unknown(INT),
+                               suite.unknown(INT)])
+
+    def test_lenient_mode_residualizes(self):
+        program = parse_program(
+            "(define (f x n) (if (= n 0) x (* x n)))")
+        suite = FacetSuite()
+        abstract_suite = AbstractSuite(suite)
+        analysis = analyze(program, [abstract_suite.dynamic(INT),
+                                     abstract_suite.static(INT)],
+                           abstract_suite)
+        genext = make_generating_extension(
+            analysis, suite, PEConfig(lenient=True))
+        result = genext.specialize([suite.unknown(INT),
+                                    suite.unknown(INT)])
+        for x, n in [(3, 0), (3, 4)]:
+            assert Interpreter(result.program).run(x, n) \
+                == run_program(program, x, n)

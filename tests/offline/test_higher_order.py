@@ -1,0 +1,180 @@
+"""Higher-order facet analysis (Figures 5-6) unit tests."""
+
+import pytest
+
+from repro.facets import FacetSuite, SignFacet, VectorSizeFacet
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.parser import parse_program
+from repro.lang.values import BOOL, INT, VECTOR
+from repro.lattice.bt import BT
+from repro.offline.higher_order import (
+    TC, AbsClosure, HOConfig, JoinFn, analyze_higher_order)
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture
+def suite():
+    return AbstractSuite(FacetSuite([SignFacet(), VectorSizeFacet()]))
+
+
+def ho(src, inputs, suite, config=None):
+    return analyze_higher_order(parse_program(src), inputs, suite,
+                                config)
+
+
+class TestFirstOrderFragment:
+    """On first-order programs the HO analysis must agree with the
+    first-order one on binding times."""
+
+    def test_static_result(self, suite):
+        result = ho("(define (f x) (+ x 1))", [suite.static(INT)],
+                    suite)
+        assert result.bt_of_result() is BT.STATIC
+
+    def test_dynamic_result(self, suite):
+        result = ho("(define (f x) (+ x 1))", [suite.dynamic(INT)],
+                    suite)
+        assert result.bt_of_result() is BT.DYNAMIC
+
+    def test_recursion(self, suite):
+        src = "(define (f n) (if (= n 0) 0 (f (- n 1))))"
+        result = ho(src, [suite.static(INT)], suite)
+        assert result.bt_of_result() is BT.STATIC
+
+    def test_facet_information_used(self, suite):
+        src = "(define (f x) (if (< x 0) 1 2))"
+        result = ho(src, [suite.input(INT, bt=BT.DYNAMIC,
+                                      sign="pos")], suite)
+        # pos < 0 folds: result Static even though x is dynamic.
+        assert result.bt_of_result() is BT.STATIC
+
+
+class TestClosures:
+    def test_lambda_value_is_closure(self, suite):
+        src = "(define (f x) (lambda (y) (+ y x)))"
+        result = ho(src, [suite.static(INT)], suite)
+        assert isinstance(result.result, AbsClosure)
+
+    def test_application_of_lambda(self, suite):
+        src = "(define (f x) ((lambda (y) (+ y 1)) x))"
+        result = ho(src, [suite.static(INT)], suite)
+        assert result.bt_of_result() is BT.STATIC
+
+    def test_closure_captures_abstract_env(self, suite):
+        src = """
+        (define (main s d)
+          (let ((add-s (lambda (y) (+ y s))))
+            (add-s d)))
+        """
+        result = ho(src, [suite.static(INT), suite.dynamic(INT)],
+                    suite)
+        assert result.bt_of_result() is BT.DYNAMIC
+
+    def test_function_passed_to_function(self, suite):
+        src = """
+        (define (main x) (twice (lambda (v) (* v v)) x))
+        (define (twice f a) (f (f a)))
+        """
+        result = ho(src, [suite.static(INT)], suite)
+        assert result.bt_of_result() is BT.STATIC
+        assert "twice" in result.signatures
+
+    def test_function_returned_from_function(self, suite):
+        src = """
+        (define (main x) ((make-adder 3) x))
+        (define (make-adder k) (lambda (y) (+ y k)))
+        """
+        result = ho(src, [suite.dynamic(INT)], suite)
+        assert result.bt_of_result() is BT.DYNAMIC
+        adder_args, adder_result = result.signatures["make-adder"]
+        assert isinstance(adder_result, AbsClosure)
+
+
+class TestTC:
+    """The unknown operator and Figure 6's advance application."""
+
+    def test_dynamic_test_selecting_functions_gives_tc(self, suite):
+        program = WORKLOADS["ho_select"].program()
+        result = analyze_higher_order(
+            program, [suite.dynamic(INT),
+                      suite.input(BOOL, bt=BT.DYNAMIC)], suite)
+        # h is T_C; applying it gives T_C; result is T_C/dynamic.
+        assert result.bt_of_result() is BT.DYNAMIC
+
+    def test_static_test_keeps_functions(self, suite):
+        program = WORKLOADS["ho_select"].program()
+        result = analyze_higher_order(
+            program, [suite.static(INT),
+                      suite.input(BOOL, bt=BT.STATIC)], suite)
+        assert result.bt_of_result() is BT.STATIC
+
+    def test_tc_application_is_tc(self, suite):
+        src = """
+        (define (main flag x)
+          (let ((h (if flag
+                       (lambda (a) (lambda (b) a))
+                       (lambda (a) (lambda (b) b)))))
+            ((h x) x)))
+        """
+        result = ho(src, [suite.input(BOOL, bt=BT.DYNAMIC),
+                          suite.static(INT)], suite)
+        assert result.result is TC or result.bt_of_result() \
+            is BT.DYNAMIC
+
+    def test_branch_join_of_same_arity_lambdas(self, suite):
+        src = """
+        (define (main flag x)
+          (let ((h (if flag
+                       (lambda (a) (+ a 1))
+                       (lambda (a) (* a 2)))))
+            (h x)))
+        """
+        result = ho(src, [suite.input(BOOL, bt=BT.STATIC),
+                          suite.static(INT)], suite)
+        # Static flag: join of two closures, both applied; Static out.
+        assert result.bt_of_result() is BT.STATIC
+
+
+class TestPipeline:
+    def test_ho_pipeline_signatures(self, suite):
+        program = WORKLOADS["ho_pipeline"].program()
+        result = analyze_higher_order(
+            program,
+            [suite.input(VECTOR, bt=BT.DYNAMIC, size=STATIC_SIZE),
+             suite.static(INT)],
+            suite)
+        assert result.bt_of_result() is BT.DYNAMIC
+        assert "fold" in result.signatures
+        fold_args, fold_result = result.signatures["fold"]
+        assert isinstance(fold_args[0], (AbsClosure, JoinFn))
+        # n = vsize of a static-size vector: Static.
+        assert fold_args[3].bt is BT.STATIC
+
+
+class TestTermination:
+    def test_apply_depth_bound(self, suite):
+        # Unbounded closure towers are cut off at the depth bound with
+        # T_C rather than looping (Hudak-Young restriction).
+        src = """
+        (define (main n x) (spin n x))
+        (define (spin n x)
+          (if (= n 0) x ((lambda (v) (spin (- n 1) v)) x)))
+        """
+        config = HOConfig(max_apply_depth=8)
+        result = ho(src, [suite.dynamic(INT), suite.dynamic(INT)],
+                    suite, config)
+        assert result.bt_of_result() is BT.DYNAMIC
+
+    def test_cells_per_closure_bound(self, suite):
+        src = """
+        (define (main a b c)
+          (+ (app (lambda (v) v) a)
+             (+ (app (lambda (v) v) b) (app (lambda (v) v) c))))
+        (define (app f x) (f x))
+        """
+        config = HOConfig(max_cells_per_closure=1)
+        result = ho(src, [suite.static(INT), suite.static(INT),
+                          suite.dynamic(INT)], suite, config)
+        # Generalization may coarsen but must not crash or loop.
+        assert result.bt_of_result() in (BT.STATIC, BT.DYNAMIC)

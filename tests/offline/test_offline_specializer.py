@@ -1,0 +1,168 @@
+"""Offline specializer unit tests (Section 5)."""
+
+import pytest
+
+from repro.facets import (
+    FacetSuite, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.errors import PEError
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.parser import parse_program
+from repro.lang.values import INT, VECTOR, Vector
+from repro.lattice.bt import BT
+from repro.offline.analysis import analyze
+from repro.offline.specializer import (
+    OfflineSpecializer, specialize_offline)
+from repro.online import PEConfig, UnfoldStrategy, specialize_online
+from repro.workloads import WORKLOADS
+
+
+class TestAgainstOnline:
+    """Offline follows the analysis; online searches.  Same residuals."""
+
+    def test_inner_product_residuals_identical(self, inner_product,
+                                               size_suite):
+        inputs = [size_suite.input(VECTOR, size=3)] * 2
+        online = specialize_online(inner_product, inputs, size_suite)
+        offline = specialize_offline(inner_product, inputs, size_suite)
+        assert offline.program == online.program
+
+    def test_sign_specialization_identical(self):
+        program = WORKLOADS["sign_pipeline"].program()
+        suite = FacetSuite([SignFacet()])
+        config = PEConfig(unfold_strategy=UnfoldStrategy.NEVER)
+        inputs = [suite.input(INT, sign="pos"),
+                  suite.input(INT, sign="pos")]
+        online = specialize_online(program, inputs, suite, config)
+        offline = specialize_offline(program, inputs, suite,
+                                     config=config)
+        for x, scale in [(5, 2), (9, 4)]:
+            assert Interpreter(online.program).run(x, scale) \
+                == Interpreter(offline.program).run(x, scale)
+
+    def test_offline_does_less_facet_work(self, inner_product,
+                                          size_suite):
+        inputs = [size_suite.input(VECTOR, size=5)] * 2
+        online = specialize_online(inner_product, inputs, size_suite)
+        offline = specialize_offline(inner_product, inputs, size_suite)
+        assert offline.stats.facet_evaluations \
+            < online.stats.facet_evaluations
+
+    def test_offline_makes_fewer_decisions(self, inner_product,
+                                           size_suite):
+        inputs = [size_suite.input(VECTOR, size=5)] * 2
+        online = specialize_online(inner_product, inputs, size_suite)
+        offline = specialize_offline(inner_product, inputs, size_suite)
+        assert offline.stats.decisions < online.stats.decisions
+
+
+class TestAnalysisReuse:
+    """The offline selling point: one analysis, many specializations."""
+
+    def test_one_analysis_many_sizes(self, inner_product, size_suite):
+        abstract_suite = AbstractSuite(size_suite)
+        pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                        size=STATIC_SIZE)] * 2
+        analysis = analyze(inner_product, pattern, abstract_suite)
+        for size in (1, 2, 4, 8):
+            inputs = [size_suite.input(VECTOR, size=size)] * 2
+            result = OfflineSpecializer(
+                analysis, size_suite).specialize(inputs)
+            a = Vector.of([1.0] * size)
+            b = Vector.of([2.0] * size)
+            assert Interpreter(result.program).run(a, b) \
+                == run_program(inner_product, a, b)
+
+    def test_residual_correctness_power(self):
+        program = WORKLOADS["power"].program()
+        suite = FacetSuite()
+        for exponent in (0, 1, 5, 8):
+            result = specialize_offline(
+                program, [suite.unknown(INT), exponent], suite)
+            assert Interpreter(result.program).run(3) \
+                == run_program(program, 3, exponent)
+
+
+class TestPatternDiscipline:
+    def test_mismatched_inputs_rejected(self, inner_product,
+                                        size_suite):
+        abstract_suite = AbstractSuite(size_suite)
+        pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                        size=STATIC_SIZE)] * 2
+        analysis = analyze(inner_product, pattern, abstract_suite)
+        bad_inputs = [size_suite.unknown(VECTOR)] * 2  # size unknown
+        with pytest.raises(PEError, match="pattern"):
+            OfflineSpecializer(analysis, size_suite).specialize(
+                bad_inputs)
+
+    def test_more_precise_inputs_accepted(self, size_suite):
+        # A concrete vector is below <Dynamic, s>: fine.
+        program = WORKLOADS["inner_product"].program()
+        abstract_suite = AbstractSuite(size_suite)
+        pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
+                                        size=STATIC_SIZE)] * 2
+        analysis = analyze(program, pattern, abstract_suite)
+        v = Vector.of([1.0, 2.0])
+        result = OfflineSpecializer(analysis, size_suite).specialize(
+            [v, size_suite.input(VECTOR, size=2)])
+        assert Interpreter(result.program).run(Vector.of([3.0, 4.0])) \
+            == run_program(program, v, Vector.of([3.0, 4.0]))
+
+
+class TestNeededFacetTracking:
+    def test_unneeded_components_not_computed(self):
+        # parity is registered but never useful here: offline must not
+        # pay for it.
+        program = parse_program("""
+            (define (main V) (walk V (vsize V)))
+            (define (walk V n)
+              (if (= n 0) 0.0 (+ (vref V n) (walk V (- n 1)))))
+        """)
+        suite = FacetSuite([ParityFacet(), VectorSizeFacet()])
+        inputs = [suite.input(VECTOR, size=3)]
+        offline = specialize_offline(program, inputs, suite)
+        online = specialize_online(program, inputs, suite)
+        assert offline.program == online.program
+        assert offline.analysis.needed_facets["walk"] == frozenset()
+        assert offline.stats.facet_evaluations \
+            < online.stats.facet_evaluations
+
+
+class TestCacheBehaviour:
+    def test_dynamic_recursion_specializes_once(self):
+        suite = FacetSuite()
+        program = parse_program(
+            "(define (loop x) (if (< x 0) 0 (loop (- x 1))))")
+        config = PEConfig(unfold_strategy=UnfoldStrategy.NEVER)
+        result = specialize_offline(program, [suite.unknown(INT)],
+                                    suite, config=config)
+        assert result.stats.specializations == 1
+        assert Interpreter(result.program).run(2) == 0
+
+    def test_growing_static_data_fails_loudly(self):
+        # Classic offline PE diverges on static data growing under
+        # dynamic control; we stop with advice instead.
+        suite = FacetSuite()
+        program = parse_program("""
+            (define (main x) (grow 0 x))
+            (define (grow k d) (if (< d 0) k (grow (+ k 1) d)))
+        """)
+        config = PEConfig(unfold_strategy=UnfoldStrategy.NEVER,
+                          max_variants=4)
+        with pytest.raises(PEError, match="generalized division"):
+            specialize_offline(program, [suite.unknown(INT)], suite,
+                               config=config)
+
+    def test_growing_static_data_lenient_terminates(self):
+        suite = FacetSuite()
+        program = parse_program("""
+            (define (main x) (grow 0 x))
+            (define (grow k d) (if (< d 0) k (grow (+ k 1) d)))
+        """)
+        config = PEConfig(unfold_strategy=UnfoldStrategy.NEVER,
+                          max_variants=4, lenient=True)
+        result = specialize_offline(program, [suite.unknown(INT)],
+                                    suite, config=config)
+        assert result.stats.generalizations > 0
+        assert Interpreter(result.program).run(-5) == 0

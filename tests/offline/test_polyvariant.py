@@ -1,0 +1,99 @@
+"""Polyvariant analysis extension tests."""
+
+import pytest
+
+from repro.facets import FacetSuite, SignFacet, VectorSizeFacet
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.parser import parse_program
+from repro.lang.values import INT, VECTOR
+from repro.lattice.bt import BT
+from repro.offline.analysis import analyze
+from repro.offline.polyvariant import analyze_polyvariant
+
+MIXED_SRC = """
+(define (main s d) (+ (helper s) (helper d)))
+(define (helper v) (+ v 1))
+"""
+
+
+@pytest.fixture
+def suite():
+    return AbstractSuite(FacetSuite([SignFacet()]))
+
+
+class TestPrecisionGain:
+    def test_monovariant_join_poisons_static_site(self, suite):
+        program = parse_program(MIXED_SRC)
+        base = analyze(program, [suite.static(INT),
+                                 suite.dynamic(INT)], suite)
+        assert base.signatures["helper"].result.bt is BT.DYNAMIC
+
+    def test_polyvariant_keeps_both_patterns(self, suite):
+        program = parse_program(MIXED_SRC)
+        result = analyze_polyvariant(
+            program, [suite.static(INT), suite.dynamic(INT)], suite)
+        assert result.variant_count("helper") >= 2
+        assert result.best_result_bt("helper") is BT.STATIC
+        bts = {tuple(a.bt for a in v.args): v.result.bt
+               for v in result.variants["helper"]}
+        assert bts.get((BT.STATIC,)) is BT.STATIC
+        assert bts.get((BT.DYNAMIC,)) is BT.DYNAMIC
+
+    def test_facet_patterns_distinguished(self, suite):
+        src = """
+        (define (main a b) (+ (test a) (test b)))
+        (define (test v) (if (< v 0) 1 2))
+        """
+        program = parse_program(src)
+        result = analyze_polyvariant(
+            program,
+            [suite.input(INT, bt=BT.DYNAMIC, sign="pos"),
+             suite.input(INT, bt=BT.DYNAMIC, sign="neg")],
+            suite)
+        # Both call patterns are dynamic in BT, but the sign components
+        # differ; each variant answers Static (the test folds per
+        # sign), while the monovariant join can't decide.
+        assert result.best_result_bt("test") is BT.STATIC
+        assert result.variant_count("test") >= 2
+        mono = result.signatures["test"].result.bt
+        assert mono is BT.DYNAMIC
+
+    def test_single_pattern_equals_monovariant(self, suite):
+        program = parse_program("""
+            (define (main s) (helper s))
+            (define (helper v) (+ v 1))
+        """)
+        result = analyze_polyvariant(program, [suite.static(INT)],
+                                     suite)
+        assert result.variant_count("helper") == 1
+        variant = result.variants["helper"][0]
+        assert variant.result.bt \
+            is result.signatures["helper"].result.bt
+
+
+class TestBookkeeping:
+    def test_base_result_embedded(self, suite):
+        program = parse_program(MIXED_SRC)
+        result = analyze_polyvariant(
+            program, [suite.static(INT), suite.dynamic(INT)], suite)
+        assert result.base.signatures.keys() == {"main", "helper"}
+        assert "main" in result.variants
+
+    def test_report_renders(self, suite):
+        program = parse_program(MIXED_SRC)
+        result = analyze_polyvariant(
+            program, [suite.static(INT), suite.dynamic(INT)], suite)
+        text = result.report()
+        assert "monovariant:" in text
+        assert "variant:" in text
+
+    def test_recursive_function_variants(self):
+        suite = AbstractSuite(FacetSuite([VectorSizeFacet()]))
+        from repro.workloads import WORKLOADS
+        program = WORKLOADS["inner_product"].program()
+        result = analyze_polyvariant(
+            program,
+            [suite.input(VECTOR, bt=BT.DYNAMIC, size=STATIC_SIZE)] * 2,
+            suite)
+        assert result.variant_count("dotprod") >= 1

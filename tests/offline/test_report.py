@@ -1,0 +1,64 @@
+"""Figure 9 report rendering tests."""
+
+import pytest
+
+from repro.facets import FacetSuite, VectorSizeFacet
+from repro.facets.abstract import AbstractSuite
+from repro.facets.abstract.size import STATIC_SIZE
+from repro.lang.values import VECTOR
+from repro.lattice.bt import BT
+from repro.offline.analysis import analyze
+from repro.offline.report import (
+    analysis_rows, facet_table, signature_lines)
+
+
+@pytest.fixture
+def analysis(inner_product):
+    suite = AbstractSuite(FacetSuite([VectorSizeFacet()]))
+    inputs = [suite.input(VECTOR, bt=BT.DYNAMIC, size=STATIC_SIZE)] * 2
+    return analyze(inner_product, inputs, suite)
+
+
+class TestRows:
+    def test_params_reported(self, analysis):
+        rows = analysis_rows(analysis)
+        params = [r for r in rows if r.kind == "param"]
+        assert {(r.function, r.code) for r in params} >= {
+            ("iprod", "A"), ("iprod", "B"), ("dotprod", "n")}
+
+    def test_figure9_key_values(self, analysis):
+        rows = {(r.function, r.code): r for r in analysis_rows(analysis)}
+        # A = <Dyn, s>
+        assert rows[("iprod", "A")].value == "<Dyn, s>"
+        # Vecf(A) = <Stat> (trigger via size)
+        vsize_row = rows[("iprod", "(vsize A)")]
+        assert vsize_row.value.startswith("<Stat")
+        assert "size" in vsize_row.detail
+        # n = <Stat>
+        assert rows[("dotprod", "n")].value.startswith("<Stat")
+        # vref(A, n) = <Dyn>
+        assert rows[("dotprod", "(vref A n)")].value == "<Dyn>"
+
+    def test_if_test_row(self, analysis):
+        rows = analysis_rows(analysis)
+        tests = [r for r in rows if r.kind == "if-test"]
+        assert len(tests) == 1
+        assert tests[0].detail == "reducible"
+
+    def test_long_code_truncated(self, analysis):
+        rows = analysis_rows(analysis, max_code_width=10)
+        assert all(len(r.code) <= 10 for r in rows)
+
+
+class TestTable:
+    def test_signature_lines(self, analysis):
+        lines = signature_lines(analysis)
+        assert any(line.startswith("iprod :") for line in lines)
+        assert any("<Stat>" in line for line in lines)
+
+    def test_full_table(self, analysis):
+        table = facet_table(analysis, title="Figure 9")
+        assert "Figure 9" in table
+        assert "iprod" in table and "dotprod" in table
+        assert "facet computation needed: size" in table
+        assert "binding times only" in table

@@ -1,0 +1,155 @@
+"""Properties 1 and 2, hypothesis-driven.
+
+For random concrete arguments ``d_i`` and random abstract values above
+their abstractions, every facet operator must over-approximate the
+concrete operator (Property 1); an open operator that answers a
+constant must answer *the* constant (Property 2).  This is Definition
+2's condition 5 on random inputs rather than the fixed samples of
+:mod:`repro.algebra.safety`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semantic import algebra_of
+from repro.facets import (
+    IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.facets.library.interval import Interval
+from repro.lang.errors import EvalError
+from repro.lang.primitives import apply_primitive
+from repro.lang.values import Vector
+from repro.lattice.pevalue import PEValue
+
+ints = st.integers(min_value=-1000, max_value=1000)
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def _check_closed(facet, op_name, sig, concrete, abstract):
+    try:
+        result = apply_primitive(op_name, concrete)
+    except EvalError:
+        return  # concrete bottom: vacuously safe
+    got = facet.apply_closed(op_name, sig, abstract)
+    assert facet.domain.leq(facet.abstract(result), got), \
+        (op_name, concrete, abstract, result, got)
+
+
+def _check_open(facet, op_name, sig, concrete, abstract):
+    try:
+        result = apply_primitive(op_name, concrete)
+    except EvalError:
+        return
+    got = facet.apply_open(op_name, sig, abstract)
+    if got.is_const:
+        assert got == PEValue.const(result), \
+            (op_name, concrete, abstract, result, got)
+    assert not got.is_bottom
+
+
+def _abstract_args(facet, sig, concrete, blur):
+    """Abstract arguments related to the concrete ones: exact
+    abstraction or (per the blur mask) the facet top."""
+    out = []
+    for i, (sort, value) in enumerate(zip(sig.arg_sorts, concrete)):
+        if sort == facet.carrier:
+            exact = facet.abstract(value)
+            out.append(facet.domain.top if blur & (1 << i) else exact)
+        else:
+            out.append(PEValue.top() if blur & (1 << i)
+                       else PEValue.const(value))
+    return out
+
+
+def _run_all_ops(facet, concrete_pair, blur):
+    algebra = algebra_of(facet.carrier)
+    for op in algebra.operations:
+        table = facet.closed_ops if op.is_closed else facet.open_ops
+        if op.name not in table:
+            continue
+        concrete = concrete_pair[:op.arity]
+        # Fill non-carrier positions with plausible values.
+        args = []
+        for sort, value in zip(op.sig.arg_sorts, concrete):
+            if sort == "int":
+                args.append(int(value) if not isinstance(value, Vector)
+                            else 1)
+            elif sort == "float":
+                args.append(float(value)
+                            if not isinstance(value, Vector) else 1.0)
+            else:
+                args.append(value)
+        abstract = _abstract_args(facet, op.sig, args, blur)
+        if op.is_closed:
+            _check_closed(facet, op.name, op.sig, args, abstract)
+        else:
+            _check_open(facet, op.name, op.sig, args, abstract)
+
+
+class TestSignSafety:
+    @given(ints, ints, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=300)
+    def test_all_ops(self, a, b, blur):
+        _run_all_ops(SignFacet(), (a, b), blur)
+
+    @given(floats, floats, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=200)
+    def test_float_instance(self, a, b, blur):
+        _run_all_ops(SignFacet("float"), (float(a), float(b)), blur)
+
+
+class TestParitySafety:
+    @given(ints, ints, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=300)
+    def test_all_ops(self, a, b, blur):
+        _run_all_ops(ParityFacet(), (a, b), blur)
+
+
+class TestIntervalSafety:
+    @given(ints, ints, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=300)
+    def test_all_ops(self, a, b, blur):
+        _run_all_ops(IntervalFacet(), (a, b), blur)
+
+    @given(ints, ints, ints, ints)
+    @settings(max_examples=200)
+    def test_widened_abstractions_still_safe(self, a, b, lo_pad,
+                                             hi_pad):
+        """Safety must hold for ANY abstract value above alpha(d), not
+        just alpha(d) itself — here a padded interval."""
+        facet = IntervalFacet()
+        padded_a = Interval(a - abs(lo_pad), a + abs(hi_pad))
+        exact_b = facet.abstract(b)
+        sig = algebra_of("int").operation("+").sig
+        got = facet.apply_closed("+", sig, [padded_a, exact_b])
+        assert facet.domain.leq(facet.abstract(a + b), got)
+
+
+class TestVectorSizeSafety:
+    @given(st.lists(floats, min_size=0, max_size=6),
+           st.integers(min_value=0, max_value=1))
+    @settings(max_examples=200)
+    def test_vsize(self, items, blur):
+        facet = VectorSizeFacet()
+        vector = Vector.of(items)
+        sig = algebra_of("vector").operation("vsize").sig
+        abstract = facet.domain.top if blur else facet.abstract(vector)
+        got = facet.apply_open("vsize", sig, [abstract])
+        if got.is_const:
+            assert got == PEValue.const(vector.size)
+
+    @given(st.lists(floats, min_size=1, max_size=6),
+           st.integers(min_value=1, max_value=6), floats)
+    @settings(max_examples=200)
+    def test_updvec_preserves_size_abstraction(self, items, index,
+                                               value):
+        facet = VectorSizeFacet()
+        vector = Vector.of(items)
+        if index > vector.size:
+            return
+        sig = algebra_of("vector").operation("updvec").sig
+        got = facet.apply_closed(
+            "updvec", sig,
+            [facet.abstract(vector), PEValue.const(index),
+             PEValue.const(float(value))])
+        updated = vector.update(index, float(value))
+        assert facet.domain.leq(facet.abstract(updated), got)

@@ -1,0 +1,137 @@
+"""Property-based lattice-law checks on the non-enumerable domains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.facets.library.interval import (
+    EMPTY, FULL, Interval, IntervalLattice)
+from repro.lattice.pevalue import PE_LATTICE, PEValue
+
+# -- strategies -------------------------------------------------------------
+
+values = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.booleans(),
+    st.floats(min_value=-8, max_value=8, allow_nan=False,
+              width=32).map(float))
+
+pe_values = st.one_of(
+    st.just(PEValue.bottom()),
+    st.just(PEValue.top()),
+    values.map(PEValue.const))
+
+
+def _interval(lo, width):
+    return Interval(lo, None if width is None else lo + width)
+
+
+intervals = st.one_of(
+    st.just(EMPTY),
+    st.just(FULL),
+    st.builds(_interval,
+              st.integers(min_value=-30, max_value=30),
+              st.one_of(st.none(),
+                        st.integers(min_value=0, max_value=40))),
+    st.builds(lambda hi: Interval(None, hi),
+              st.integers(min_value=-30, max_value=30)),
+)
+
+INTERVALS = IntervalLattice()
+
+
+class TestPEValueLattice:
+    @given(pe_values)
+    def test_reflexive(self, a):
+        assert PE_LATTICE.leq(a, a)
+
+    @given(pe_values, pe_values)
+    def test_antisymmetric(self, a, b):
+        if PE_LATTICE.leq(a, b) and PE_LATTICE.leq(b, a):
+            assert a == b
+
+    @given(pe_values, pe_values, pe_values)
+    def test_transitive(self, a, b, c):
+        if PE_LATTICE.leq(a, b) and PE_LATTICE.leq(b, c):
+            assert PE_LATTICE.leq(a, c)
+
+    @given(pe_values, pe_values)
+    def test_join_is_upper_bound(self, a, b):
+        j = PE_LATTICE.join(a, b)
+        assert PE_LATTICE.leq(a, j) and PE_LATTICE.leq(b, j)
+
+    @given(pe_values, pe_values, pe_values)
+    def test_join_is_least(self, a, b, c):
+        if PE_LATTICE.leq(a, c) and PE_LATTICE.leq(b, c):
+            assert PE_LATTICE.leq(PE_LATTICE.join(a, b), c)
+
+    @given(pe_values, pe_values)
+    def test_join_commutative(self, a, b):
+        assert PE_LATTICE.join(a, b) == PE_LATTICE.join(b, a)
+
+    @given(pe_values, pe_values)
+    def test_meet_is_lower_bound(self, a, b):
+        m = PE_LATTICE.meet(a, b)
+        assert PE_LATTICE.leq(m, a) and PE_LATTICE.leq(m, b)
+
+
+class TestIntervalLattice:
+    @given(intervals)
+    def test_reflexive(self, a):
+        assert INTERVALS.leq(a, a)
+
+    @given(intervals, intervals)
+    def test_antisymmetric(self, a, b):
+        if INTERVALS.leq(a, b) and INTERVALS.leq(b, a):
+            assert a == b
+
+    @given(intervals, intervals, intervals)
+    def test_transitive(self, a, b, c):
+        if INTERVALS.leq(a, b) and INTERVALS.leq(b, c):
+            assert INTERVALS.leq(a, c)
+
+    @given(intervals, intervals)
+    def test_join_is_upper_bound(self, a, b):
+        j = INTERVALS.join(a, b)
+        assert INTERVALS.leq(a, j) and INTERVALS.leq(b, j)
+
+    @given(intervals, intervals, intervals)
+    def test_join_is_least(self, a, b, c):
+        if INTERVALS.leq(a, c) and INTERVALS.leq(b, c):
+            assert INTERVALS.leq(INTERVALS.join(a, b), c)
+
+    @given(intervals, intervals)
+    def test_meet_is_greatest_lower_bound(self, a, b):
+        m = INTERVALS.meet(a, b)
+        assert INTERVALS.leq(m, a) and INTERVALS.leq(m, b)
+
+    @given(intervals, intervals)
+    def test_widening_is_an_upper_bound(self, a, b):
+        w = INTERVALS.widen(a, b)
+        assert INTERVALS.leq(a, w) and INTERVALS.leq(b, w)
+
+    @given(intervals)
+    def test_widening_chain_stabilizes_fast(self, start):
+        # Widening must reach a fixpoint in a bounded number of steps
+        # regardless of the ascending chain fed to it — here we grow
+        # the interval by one on both sides each round.
+        current = start
+        for step in range(6):
+            if current == EMPTY:
+                grown = Interval(-1, 1)
+            else:
+                assert isinstance(current, Interval)
+                lo = None if current.lo is None else current.lo - 1
+                hi = None if current.hi is None else current.hi + 1
+                grown = Interval(lo, hi)
+            new = INTERVALS.widen(current, grown)
+            if new == current:
+                break
+            current = new
+        else:
+            raise AssertionError("widening did not stabilize")
+
+    @given(intervals, st.integers(min_value=-40, max_value=40))
+    def test_membership_respected_by_join(self, a, point):
+        singleton = Interval(point, point)
+        j = INTERVALS.join(a, singleton)
+        assert INTERVALS.leq(singleton, j)

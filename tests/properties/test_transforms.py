@@ -1,0 +1,80 @@
+"""Property tests for program transformations and the generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.errors import EvalError, FuelExhausted
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.program import is_first_order
+from repro.lang.values import values_equal
+from repro.transform.cleanup import drop_unreachable
+from repro.transform.simplify import simplify_program
+from repro.workloads.generator import GenConfig, generate_program
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+ARGS = st.integers(min_value=-6, max_value=8)
+GEN = GenConfig(functions=3, max_depth=4)
+FUEL = 400_000
+
+
+class TestGenerator:
+    @given(SEEDS)
+    @settings(max_examples=100, deadline=None)
+    def test_programs_validate(self, seed):
+        program = generate_program(seed, GEN)
+        program.validate()
+        assert is_first_order(program)
+
+    @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_programs_terminate(self, seed, pool):
+        program = generate_program(seed, GEN)
+        args = pool[:program.main.arity]
+        # Structural recursion: must terminate well within the fuel.
+        run_program(program, *args, fuel=FUEL)
+
+    @given(SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_determinism(self, seed):
+        assert generate_program(seed, GEN) == generate_program(seed,
+                                                               GEN)
+
+
+class TestRoundTrip:
+    @given(SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_pretty_parse_identity(self, seed):
+        program = generate_program(seed, GEN)
+        assert parse_program(pretty_program(program)) == program
+
+
+class TestSimplifyPreservesSemantics:
+    @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_equivalence(self, seed, pool):
+        program = generate_program(seed, GEN)
+        args = pool[:program.main.arity]
+        simplified = simplify_program(program)
+        want = run_program(program, *args, fuel=FUEL)
+        got = run_program(simplified, *args, fuel=FUEL)
+        assert values_equal(want, got)
+
+    @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_never_grows(self, seed, pool):
+        program = generate_program(seed, GEN)
+        assert simplify_program(program).size() <= program.size()
+
+
+class TestCleanup:
+    @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_drop_unreachable_preserves_goal(self, seed, pool):
+        program = generate_program(seed, GEN)
+        args = pool[:program.main.arity]
+        cleaned = drop_unreachable(program)
+        assert values_equal(
+            run_program(program, *args, fuel=FUEL),
+            run_program(cleaned, *args, fuel=FUEL))

@@ -1,0 +1,77 @@
+"""Workload corpus and generator-config tests."""
+
+import pytest
+
+from repro.lang.interp import run_program
+from repro.lang.program import is_first_order
+from repro.lang.values import Vector
+from repro.workloads import (
+    WORKLOADS, GenConfig, generate_program, get_workload,
+    vm_program_square_plus)
+
+
+class TestCorpus:
+    def test_all_workloads_parse_and_validate(self):
+        for name, workload in WORKLOADS.items():
+            program = workload.program()
+            program.validate()
+
+    def test_lookup(self):
+        assert get_workload("gcd").name == "gcd"
+        with pytest.raises(KeyError, match="known:"):
+            get_workload("nope")
+
+    def test_higher_order_flags(self):
+        assert WORKLOADS["ho_pipeline"].higher_order
+        assert not WORKLOADS["inner_product"].higher_order
+
+    def test_descriptions_nonempty(self):
+        assert all(w.description for w in WORKLOADS.values())
+
+    def test_workloads_run(self):
+        v = Vector.of([1.0, 2.0, 3.0])
+        assert run_program(WORKLOADS["inner_product"].program(),
+                           v, v) == 14.0
+        assert run_program(WORKLOADS["power"].program(), 2, 10) == 1024
+        assert run_program(WORKLOADS["gcd"].program(), 12, 30) == 6
+        assert run_program(WORKLOADS["fib"].program(), 10) == 55
+        assert run_program(WORKLOADS["alternating_sum"].program(),
+                           Vector.of([1.0, 2.0])) == 1.0
+        assert run_program(WORKLOADS["poly_eval"].program(),
+                           Vector.of([2.0, 3.0]), 10.0) == 32.0
+
+    def test_ho_workloads_run(self):
+        v = Vector.of([1.0, 2.0])
+        result = run_program(WORKLOADS["ho_pipeline"].program(), v,
+                             2.0)
+        assert isinstance(result, float)
+        assert run_program(WORKLOADS["ho_select"].program(), 3,
+                           True) == 5
+        assert run_program(WORKLOADS["ho_select"].program(), 3,
+                           False) == 12
+
+    def test_mini_vm_square_plus(self):
+        code = Vector.of(vm_program_square_plus(4.0))
+        assert run_program(WORKLOADS["mini_vm"].program(), code, 1.0) \
+            == 10.0
+
+
+class TestGeneratorConfig:
+    def test_function_count_respected(self):
+        program = generate_program(0, GenConfig(functions=5))
+        assert len(program) == 5
+
+    def test_max_params_respected(self):
+        config = GenConfig(functions=4, max_params=2)
+        for seed in range(10):
+            program = generate_program(seed, config)
+            assert all(d.arity <= 2 for d in program.defs)
+
+    def test_all_programs_first_order(self):
+        for seed in range(20):
+            assert is_first_order(generate_program(seed))
+
+    def test_depth_bounds_size(self):
+        shallow = generate_program(7, GenConfig(max_depth=2)).size()
+        deep = generate_program(7, GenConfig(max_depth=6)).size()
+        assert shallow <= deep
