@@ -14,6 +14,37 @@ import pytest
 
 from repro.facets import (
     FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.observability import CacheStats, build_report, write_report
+
+#: Suites handed out by the fixtures below, harvested at session end
+#: when ``--profile`` is given.
+_SUITES: list[FacetSuite] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="after the benchmark run, write a JSON report aggregating "
+             "the facet-suite cache statistics to PATH (stderr when "
+             "PATH is omitted or '-')")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    destination = session.config.getoption("--profile", default=None)
+    if destination is None or not _SUITES:
+        return
+    merged = CacheStats()
+    for suite in _SUITES:
+        merged.merge(suite.cache_stats)
+    report = build_report(
+        command="pytest benchmarks/", cache_stats=merged,
+        extra={"suites": len(_SUITES)})
+    write_report(report, destination)
+
+
+def _track(suite: FacetSuite) -> FacetSuite:
+    _SUITES.append(suite)
+    return suite
 
 
 @pytest.fixture
@@ -31,10 +62,10 @@ def report(capsys):
 
 @pytest.fixture
 def size_suite():
-    return FacetSuite([VectorSizeFacet()])
+    return _track(FacetSuite([VectorSizeFacet()]))
 
 
 @pytest.fixture
 def rich_suite():
-    return FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
-                       VectorSizeFacet()])
+    return _track(FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
+                              VectorSizeFacet()]))

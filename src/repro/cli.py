@@ -13,6 +13,12 @@ Subcommands:
 
 Facets available from the command line: ``sign``, ``parity``,
 ``interval`` (``interval=lo:hi``), ``size``.
+
+``specialize``, ``analyze`` and ``offline`` accept ``--profile [PATH]``:
+a JSON report with per-phase wall-clock times (parse / analyze /
+specialize / simplify), the specializer's work counters, and the facet
+suite's cache hit rates is written to PATH (stderr when omitted or
+``-``).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.facets.vector import FacetSuite, FacetVector
 from repro.facets import (
     IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
 from repro.facets.abstract.vector import AbstractSuite
+from repro.observability import PhaseTimer, build_report, write_report
 from repro.online.specializer import specialize_online
 from repro.offline.analysis import analyze
 from repro.offline.report import facet_table
@@ -101,6 +108,12 @@ def main(argv: list[str] | None = None) -> int:
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("file", type=Path)
         cmd.add_argument("specs", nargs="*")
+        cmd.add_argument(
+            "--profile", nargs="?", const="-", default=None,
+            metavar="PATH",
+            help="emit a JSON profile report (phase times, work "
+                 "counters, cache hit rates) to PATH, or stderr "
+                 "when PATH is omitted or '-'")
 
     sub.add_parser("workloads", help="list the shipped corpus")
 
@@ -113,7 +126,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{workload.name:18} {workload.description}{marker}")
         return 0
 
-    program = parse_program(options.file.read_text())
+    profile_to = getattr(options, "profile", None)
+    timer = PhaseTimer()
+
+    with timer.phase("parse"):
+        program = parse_program(options.file.read_text())
 
     if options.command == "run":
         result = run_program(program,
@@ -124,28 +141,47 @@ def main(argv: list[str] | None = None) -> int:
     suite = _default_suite()
     specs = [_parse_spec(suite, s) for s in options.specs]
 
+    def _emit_profile(stats=None) -> None:
+        if profile_to is None:
+            return
+        if stats is not None:
+            for name, seconds in stats.phase_seconds.items():
+                timer.add(name, seconds)
+        report = build_report(
+            command=f"ppe {options.command} {options.file}",
+            timer=timer, stats=stats, cache_stats=suite.cache_stats)
+        try:
+            write_report(report, profile_to)
+        except OSError as error:
+            raise SystemExit(
+                f"ppe: cannot write profile report: {error}")
+
     if options.command == "specialize":
         result = specialize_online(program, specs, suite)
         print(pretty_program(result.program), end="")
         print(f"; facet evaluations: "
               f"{result.stats.facet_evaluations}", file=sys.stderr)
+        _emit_profile(result.stats)
         return 0
 
     abstract_suite = AbstractSuite(suite)
     pattern = [abstract_suite.abstract_of_online(
         s if isinstance(s, FacetVector) else suite.const_vector(s))
         for s in specs]
-    analysis = analyze(program, pattern, abstract_suite)
+    with timer.phase("analyze"):
+        analysis = analyze(program, pattern, abstract_suite)
 
     if options.command == "analyze":
         print(facet_table(analysis,
                           title=f"Facet analysis of {options.file}"))
+        _emit_profile()
         return 0
 
     result = OfflineSpecializer(analysis, suite).specialize(specs)
     print(pretty_program(result.program), end="")
     print(f"; facet evaluations: {result.stats.facet_evaluations}",
           file=sys.stderr)
+    _emit_profile(result.stats)
     return 0
 
 

@@ -17,18 +17,38 @@ builds vectors, joins them, projects components, and implements the
 product operators ``omega_p`` of Definition 5 together with the
 constant-propagation rule of Figure 3's ``K^`` (a constant produced by
 any facet is pushed to all facets through their abstraction functions).
+
+The suite also owns the hot-path caching layer (on by default, opt out
+with ``FacetSuite(facets, caching=False)``):
+
+* a **dispatch cache** memoizing overload resolution keyed on
+  ``(prim_name, argument sorts)`` — the specializers re-apply the same
+  primitive instances thousands of times per run;
+* **hash-consed vectors** — ``const_vector``, ``unknown``, ``bottom``
+  and every product built through :meth:`make_vector` are interned, so
+  the smashed-product values that dominate allocation are shared,
+  identity-comparable, and carry a memoized bottom check;
+* a **pure-operator memo** for closed facet operators and the PE
+  facet's uniform operator on interned inputs.
+
+Caching is observationally transparent: residual programs and every
+:class:`~repro.observability.stats.PEStats` counter are identical with
+caching on or off (``facet_evaluations`` counts operator applications
+in the paper's cost model even when the memo served them).  Hit rates
+are reported through :attr:`FacetSuite.cache_stats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Hashable, Iterable, Sequence
 
 from repro.lang.errors import ConsistencyError, EvalError
 from repro.lang.primitives import PRIMITIVES, PrimSig
 from repro.lang.values import Value, is_value, sort_of
 from repro.lattice.core import AbstractValue
 from repro.lattice.pevalue import PE_LATTICE, PEValue
+from repro.observability.cache_stats import CacheStats
 from repro.facets.base import Facet
 from repro.facets.pe import PE_FACET
 
@@ -66,10 +86,15 @@ class PrimOutcome:
     facet_evaluations: int
 
 
+#: Dispatch-cache entry for "no unique overload".
+_NO_SIG = (None, ())
+
+
 class FacetSuite:
     """A set of user facets parameterizing the partial evaluator."""
 
-    def __init__(self, facets: Sequence[Facet] = ()) -> None:
+    def __init__(self, facets: Sequence[Facet] = (), *,
+                 caching: bool = True) -> None:
         self.facets = tuple(facets)
         names = [f.name for f in self.facets]
         if len(set(names)) != len(names):
@@ -78,6 +103,32 @@ class FacetSuite:
         for facet in self.facets:
             existing = self._by_sort.get(facet.carrier, ())
             self._by_sort[facet.carrier] = existing + (facet,)
+        # id(facet) -> component index within its carrier's group.
+        self._facet_pos: dict[int, int] = {
+            id(facet): index
+            for group in self._by_sort.values()
+            for index, facet in enumerate(group)}
+        self.caching = caching
+        self.cache_stats = CacheStats()
+        # (prim, arg sorts) -> (sig | None, facets of sig.carrier)
+        self._dispatch: dict[tuple, tuple[PrimSig | None,
+                                          tuple[Facet, ...]]] = {}
+        # (prim, arity) -> common result sort | None
+        self._result_sorts: dict[tuple[str, int], str | None] = {}
+        # (sort, pe, user) -> interned vector
+        self._vectors: dict[tuple, FacetVector] = {}
+        # id(interned vector) -> memoized bottom check (safe: the
+        # intern table keeps every keyed vector alive for the suite's
+        # lifetime, so ids are never reused by live foreign vectors).
+        self._bottoms: dict[int, bool] = {}
+        self._unknown_by_sort: dict[str | None, FacetVector] = {}
+        self._bottom_by_sort: dict[str | None, FacetVector] = {}
+        # (sort, constant) -> interned constant vector
+        self._consts: dict[tuple, FacetVector] = {}
+        # (facet name, prim, sig, projected args) -> operator result
+        self._ops: dict[tuple, object] = {}
+        # (prim, interned arg identities) -> complete PrimOutcome
+        self._outcomes: dict[tuple, PrimOutcome] = {}
 
     # -- structure ------------------------------------------------------
     def facets_for(self, sort: str | None) -> tuple[Facet, ...]:
@@ -98,25 +149,71 @@ class FacetSuite:
         return "\n".join(lines)
 
     # -- vector constructors ---------------------------------------------
+    def make_vector(self, sort: str | None, pe: PEValue,
+                    user: tuple[AbstractValue, ...]) -> FacetVector:
+        """Hash-consing constructor: one shared instance per distinct
+        ``(sort, pe, user)``; falls back to a fresh instance when a
+        component is unhashable or caching is off."""
+        if not self.caching:
+            return FacetVector(sort, pe, user)
+        key = (sort, pe, user)
+        try:
+            vector = self._vectors.get(key)
+        except TypeError:
+            return FacetVector(sort, pe, user)
+        if vector is not None:
+            self.cache_stats.vector_hits += 1
+            return vector
+        self.cache_stats.vector_misses += 1
+        vector = FacetVector(sort, pe, user)
+        self._vectors[key] = vector
+        self._bottoms[id(vector)] = self._compute_is_bottom(vector)
+        return vector
+
     def const_vector(self, value: Value) -> FacetVector:
         """``K^`` of Figure 3: a constant, abstracted into every facet of
         its algebra."""
         if not is_value(value):
             raise TypeError(f"not a value: {value!r}")
         sort = sort_of(value)
+        if self.caching:
+            key = (sort, value)
+            try:
+                cached = self._consts.get(key)
+            except TypeError:
+                cached = key = None
+            if cached is not None:
+                return cached
         user = tuple(facet.abstract(value)
                      for facet in self.facets_for(sort))
-        return FacetVector(sort, PEValue.const(value), user)
+        vector = self.make_vector(sort, PEValue.const(value), user)
+        if self.caching and key is not None:
+            self._consts[key] = vector
+        return vector
 
     def unknown(self, sort: str | None = None) -> FacetVector:
         """A fully dynamic value: top in every component."""
+        if self.caching:
+            cached = self._unknown_by_sort.get(sort)
+            if cached is not None:
+                return cached
         user = tuple(facet.domain.top for facet in self.facets_for(sort))
-        return FacetVector(sort, PEValue.top(), user)
+        vector = self.make_vector(sort, PEValue.top(), user)
+        if self.caching:
+            self._unknown_by_sort[sort] = vector
+        return vector
 
     def bottom(self, sort: str | None = None) -> FacetVector:
+        if self.caching:
+            cached = self._bottom_by_sort.get(sort)
+            if cached is not None:
+                return cached
         user = tuple(facet.domain.bottom
                      for facet in self.facets_for(sort))
-        return FacetVector(sort, PEValue.bottom(), user)
+        vector = self.make_vector(sort, PEValue.bottom(), user)
+        if self.caching:
+            self._bottom_by_sort[sort] = vector
+        return vector
 
     def input(self, sort: str, pe: PEValue | None = None,
               **components: AbstractValue) -> FacetVector:
@@ -131,8 +228,8 @@ class FacetSuite:
         if known:
             raise KeyError(
                 f"no facet(s) named {sorted(known)} for sort {sort!r}")
-        vector = FacetVector(sort, pe if pe is not None else PEValue.top(),
-                             tuple(user))
+        vector = self.make_vector(
+            sort, pe if pe is not None else PEValue.top(), tuple(user))
         return self.smash(vector)
 
     def smash(self, vector: FacetVector) -> FacetVector:
@@ -143,6 +240,12 @@ class FacetSuite:
         return vector
 
     def is_bottom(self, vector: FacetVector) -> bool:
+        cached = self._bottoms.get(id(vector))
+        if cached is not None:
+            return cached
+        return self._compute_is_bottom(vector)
+
+    def _compute_is_bottom(self, vector: FacetVector) -> bool:
         if vector.pe.is_bottom:
             return True
         facets = self.facets_for(vector.sort)
@@ -153,6 +256,8 @@ class FacetSuite:
     def join(self, left: FacetVector, right: FacetVector) -> FacetVector:
         """Component-wise join; joining across different summands loses
         the sort (conditional branches of different types)."""
+        if left is right:
+            return left
         if self.is_bottom(left):
             return right
         if self.is_bottom(right):
@@ -162,15 +267,19 @@ class FacetSuite:
             # different algebras and are lost, but the PE component
             # joins in the flat Values lattice (constants of different
             # sorts are distinct, so this is usually top).
-            return FacetVector(None,
-                               PE_LATTICE.join(left.pe, right.pe), ())
+            return self.make_vector(None,
+                                    PE_LATTICE.join(left.pe, right.pe),
+                                    ())
         facets = self.facets_for(left.sort)
         user = tuple(facet.domain.join(l, r) for facet, l, r
                      in zip(facets, left.user, right.user))
-        return FacetVector(left.sort,
-                           PE_LATTICE.join(left.pe, right.pe), user)
+        return self.make_vector(left.sort,
+                                PE_LATTICE.join(left.pe, right.pe),
+                                user)
 
     def leq(self, left: FacetVector, right: FacetVector) -> bool:
+        if left is right:
+            return True
         if self.is_bottom(left):
             return True
         if self.is_bottom(right):
@@ -194,11 +303,11 @@ class FacetSuite:
         different (or unknown) sort project to that facet's top."""
         if vector.sort != facet.carrier:
             return facet.domain.top
-        facets = self.facets_for(vector.sort)
-        for candidate, component in zip(facets, vector.user):
-            if candidate is facet:
-                return component
-        return facet.domain.top
+        index = self._facet_pos.get(id(facet))
+        if index is None or index >= len(vector.user):
+            # A facet that is not part of this suite projects to top.
+            return facet.domain.top
+        return vector.user[index]
 
     # -- the product operators (Definition 5) ------------------------------
     def apply_prim(self, prim_name: str,
@@ -209,11 +318,33 @@ class FacetSuite:
         propagation of Figure 3's ``K^_P``: when the application yields a
         constant, the result vector is the constant's abstraction in
         *every* facet.
+
+        The whole outcome — result vector, fold decision and the
+        semantic ``facet_evaluations`` count — is a pure function of
+        the arguments, so it is memoized on interned argument identity;
+        a cache hit replays the exact accounting of the original
+        application.
         """
-        prim = PRIMITIVES.get(prim_name)
-        if prim is None:
+        if prim_name not in PRIMITIVES:
             raise EvalError(f"unknown primitive {prim_name!r}")
-        sig = self._resolve_sig(prim_name, args)
+        memo_key = None
+        if self.caching:
+            interned = self._bottoms
+            if all(id(arg) in interned for arg in args):
+                memo_key = (prim_name, *map(id, args))
+                cached = self._outcomes.get(memo_key)
+                if cached is not None:
+                    self.cache_stats.outcome_hits += 1
+                    return cached
+                self.cache_stats.outcome_misses += 1
+        outcome = self._apply_prim_uncached(prim_name, args)
+        if memo_key is not None:
+            self._outcomes[memo_key] = outcome
+        return outcome
+
+    def _apply_prim_uncached(self, prim_name: str,
+                             args: Sequence[FacetVector]) -> PrimOutcome:
+        sig, facets = self._dispatch_prim(prim_name, args)
         if sig is None:
             result_sort = self._common_result_sort(prim_name, args)
             return PrimOutcome(self.unknown(result_sort), None,
@@ -222,9 +353,8 @@ class FacetSuite:
             return PrimOutcome(self.bottom(sig.result_sort), sig,
                                False, None, 0)
 
-        pe_result = PE_FACET.apply(prim_name, sig,
-                                   [arg.pe for arg in args])
-        facets = self.facets_for(sig.carrier)
+        pe_result = self._apply_pe(prim_name, sig,
+                                   tuple(arg.pe for arg in args))
         evaluations = 1  # the PE facet ran
 
         if sig.is_closed:
@@ -232,15 +362,15 @@ class FacetSuite:
             for facet in facets:
                 projected = self._project_args(facet, sig, args)
                 components.append(
-                    facet.apply_closed(prim_name, sig, projected))
+                    self._apply_closed(facet, prim_name, sig, projected))
                 evaluations += 1
             if pe_result.is_const:
                 return PrimOutcome(
                     self.const_vector(pe_result.constant()), sig,
                     True, "pe", evaluations)
             vector = self.smash(
-                FacetVector(sig.result_sort, pe_result,
-                            tuple(components)))
+                self.make_vector(sig.result_sort, pe_result,
+                                 tuple(components)))
             return PrimOutcome(vector, sig, False, None, evaluations)
 
         # Open operator: every facet (PE facet included) may produce the
@@ -271,11 +401,75 @@ class FacetSuite:
         return PrimOutcome(self.unknown(sig.result_sort), sig,
                            False, None, evaluations)
 
+    # -- cached operator applications ---------------------------------------
+    def _apply_pe(self, prim_name: str, sig: PrimSig,
+                  pe_args: tuple[PEValue, ...]) -> PEValue:
+        """The PE facet's uniform operator, memoized (it is pure —
+        errors fold to top deterministically)."""
+        if not self.caching:
+            return PE_FACET.apply(prim_name, sig, pe_args)
+        key = ("pe", prim_name, sig, pe_args)
+        try:
+            cached = self._ops.get(key)
+        except TypeError:
+            return PE_FACET.apply(prim_name, sig, pe_args)
+        if cached is not None:
+            self.cache_stats.op_hits += 1
+            return cached  # type: ignore[return-value]
+        self.cache_stats.op_misses += 1
+        result = PE_FACET.apply(prim_name, sig, pe_args)
+        self._ops[key] = result
+        return result
+
+    def _apply_closed(self, facet: Facet, prim_name: str, sig: PrimSig,
+                      projected: list[object]) -> AbstractValue:
+        """A closed facet operator, memoized on interned inputs (facet
+        operators are pure abstract functions by Definition 4)."""
+        if not self.caching:
+            return facet.apply_closed(prim_name, sig, projected)
+        try:
+            key: Hashable = (facet.name, prim_name, sig,
+                             tuple(projected))
+            cached = self._ops.get(key)
+        except TypeError:
+            return facet.apply_closed(prim_name, sig, projected)
+        if cached is not None:
+            self.cache_stats.op_hits += 1
+            return cached
+        self.cache_stats.op_misses += 1
+        result = facet.apply_closed(prim_name, sig, projected)
+        self._ops[key] = result
+        return result
+
+    # -- overload dispatch ----------------------------------------------------
+    def _dispatch_prim(self, prim_name: str,
+                       args: Sequence[FacetVector]) \
+            -> tuple[PrimSig | None, tuple[Facet, ...]]:
+        """Resolve the overload and its carrier's facets, memoized on
+        ``(prim_name, argument sorts)``."""
+        if not self.caching:
+            sig = self._resolve_sig(prim_name, args)
+            return (sig, self.facets_for(sig.carrier)) if sig \
+                else _NO_SIG
+        key = (prim_name, tuple(arg.sort for arg in args))
+        entry = self._dispatch.get(key)
+        if entry is not None:
+            self.cache_stats.dispatch_hits += 1
+            return entry
+        self.cache_stats.dispatch_misses += 1
+        sig = self._resolve_sig(prim_name, args)
+        entry = (sig, self.facets_for(sig.carrier)) if sig else _NO_SIG
+        self._dispatch[key] = entry
+        return entry
+
     def resolve_sig(self, prim_name: str,
                     args: Sequence[FacetVector]) -> PrimSig | None:
         """Public alias of the overload resolver (used by the offline
-        specializer and the generating extension)."""
-        return self._resolve_sig(prim_name, args)
+        specializer and the generating extension); cached like
+        :meth:`apply_prim`'s dispatch."""
+        if prim_name not in PRIMITIVES:
+            raise EvalError(f"unknown primitive {prim_name!r}")
+        return self._dispatch_prim(prim_name, args)[0]
 
     def project_args(self, facet: Facet, sig: PrimSig,
                      args: Sequence[FacetVector]) -> list[object]:
@@ -297,10 +491,16 @@ class FacetSuite:
 
     def _common_result_sort(self, prim_name: str,
                             args: Sequence[FacetVector]) -> str | None:
+        key = (prim_name, len(args))
+        if self.caching and key in self._result_sorts:
+            return self._result_sorts[key]
         prim = PRIMITIVES[prim_name]
         sorts = {sig.result_sort for sig in prim.sigs
                  if len(sig.arg_sorts) == len(args)}
-        return sorts.pop() if len(sorts) == 1 else None
+        result = sorts.pop() if len(sorts) == 1 else None
+        if self.caching:
+            self._result_sorts[key] = result
+        return result
 
     def _project_args(self, facet: Facet, sig: PrimSig,
                       args: Sequence[FacetVector]) -> list[object]:

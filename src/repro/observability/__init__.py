@@ -1,0 +1,31 @@
+"""Observability: work counters, cache statistics and phase timers.
+
+The paper's cost argument against online parameterized PE is that the
+specializer pays ``facet_evaluations`` at every primitive (Figure 3);
+this package makes that cost — and what the dispatch/interning caches
+of :class:`repro.facets.vector.FacetSuite` save — measurable:
+
+* :class:`PEStats` — per-run work counters (the decision-cost
+  instrumentation behind ``benchmarks/bench_decisions.py``);
+* :class:`CacheStats` — hit/miss counters of the facet-suite caches;
+* :class:`PhaseTimer` — wall-clock accounting per phase (parse /
+  analyze / specialize / simplify);
+* :func:`build_report` / :func:`write_report` — the JSON profile the
+  CLI's ``--profile`` flag and the benchmark conftest emit.
+
+Counters are *semantic*: ``facet_evaluations`` counts facet-operator
+applications in the paper's cost model whether or not the memoization
+layer served them from cache, so enabling caching never changes the
+accounting (pinned by ``tests/observability/``).  Cache effectiveness
+is reported separately through :class:`CacheStats`.
+"""
+
+from repro.observability.cache_stats import CacheStats
+from repro.observability.stats import PEStats
+from repro.observability.timers import PhaseTimer
+from repro.observability.profile import build_report, write_report
+
+__all__ = [
+    "CacheStats", "PEStats", "PhaseTimer", "build_report",
+    "write_report",
+]

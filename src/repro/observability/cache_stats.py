@@ -1,0 +1,79 @@
+"""Hit/miss counters for the facet-suite caching layer.
+
+One :class:`CacheStats` instance lives on every
+:class:`repro.facets.vector.FacetSuite`; the suite's dispatch cache,
+vector interner and closed-operator memo all report into it.  The
+perf-regression smoke test (``tests/perf/test_dispatch_cache.py``)
+asserts the dispatch hit-rate stays above 50% on the workload corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Counters for one suite's caches."""
+
+    #: Primitive-dispatch cache: (prim, arg sorts) -> resolved signature.
+    dispatch_hits: int = 0
+    dispatch_misses: int = 0
+    #: Hash-consed vector construction.
+    vector_hits: int = 0
+    vector_misses: int = 0
+    #: Memoized pure operator applications (closed facet ops + the PE
+    #: facet's uniform operator).
+    op_hits: int = 0
+    op_misses: int = 0
+    #: Whole-``apply_prim`` outcomes memoized on interned arguments.
+    outcome_hits: int = 0
+    outcome_misses: int = 0
+
+    # -- derived -------------------------------------------------------
+    @property
+    def dispatch_rate(self) -> float:
+        total = self.dispatch_hits + self.dispatch_misses
+        return self.dispatch_hits / total if total else 0.0
+
+    @property
+    def vector_rate(self) -> float:
+        total = self.vector_hits + self.vector_misses
+        return self.vector_hits / total if total else 0.0
+
+    @property
+    def op_rate(self) -> float:
+        total = self.op_hits + self.op_misses
+        return self.op_hits / total if total else 0.0
+
+    @property
+    def outcome_rate(self) -> float:
+        total = self.outcome_hits + self.outcome_misses
+        return self.outcome_hits / total if total else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another suite's counters (benchmark aggregation)."""
+        self.dispatch_hits += other.dispatch_hits
+        self.dispatch_misses += other.dispatch_misses
+        self.vector_hits += other.vector_hits
+        self.vector_misses += other.vector_misses
+        self.op_hits += other.op_hits
+        self.op_misses += other.op_misses
+        self.outcome_hits += other.outcome_hits
+        self.outcome_misses += other.outcome_misses
+
+    def as_dict(self) -> dict:
+        return {
+            "dispatch": {"hits": self.dispatch_hits,
+                         "misses": self.dispatch_misses,
+                         "rate": round(self.dispatch_rate, 4)},
+            "vector": {"hits": self.vector_hits,
+                       "misses": self.vector_misses,
+                       "rate": round(self.vector_rate, 4)},
+            "op": {"hits": self.op_hits,
+                   "misses": self.op_misses,
+                   "rate": round(self.op_rate, 4)},
+            "outcome": {"hits": self.outcome_hits,
+                        "misses": self.outcome_misses,
+                        "rate": round(self.outcome_rate, 4)},
+        }

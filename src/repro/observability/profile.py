@@ -1,0 +1,54 @@
+"""The ``--profile`` JSON report.
+
+Shared by the CLI (``ppe specialize --profile ...``) and the benchmark
+conftest (``pytest benchmarks/ --profile report.json``): one JSON
+document combining phase wall-clock times, specializer work counters
+and the facet-suite cache statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, TextIO
+
+from repro.observability.cache_stats import CacheStats
+from repro.observability.stats import PEStats
+from repro.observability.timers import PhaseTimer
+
+#: Report format version, bumped on layout changes.
+REPORT_VERSION = 1
+
+
+def build_report(*, command: str | None = None,
+                 timer: PhaseTimer | None = None,
+                 stats: PEStats | None = None,
+                 cache_stats: CacheStats | None = None,
+                 extra: dict[str, Any] | None = None) -> dict:
+    """Assemble the JSON-ready profile document."""
+    report: dict[str, Any] = {"version": REPORT_VERSION}
+    if command is not None:
+        report["command"] = command
+    if timer is not None:
+        report["phases"] = timer.as_dict()
+        report["total_seconds"] = round(timer.total(), 6)
+    if stats is not None:
+        report["stats"] = stats.as_dict()
+    if cache_stats is not None:
+        report["caches"] = cache_stats.as_dict()
+    if extra:
+        report.update(extra)
+    return report
+
+
+def write_report(report: dict, destination: str | None,
+                 fallback: TextIO | None = None) -> None:
+    """Write the report to ``destination`` (a path), or to ``fallback``
+    (default stderr) when the destination is ``None`` or ``"-"``."""
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if destination and destination != "-":
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return
+    stream = fallback if fallback is not None else sys.stderr
+    print(text, file=stream)

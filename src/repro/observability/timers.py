@@ -1,0 +1,40 @@
+"""Per-phase wall-clock timers.
+
+A :class:`PhaseTimer` accumulates ``perf_counter`` seconds under named
+phases (parse / analyze / specialize / simplify).  Phases may repeat —
+times accumulate — and may nest as long as the names differ.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+
+class PhaseTimer:
+    """Accumulating wall-clock timer keyed by phase name."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Merge externally measured time (e.g. a specializer's own
+        ``phase_seconds``) into this timer."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict:
+        return {name: round(seconds, 6)
+                for name, seconds in self.seconds.items()}

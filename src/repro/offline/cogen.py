@@ -158,7 +158,7 @@ class GeneratingExtension:
         user = tuple(component if facet.name in needed
                      else facet.domain.top
                      for facet, component in zip(facets, vector.user))
-        return FacetVector(vector.sort, vector.pe, user)
+        return self.suite.make_vector(vector.sort, vector.pe, user)
 
     # -- compilation --------------------------------------------------------
     def _compile(self, expr: Expr, fn: str) -> Staged:
@@ -269,7 +269,7 @@ class GeneratingExtension:
                         facet.apply_closed(op, sig, projected))
                 else:
                     components.append(facet.domain.top)
-            vector = suite.smash(FacetVector(
+            vector = suite.smash(suite.make_vector(
                 sig.result_sort, PEValue.top(), tuple(components)))
             return residual_expr, vector
         return residual_expr, suite.unknown(sig.result_sort)

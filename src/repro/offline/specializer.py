@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Mapping, Sequence
 
 from repro.lang.ast import (
@@ -118,18 +119,23 @@ class OfflineSpecializer:
 
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
+        started = perf_counter()
         try:
             body, _ = self._pe(main.body, env, main.name, depth=0)
         finally:
             sys.setrecursionlimit(old_limit)
+            self.stats.record_phase("specialize",
+                                    perf_counter() - started)
 
         goal = FunDef(main.name, tuple(goal_params), body)
         raw = Program((goal, *self.cache.residual_defs()))
         cleaned = raw
+        started = perf_counter()
         if self.config.simplify:
             cleaned = simplify_program(cleaned)
         if self.config.tidy:
             cleaned = canonical_names(drop_unreachable(cleaned))
+        self.stats.record_phase("simplify", perf_counter() - started)
         return OfflineResult(cleaned, raw, self.stats,
                              tuple(goal_params), self.analysis)
 
@@ -163,7 +169,7 @@ class OfflineSpecializer:
         user = tuple(component if facet.name in needed
                      else facet.domain.top
                      for facet, component in zip(facets, vector.user))
-        return FacetVector(vector.sort, vector.pe, user)
+        return self.suite.make_vector(vector.sort, vector.pe, user)
 
     def _const_vector(self, value: Value,
                       needed: frozenset[str]) -> FacetVector:
@@ -272,7 +278,7 @@ class OfflineSpecializer:
                         facet.apply_closed(op, sig, projected))
                 else:
                     components.append(facet.domain.top)
-            vector = self.suite.smash(FacetVector(
+            vector = self.suite.smash(self.suite.make_vector(
                 sig.result_sort, PEValue.top(), tuple(components)))
             return residual, vector
         return residual, self.suite.unknown(sig.result_sort)

@@ -14,16 +14,22 @@ termination guards, all tunable here:
 * ``fuel`` bounds total PE work, turning a diverging *static* loop in
   the subject program into a catchable error.
 
-``PEStats`` is the decision-cost instrumentation behind
-``benchmarks/bench_decisions.py``: the online specializer pays
-``facet_evaluations`` at every primitive, the offline one only where the
-facet analysis said a facet is needed.
+``PEStats`` — the decision-cost instrumentation behind
+``benchmarks/bench_decisions.py`` — now lives in
+:mod:`repro.observability.stats` and is re-exported here for
+compatibility: the online specializer pays ``facet_evaluations`` at
+every primitive, the offline one only where the facet analysis said a
+facet is needed.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.observability.stats import PEStats
+
+__all__ = ["PEConfig", "PEStats", "UnfoldStrategy"]
 
 
 class UnfoldStrategy(enum.Enum):
@@ -61,32 +67,3 @@ class PEConfig:
     #: negation — into the consequent/alternative branches, refining
     #: the facet values of the variables it mentions.
     propagate_constraints: bool = False
-
-
-@dataclass
-class PEStats:
-    """Work counters for one specialization run."""
-
-    steps: int = 0
-    #: How many facet operators ran (PE facet included) — the paper's
-    #: online-cost complaint, quantified.
-    facet_evaluations: int = 0
-    prim_folds: int = 0
-    #: Folds per producing facet name; ``"pe"`` is plain constant
-    #: folding, anything else is a parameterized-PE win.
-    folds_by_facet: dict = field(default_factory=dict)
-    if_reductions: int = 0
-    unfoldings: int = 0
-    specializations: int = 0
-    cache_hits: int = 0
-    generalizations: int = 0
-    #: PE-time *decisions*: reduce-or-residualize choices taken while
-    #: specializing (what an offline strategy moves into the analysis).
-    decisions: int = 0
-    #: Variables refined by the constraint-propagation extension.
-    constraint_refinements: int = 0
-
-    def record_fold(self, producer: str) -> None:
-        self.prim_folds += 1
-        self.folds_by_facet[producer] = \
-            self.folds_by_facet.get(producer, 0) + 1

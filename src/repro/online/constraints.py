@@ -104,10 +104,10 @@ def _refine_pair(suite: FacetSuite, op: str, assume: bool,
                                       right_user[index])
         left_user[index] = new_left
         right_user[index] = new_right
-    new_left_vector = FacetVector(left.sort, left.pe,
-                                  tuple(left_user))
-    new_right_vector = FacetVector(right.sort, right.pe,
-                                   tuple(right_user))
+    new_left_vector = suite.make_vector(left.sort, left.pe,
+                                        tuple(left_user))
+    new_right_vector = suite.make_vector(right.sort, right.pe,
+                                         tuple(right_user))
     # A refinement that empties a component proves the branch dead; the
     # smashed bottom signals that to the specializer.
     return (suite.smash(new_left_vector),

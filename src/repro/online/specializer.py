@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Mapping, Sequence
 
 from repro.lang.ast import (
@@ -108,18 +109,23 @@ class OnlineSpecializer:
 
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
+        started = perf_counter()
         try:
             body, vector = self._pe(main.body, env, depth=0)
         finally:
             sys.setrecursionlimit(old_limit)
+            self.stats.record_phase("specialize",
+                                    perf_counter() - started)
 
         goal = FunDef(main.name, tuple(goal_params), body)
         raw = Program((goal, *self.cache.residual_defs()))
         cleaned = raw
+        started = perf_counter()
         if self.config.simplify:
             cleaned = simplify_program(cleaned)
         if self.config.tidy:
             cleaned = canonical_names(drop_unreachable(cleaned))
+        self.stats.record_phase("simplify", perf_counter() - started)
         return SpecializationResult(cleaned, raw, vector, self.stats,
                                     tuple(goal_params))
 

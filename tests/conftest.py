@@ -1,8 +1,24 @@
-"""Shared fixtures: parsed corpus programs, facet suites, sample data."""
+"""Shared fixtures: parsed corpus programs, facet suites, sample data.
+
+Also home of the tiered hypothesis profiles.  ``REPRO_HYPOTHESIS_PROFILE``
+selects one of
+
+* ``ci`` (default) — 0.25× the authored example counts, for fast
+  pull-request runs;
+* ``dev`` — 0.5×, a middle ground for local iteration;
+* ``thorough`` — 1.0×, the full counts the properties were written with.
+
+Property tests request their example budget through
+:func:`scaled_examples` so an explicit ``@settings`` never overrides the
+selected profile.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.facets import (
     FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
@@ -10,6 +26,33 @@ from repro.facets.abstract import AbstractSuite
 from repro.lang.parser import parse_program
 from repro.lang.values import Vector
 from repro.workloads import WORKLOADS
+
+# -- hypothesis profiles ----------------------------------------------------
+
+#: Example-count multiplier per profile, applied by scaled_examples().
+PROFILE_SCALES = {"ci": 0.25, "dev": 0.5, "thorough": 1.0}
+
+#: Never scale a property below this many examples.
+MIN_EXAMPLES = 10
+
+HYPOTHESIS_PROFILE = os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci")
+if HYPOTHESIS_PROFILE not in PROFILE_SCALES:
+    raise RuntimeError(
+        f"REPRO_HYPOTHESIS_PROFILE={HYPOTHESIS_PROFILE!r}: expected one "
+        f"of {sorted(PROFILE_SCALES)}")
+
+for _name, _scale in PROFILE_SCALES.items():
+    settings.register_profile(
+        _name, deadline=None,
+        max_examples=max(MIN_EXAMPLES, round(100 * _scale)))
+settings.load_profile(HYPOTHESIS_PROFILE)
+
+
+def scaled_examples(authored: int) -> int:
+    """``max_examples`` for the active profile, given the authored
+    (``thorough``) count."""
+    scale = PROFILE_SCALES[HYPOTHESIS_PROFILE]
+    return max(MIN_EXAMPLES, round(authored * scale))
 
 
 @pytest.fixture

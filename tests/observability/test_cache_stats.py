@@ -1,0 +1,45 @@
+"""Unit tests for :class:`repro.observability.CacheStats`."""
+
+from __future__ import annotations
+
+from repro.observability import CacheStats
+
+
+def test_rates_start_at_zero():
+    stats = CacheStats()
+    assert stats.dispatch_rate == 0.0
+    assert stats.vector_rate == 0.0
+    assert stats.op_rate == 0.0
+    assert stats.outcome_rate == 0.0
+
+
+def test_rates():
+    stats = CacheStats(dispatch_hits=3, dispatch_misses=1,
+                       vector_hits=1, vector_misses=3,
+                       op_hits=1, op_misses=1,
+                       outcome_hits=9, outcome_misses=1)
+    assert stats.dispatch_rate == 0.75
+    assert stats.vector_rate == 0.25
+    assert stats.op_rate == 0.5
+    assert stats.outcome_rate == 0.9
+
+
+def test_merge_accumulates():
+    left = CacheStats(dispatch_hits=1, vector_misses=2, op_hits=3,
+                      outcome_misses=4)
+    right = CacheStats(dispatch_hits=10, dispatch_misses=1,
+                       vector_misses=5, op_hits=7, outcome_misses=6)
+    left.merge(right)
+    assert left.dispatch_hits == 11
+    assert left.dispatch_misses == 1
+    assert left.vector_misses == 7
+    assert left.op_hits == 10
+    assert left.outcome_misses == 10
+
+
+def test_as_dict_shape():
+    as_dict = CacheStats(dispatch_hits=1, dispatch_misses=1).as_dict()
+    assert set(as_dict) == {"dispatch", "vector", "op", "outcome"}
+    assert as_dict["dispatch"] == {"hits": 1, "misses": 1, "rate": 0.5}
+    for section in as_dict.values():
+        assert set(section) == {"hits", "misses", "rate"}

@@ -1,0 +1,85 @@
+"""The ``--profile`` JSON report: builder, writer, and CLI wiring."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli import main
+from repro.observability import (
+    CacheStats, PEStats, PhaseTimer, build_report, write_report)
+from repro.workloads import WORKLOADS
+
+
+def test_build_report_minimal():
+    report = build_report()
+    assert report == {"version": 1}
+
+
+def test_build_report_full():
+    timer = PhaseTimer()
+    timer.add("parse", 0.5)
+    stats = PEStats()
+    stats.facet_evaluations = 7
+    report = build_report(command="ppe specialize p.ppe", timer=timer,
+                          stats=stats, cache_stats=CacheStats(),
+                          extra={"suites": 2})
+    assert report["command"] == "ppe specialize p.ppe"
+    assert report["phases"] == {"parse": 0.5}
+    assert report["total_seconds"] == 0.5
+    assert report["stats"]["facet_evaluations"] == 7
+    assert set(report["caches"]) == {"dispatch", "vector", "op", "outcome"}
+    assert report["suites"] == 2
+
+
+def test_write_report_to_path(tmp_path):
+    destination = tmp_path / "profile.json"
+    write_report({"version": 1, "x": 3}, str(destination))
+    assert json.loads(destination.read_text()) == {"version": 1, "x": 3}
+
+
+def test_write_report_dash_goes_to_fallback():
+    stream = io.StringIO()
+    write_report({"version": 1}, "-", fallback=stream)
+    assert json.loads(stream.getvalue()) == {"version": 1}
+
+
+def test_cli_specialize_profile(tmp_path, capsys):
+    program = tmp_path / "inner_product.ppe"
+    program.write_text(WORKLOADS["inner_product"].source)
+    destination = tmp_path / "profile.json"
+    exit_code = main(["specialize", str(program), "size=3", "dyn",
+                      "--profile", str(destination)])
+    assert exit_code == 0
+    capsys.readouterr()
+    report = json.loads(destination.read_text())
+    assert report["version"] == 1
+    assert report["command"].startswith("ppe specialize")
+    assert {"parse", "specialize", "simplify"} <= set(report["phases"])
+    assert report["stats"]["facet_evaluations"] == 48
+    assert report["caches"]["dispatch"]["hits"] > 0
+
+
+def test_cli_offline_profile_includes_analyze_phase(tmp_path, capsys):
+    program = tmp_path / "inner_product.ppe"
+    program.write_text(WORKLOADS["inner_product"].source)
+    destination = tmp_path / "profile.json"
+    exit_code = main(["offline", str(program), "size=3", "dyn",
+                      "--profile", str(destination)])
+    assert exit_code == 0
+    capsys.readouterr()
+    report = json.loads(destination.read_text())
+    assert {"parse", "analyze", "specialize", "simplify"} <= set(
+        report["phases"])
+    assert report["total_seconds"] > 0
+
+
+def test_cli_profile_defaults_to_stderr(tmp_path, capsys):
+    program = tmp_path / "inner_product.ppe"
+    program.write_text(WORKLOADS["inner_product"].source)
+    exit_code = main(["analyze", str(program), "size=3", "dyn",
+                      "--profile"])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    payload = captured.err[captured.err.index("{"):]
+    assert json.loads(payload)["version"] == 1

@@ -1,0 +1,40 @@
+"""Unit tests for :class:`repro.observability.PhaseTimer`."""
+
+from __future__ import annotations
+
+from repro.observability import PhaseTimer
+
+
+def test_phase_records_elapsed_time():
+    timer = PhaseTimer()
+    with timer.phase("parse"):
+        pass
+    assert "parse" in timer.seconds
+    assert timer.seconds["parse"] >= 0.0
+
+
+def test_repeated_phases_accumulate():
+    timer = PhaseTimer()
+    timer.add("specialize", 1.5)
+    timer.add("specialize", 0.5)
+    with timer.phase("specialize"):
+        pass
+    assert timer.seconds["specialize"] >= 2.0
+
+
+def test_phase_records_on_exception():
+    timer = PhaseTimer()
+    try:
+        with timer.phase("analyze"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert "analyze" in timer.seconds
+
+
+def test_total_and_as_dict():
+    timer = PhaseTimer()
+    timer.add("parse", 0.25)
+    timer.add("specialize", 0.75)
+    assert timer.total() == 1.0
+    assert timer.as_dict() == {"parse": 0.25, "specialize": 0.75}

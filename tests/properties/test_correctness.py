@@ -18,6 +18,8 @@ programs, so these properties hold without termination caveats:
 
 import pytest
 from hypothesis import given, settings
+
+from tests.conftest import scaled_examples
 from hypothesis import strategies as st
 
 from repro.baselines.simple_pe import DYN, specialize_simple
@@ -56,7 +58,7 @@ def suites():
 
 class TestTheorem1:
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled_examples(60), deadline=None)
     def test_fully_static_pe_equals_evaluation(self, seed, pool):
         program = generate_program(seed, GEN)
         args = pool[:program.main.arity]
@@ -78,7 +80,7 @@ class TestTheorem1:
 class TestResidualCorrectness:
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4),
            st.integers(min_value=0, max_value=15))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled_examples(60), deadline=None)
     def test_golden_equation_plain_pe(self, seed, pool, mask):
         program = generate_program(seed, GEN)
         arity = program.main.arity
@@ -106,7 +108,7 @@ class TestResidualCorrectness:
 
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4),
            st.integers(min_value=0, max_value=15))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled_examples(60), deadline=None)
     def test_golden_equation_with_facets(self, seed, pool, mask):
         """Facet-driven folds must never change residual semantics.
 
@@ -146,7 +148,7 @@ class TestResidualCorrectness:
 class TestStrategyAgreement:
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4),
            st.integers(min_value=0, max_value=15))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=scaled_examples(40), deadline=None)
     def test_empty_suite_matches_simple_pe(self, seed, pool, mask):
         program = generate_program(seed, GEN)
         arity = program.main.arity
@@ -181,7 +183,7 @@ class TestStrategyAgreement:
 class TestOfflineAgreement:
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4),
            st.integers(min_value=0, max_value=15))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=scaled_examples(40), deadline=None)
     def test_offline_matches_online_semantics(self, seed, pool, mask):
         program = generate_program(seed, GEN)
         arity = program.main.arity
@@ -224,7 +226,7 @@ class TestConstraintPropagationCorrectness:
 
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4),
            st.integers(min_value=0, max_value=15))
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=scaled_examples(50), deadline=None)
     def test_golden_equation_with_constraints(self, seed, pool, mask):
         program = generate_program(seed, GEN)
         arity = program.main.arity
@@ -258,7 +260,7 @@ class TestGeneratingExtensionAgreement:
 
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4),
            st.integers(min_value=0, max_value=15))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=scaled_examples(40), deadline=None)
     def test_staged_equals_unstaged(self, seed, pool, mask):
         from repro.facets.abstract import AbstractSuite
         from repro.offline.analysis import analyze

@@ -9,6 +9,8 @@ constant must answer *the* constant (Property 2).  This is Definition
 """
 
 from hypothesis import given, settings
+
+from tests.conftest import scaled_examples
 from hypothesis import strategies as st
 
 from repro.algebra.semantic import algebra_of
@@ -87,31 +89,31 @@ def _run_all_ops(facet, concrete_pair, blur):
 
 class TestSignSafety:
     @given(ints, ints, st.integers(min_value=0, max_value=3))
-    @settings(max_examples=300)
+    @settings(max_examples=scaled_examples(300), deadline=None)
     def test_all_ops(self, a, b, blur):
         _run_all_ops(SignFacet(), (a, b), blur)
 
     @given(floats, floats, st.integers(min_value=0, max_value=3))
-    @settings(max_examples=200)
+    @settings(max_examples=scaled_examples(200), deadline=None)
     def test_float_instance(self, a, b, blur):
         _run_all_ops(SignFacet("float"), (float(a), float(b)), blur)
 
 
 class TestParitySafety:
     @given(ints, ints, st.integers(min_value=0, max_value=3))
-    @settings(max_examples=300)
+    @settings(max_examples=scaled_examples(300), deadline=None)
     def test_all_ops(self, a, b, blur):
         _run_all_ops(ParityFacet(), (a, b), blur)
 
 
 class TestIntervalSafety:
     @given(ints, ints, st.integers(min_value=0, max_value=3))
-    @settings(max_examples=300)
+    @settings(max_examples=scaled_examples(300), deadline=None)
     def test_all_ops(self, a, b, blur):
         _run_all_ops(IntervalFacet(), (a, b), blur)
 
     @given(ints, ints, ints, ints)
-    @settings(max_examples=200)
+    @settings(max_examples=scaled_examples(200), deadline=None)
     def test_widened_abstractions_still_safe(self, a, b, lo_pad,
                                              hi_pad):
         """Safety must hold for ANY abstract value above alpha(d), not
@@ -127,7 +129,7 @@ class TestIntervalSafety:
 class TestVectorSizeSafety:
     @given(st.lists(floats, min_size=0, max_size=6),
            st.integers(min_value=0, max_value=1))
-    @settings(max_examples=200)
+    @settings(max_examples=scaled_examples(200), deadline=None)
     def test_vsize(self, items, blur):
         facet = VectorSizeFacet()
         vector = Vector.of(items)
@@ -139,7 +141,7 @@ class TestVectorSizeSafety:
 
     @given(st.lists(floats, min_size=1, max_size=6),
            st.integers(min_value=1, max_value=6), floats)
-    @settings(max_examples=200)
+    @settings(max_examples=scaled_examples(200), deadline=None)
     def test_updvec_preserves_size_abstraction(self, items, index,
                                                value):
         facet = VectorSizeFacet()

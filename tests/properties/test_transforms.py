@@ -1,6 +1,8 @@
 """Property tests for program transformations and the generator."""
 
 from hypothesis import given, settings
+
+from tests.conftest import scaled_examples
 from hypothesis import strategies as st
 
 from repro.lang.errors import EvalError, FuelExhausted
@@ -21,14 +23,14 @@ FUEL = 400_000
 
 class TestGenerator:
     @given(SEEDS)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled_examples(100), deadline=None)
     def test_programs_validate(self, seed):
         program = generate_program(seed, GEN)
         program.validate()
         assert is_first_order(program)
 
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=scaled_examples(100), deadline=None)
     def test_programs_terminate(self, seed, pool):
         program = generate_program(seed, GEN)
         args = pool[:program.main.arity]
@@ -36,7 +38,7 @@ class TestGenerator:
         run_program(program, *args, fuel=FUEL)
 
     @given(SEEDS)
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=scaled_examples(50), deadline=None)
     def test_determinism(self, seed):
         assert generate_program(seed, GEN) == generate_program(seed,
                                                                GEN)
@@ -44,7 +46,7 @@ class TestGenerator:
 
 class TestRoundTrip:
     @given(SEEDS)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=scaled_examples(60), deadline=None)
     def test_pretty_parse_identity(self, seed):
         program = generate_program(seed, GEN)
         assert parse_program(pretty_program(program)) == program
@@ -52,7 +54,7 @@ class TestRoundTrip:
 
 class TestSimplifyPreservesSemantics:
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=scaled_examples(80), deadline=None)
     def test_equivalence(self, seed, pool):
         program = generate_program(seed, GEN)
         args = pool[:program.main.arity]
@@ -62,7 +64,7 @@ class TestSimplifyPreservesSemantics:
         assert values_equal(want, got)
 
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=scaled_examples(40), deadline=None)
     def test_simplify_never_grows(self, seed, pool):
         program = generate_program(seed, GEN)
         assert simplify_program(program).size() <= program.size()
@@ -70,7 +72,7 @@ class TestSimplifyPreservesSemantics:
 
 class TestCleanup:
     @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=scaled_examples(40), deadline=None)
     def test_drop_unreachable_preserves_goal(self, seed, pool):
         program = generate_program(seed, GEN)
         args = pool[:program.main.arity]
