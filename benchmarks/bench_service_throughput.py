@@ -1,0 +1,73 @@
+"""Experiment: batch specialization throughput vs. worker count.
+
+The service layer exists so many specialization requests can share one
+process: this bench serves the same mixed corpus manifest (every
+engine, most first-order workloads) through
+:class:`~repro.service.SpecializationService` at 1, 2 and 4 workers
+and reports requests/second.  The cross-request cache is *disabled*
+(``cache_capacity=0``) so every round pays full specialization cost —
+the numbers measure scheduling + worker parallelism, not memoization.
+
+Expected shape: on this deliberately small corpus (sub-millisecond
+specializations) pool startup and result plumbing dominate, so worker
+counts mostly measure fixed overhead; the spread between 1 and 4
+workers bounds what the scheduler costs when there is nothing to
+amortize it against.  Parallelism pays off as per-request work grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import SpecRequest, SpecializationService
+from repro.workloads import WORKLOADS
+
+#: The mixed corpus: every engine, a spread of facets and divisions.
+_ROWS = [
+    ("inner_product", ["size=3", "size=3"], "online"),
+    ("inner_product", ["size=5", "size=5"], "online"),
+    ("inner_product", ["size=3", "size=3"], "offline"),
+    ("power", ["dyn", "10"], "online"),
+    ("power", ["dyn", "7"], "offline"),
+    ("power", ["dyn", "6"], "simple"),
+    ("sign_pipeline", ["sign=pos", "dyn"], "online"),
+    ("sign_pipeline", ["sign=neg", "dyn"], "online"),
+    ("clamped_lookup", ["size=4", "dyn", "1", "4"], "online"),
+    ("clamped_lookup", ["dyn", "interval=2:3", "1", "4"], "online"),
+    ("alternating_sum", ["size=4"], "online"),
+    ("alternating_sum", ["size=4"], "offline"),
+    ("poly_eval", ["size=3", "dyn"], "online"),
+    ("gcd", ["48", "18"], "online"),
+    ("gcd", ["48", "18"], "simple"),
+    ("binary_search", ["size=7", "dyn"], "online"),
+]
+
+
+def corpus_requests() -> list[SpecRequest]:
+    return [SpecRequest.create(
+        source=WORKLOADS[name].source, specs=specs, engine=engine,
+        id=f"{name}-{index}")
+        for index, (name, specs, engine) in enumerate(_ROWS)]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_batch_throughput(benchmark, report, track_service_stats,
+                          workers):
+    requests = corpus_requests()
+
+    def run():
+        with SpecializationService(workers=workers,
+                                   cache_capacity=0) as service:
+            results = service.run_batch(requests)
+        track_service_stats(service.stats)
+        return results
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1,
+                                 warmup_rounds=1)
+    degraded = sum(result.degraded for result in results)
+    assert degraded == 0
+    seconds = benchmark.stats.stats.mean
+    report(f"workers={workers}: {len(requests)} requests in "
+           f"{seconds * 1000:.0f} ms "
+           f"({len(requests) / seconds:.1f} req/s), "
+           f"{degraded} degraded")

@@ -14,11 +14,16 @@ import pytest
 
 from repro.facets import (
     FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
-from repro.observability import CacheStats, build_report, write_report
+from repro.observability import (
+    CacheStats, ServiceStats, build_report, write_report)
 
 #: Suites handed out by the fixtures below, harvested at session end
 #: when ``--profile`` is given.
 _SUITES: list[FacetSuite] = []
+
+#: ServiceStats snapshots recorded by the service benchmarks via the
+#: ``track_service_stats`` fixture; merged into the profile report.
+_SERVICE_STATS: list[ServiceStats] = []
 
 
 def pytest_addoption(parser):
@@ -31,14 +36,21 @@ def pytest_addoption(parser):
 
 def pytest_sessionfinish(session, exitstatus):
     destination = session.config.getoption("--profile", default=None)
-    if destination is None or not _SUITES:
+    if destination is None or not (_SUITES or _SERVICE_STATS):
         return
     merged = CacheStats()
     for suite in _SUITES:
         merged.merge(suite.cache_stats)
+    service = None
+    if _SERVICE_STATS:
+        service = ServiceStats()
+        for stats in _SERVICE_STATS:
+            service.merge(stats)
     report = build_report(
         command="pytest benchmarks/", cache_stats=merged,
-        extra={"suites": len(_SUITES)})
+        service_stats=service,
+        extra={"suites": len(_SUITES),
+               "service_runs": len(_SERVICE_STATS)})
     write_report(report, destination)
 
 
@@ -58,6 +70,13 @@ def report(capsys):
                 print(line)
 
     return emit
+
+
+@pytest.fixture
+def track_service_stats():
+    """Record a :class:`ServiceStats` snapshot for the --profile
+    report (service benchmarks call it once per measured run)."""
+    return _SERVICE_STATS.append
 
 
 @pytest.fixture

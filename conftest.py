@@ -1,4 +1,11 @@
-"""Repo-level pytest glue: a per-test timeout fallback.
+"""Repo-level pytest glue: golden-snapshot flag + timeout fallback.
+
+``--update-golden`` regenerates the residual snapshots under
+``tests/golden/snapshots/`` instead of asserting against them; it must
+live in this rootdir conftest because pytest only honours
+``pytest_addoption`` here.
+
+The rest is a per-test timeout fallback.
 
 ``pyproject.toml`` declares ``timeout = 120`` for pytest-timeout (a dev
 dependency).  When the plugin is not installed this conftest registers
@@ -21,6 +28,9 @@ _HAVE_SIGALRM = hasattr(signal, "SIGALRM")
 
 
 def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/ snapshots instead of comparing")
     if _HAVE_PYTEST_TIMEOUT:
         return
     parser.addini(

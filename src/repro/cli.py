@@ -9,7 +9,12 @@ Subcommands:
 * ``ppe analyze FILE SPEC...`` — facet analysis; SPECs as above but
   literals mean Static, and the Figure 9 table is printed;
 * ``ppe offline FILE SPEC...`` — analysis + offline specialization;
-* ``ppe workloads`` — list the shipped program corpus.
+* ``ppe workloads`` — list the shipped program corpus;
+* ``ppe batch MANIFEST`` — serve a JSON manifest of specialization
+  requests through :mod:`repro.service` (worker pool, deadlines,
+  cross-request cache, graceful degradation);
+* ``ppe serve`` — long-running stdin/stdout JSONL loop over the same
+  service, for driving from other processes.
 
 Facets available from the command line: ``sign``, ``parity``,
 ``interval`` (``interval=lo:hi``), ``size``.
@@ -24,70 +29,37 @@ suite's cache hit rates is written to PATH (stderr when omitted or
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.lang.parser import parse_program
 from repro.lang.interp import run_program
 from repro.lang.pretty import pretty_program
-from repro.lang.values import INT, VECTOR, Value, Vector
-from repro.facets.library.interval import Interval
 from repro.facets.vector import FacetSuite, FacetVector
-from repro.facets import (
-    IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
 from repro.facets.abstract.vector import AbstractSuite
+from repro.lang.values import Value
 from repro.observability import PhaseTimer, build_report, write_report
 from repro.online.specializer import specialize_online
 from repro.offline.analysis import analyze
 from repro.offline.report import facet_table
 from repro.offline.specializer import OfflineSpecializer
-
-
-def _default_suite() -> FacetSuite:
-    return FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
-                       VectorSizeFacet()])
+from repro.service.specs import SpecError, parse_spec, parse_value
+from repro.service.worker import default_suite as _default_suite
 
 
 def _parse_value(text: str) -> Value:
-    if text == "true":
-        return True
-    if text == "false":
-        return False
-    if text.startswith("#(") and text.endswith(")"):
-        items = text[2:-1].split()
-        return Vector.of([float(i) for i in items])
     try:
-        return int(text)
-    except ValueError:
-        return float(text)
+        return parse_value(text)
+    except SpecError as error:
+        raise SystemExit(f"ppe: {error}") from None
 
 
 def _parse_spec(suite: FacetSuite, text: str) -> FacetVector | Value:
-    """``dyn``, a literal, or comma-separated ``facet=value`` pairs."""
-    if text == "dyn":
-        return suite.unknown(None)
-    if "=" not in text:
-        return _parse_value(text)
-    components: dict[str, object] = {}
-    sort = None
-    for pair in text.split(","):
-        name, _, raw = pair.partition("=")
-        if name == "size":
-            components["size"] = int(raw)
-            sort = VECTOR
-        elif name in ("sign", "parity"):
-            components[name] = raw
-            sort = INT
-        elif name == "interval":
-            lo_text, _, hi_text = raw.partition(":")
-            lo = None if lo_text in ("", "-inf") else int(lo_text)
-            hi = None if hi_text in ("", "inf", "+inf") else int(hi_text)
-            components["interval"] = Interval(lo, hi)
-            sort = INT
-        else:
-            raise SystemExit(f"unknown facet {name!r} in spec {text!r}")
-    assert sort is not None
-    return suite.input(sort, **components)  # type: ignore[arg-type]
+    try:
+        return parse_spec(suite, text)
+    except SpecError as error:
+        raise SystemExit(f"ppe: {error}") from None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,6 +89,33 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("workloads", help="list the shipped corpus")
 
+    batch_cmd = sub.add_parser(
+        "batch",
+        help="specialize a JSON manifest of requests via the service")
+    batch_cmd.add_argument("manifest", type=Path)
+    serve_cmd = sub.add_parser(
+        "serve", help="JSONL request/response loop on stdin/stdout")
+    for cmd in (batch_cmd, serve_cmd):
+        cmd.add_argument(
+            "--workers", type=int, default=2, metavar="N",
+            help="worker processes (0 = run requests inline; "
+                 "default 2)")
+        cmd.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="default per-request deadline (requests may override)")
+        cmd.add_argument(
+            "--cache-size", type=int, default=256, metavar="N",
+            help="cross-request residual-cache capacity "
+                 "(0 disables; default 256)")
+    batch_cmd.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="write the JSON results array to PATH (default stdout)")
+    batch_cmd.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit a JSON profile report (phase times, service "
+             "counters, cache hit rate) to PATH, or stderr when PATH "
+             "is omitted or '-'")
+
     options = parser.parse_args(argv)
 
     if options.command == "workloads":
@@ -125,6 +124,12 @@ def main(argv: list[str] | None = None) -> int:
             marker = " [higher-order]" if workload.higher_order else ""
             print(f"{workload.name:18} {workload.description}{marker}")
         return 0
+
+    if options.command == "batch":
+        return _run_batch(options)
+
+    if options.command == "serve":
+        return _run_serve(options)
 
     profile_to = getattr(options, "profile", None)
     timer = PhaseTimer()
@@ -183,6 +188,67 @@ def main(argv: list[str] | None = None) -> int:
           file=sys.stderr)
     _emit_profile(result.stats)
     return 0
+
+
+def _run_batch(options: argparse.Namespace) -> int:
+    from repro.service import SpecializationService, load_manifest
+
+    timer = PhaseTimer()
+    try:
+        text = options.manifest.read_text()
+    except OSError as error:
+        raise SystemExit(f"ppe: cannot read manifest: {error}")
+    try:
+        requests = load_manifest(text, options.manifest.parent)
+    except (ValueError, OSError) as error:
+        raise SystemExit(f"ppe: bad manifest: {error}")
+
+    with SpecializationService(
+            workers=options.workers, cache_capacity=options.cache_size,
+            default_deadline=options.deadline) as service:
+        with timer.phase("batch"):
+            results = service.run_batch(requests)
+        stats = service.stats
+
+    payload = json.dumps([result.to_dict() for result in results],
+                         indent=2, sort_keys=True)
+    if options.output is not None:
+        options.output.write_text(payload + "\n")
+    else:
+        print(payload)
+    degraded = sum(1 for result in results if result.degraded)
+    print(f"; {len(results)} requests, {degraded} degraded, "
+          f"cache hit rate "
+          f"{stats.cache_hit_rate:.0%}", file=sys.stderr)
+
+    if options.profile is not None:
+        report = build_report(
+            command=f"ppe batch {options.manifest}", timer=timer,
+            service_stats=stats)
+        try:
+            write_report(report, options.profile)
+        except OSError as error:
+            raise SystemExit(
+                f"ppe: cannot write profile report: {error}")
+    return 0
+
+
+def _run_serve(options: argparse.Namespace) -> int:
+    from repro.service import SpecializationService, serve
+
+    with SpecializationService(
+            workers=options.workers, cache_capacity=options.cache_size,
+            default_deadline=options.deadline) as service:
+        code = serve(service, sys.stdin, sys.stdout)
+    try:
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # The consumer hung up mid-stream; point fd 1 at /dev/null so
+        # the interpreter's exit-time flush does not print an
+        # "Exception ignored" traceback for the same dead pipe.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return code
 
 
 if __name__ == "__main__":

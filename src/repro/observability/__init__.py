@@ -8,6 +8,8 @@ of :class:`repro.facets.vector.FacetSuite` save — measurable:
 * :class:`PEStats` — per-run work counters (the decision-cost
   instrumentation behind ``benchmarks/bench_decisions.py``);
 * :class:`CacheStats` — hit/miss counters of the facet-suite caches;
+* :class:`ServiceStats` — batch-service counters (cross-request cache
+  traffic, retries, timeouts, degradations) behind ``repro.service``;
 * :class:`PhaseTimer` — wall-clock accounting per phase (parse /
   analyze / specialize / simplify);
 * :func:`build_report` / :func:`write_report` — the JSON profile the
@@ -21,11 +23,12 @@ is reported separately through :class:`CacheStats`.
 """
 
 from repro.observability.cache_stats import CacheStats
+from repro.observability.service_stats import ServiceStats
 from repro.observability.stats import PEStats
 from repro.observability.timers import PhaseTimer
 from repro.observability.profile import build_report, write_report
 
 __all__ = [
-    "CacheStats", "PEStats", "PhaseTimer", "build_report",
-    "write_report",
+    "CacheStats", "PEStats", "PhaseTimer", "ServiceStats",
+    "build_report", "write_report",
 ]

@@ -51,6 +51,16 @@ class CacheStats:
         total = self.outcome_hits + self.outcome_misses
         return self.outcome_hits / total if total else 0.0
 
+    @property
+    def overall_rate(self) -> float:
+        """Aggregate hit rate across every cache; 0.0 before any
+        lookup (a fresh suite must report 0.0, not divide by zero)."""
+        hits = (self.dispatch_hits + self.vector_hits + self.op_hits
+                + self.outcome_hits)
+        total = hits + (self.dispatch_misses + self.vector_misses
+                        + self.op_misses + self.outcome_misses)
+        return hits / total if total else 0.0
+
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another suite's counters (benchmark aggregation)."""
         self.dispatch_hits += other.dispatch_hits
@@ -76,4 +86,5 @@ class CacheStats:
             "outcome": {"hits": self.outcome_hits,
                         "misses": self.outcome_misses,
                         "rate": round(self.outcome_rate, 4)},
+            "overall_rate": round(self.overall_rate, 4),
         }

@@ -13,6 +13,7 @@ import sys
 from typing import Any, TextIO
 
 from repro.observability.cache_stats import CacheStats
+from repro.observability.service_stats import ServiceStats
 from repro.observability.stats import PEStats
 from repro.observability.timers import PhaseTimer
 
@@ -24,6 +25,7 @@ def build_report(*, command: str | None = None,
                  timer: PhaseTimer | None = None,
                  stats: PEStats | None = None,
                  cache_stats: CacheStats | None = None,
+                 service_stats: ServiceStats | None = None,
                  extra: dict[str, Any] | None = None) -> dict:
     """Assemble the JSON-ready profile document."""
     report: dict[str, Any] = {"version": REPORT_VERSION}
@@ -36,6 +38,8 @@ def build_report(*, command: str | None = None,
         report["stats"] = stats.as_dict()
     if cache_stats is not None:
         report["caches"] = cache_stats.as_dict()
+    if service_stats is not None:
+        report["service"] = service_stats.as_dict()
     if extra:
         report.update(extra)
     return report

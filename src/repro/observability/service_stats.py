@@ -1,0 +1,99 @@
+"""Counters for the batch specialization service.
+
+One :class:`ServiceStats` instance lives on every
+:class:`repro.service.scheduler.SpecializationService`.  The scheduler
+and the cross-request residual cache
+(:class:`repro.service.cache.ResidualCache`) both report into it, and
+the fault-injection suite (``tests/service/test_faults.py``) pins the
+retry/backoff/degradation accounting against injected worker crashes
+and deadline expiries.
+
+Counters are cumulative over the service's lifetime, not per batch;
+:meth:`ServiceStats.merge` aggregates across services (the throughput
+benchmark merges one instance per worker-count configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ServiceStats:
+    """Counters for one specialization service."""
+
+    #: Requests handed to the service (cache hits included).
+    submitted: int = 0
+    #: Requests answered with a real (non-degraded) residual, whether
+    #: computed by a worker or served from the cross-request cache.
+    completed: int = 0
+    #: Requests answered with a fallback residual (``degraded=True``).
+    degraded: int = 0
+
+    #: Cross-request residual-cache traffic.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+    #: Worker-process deaths observed (one per affected in-flight
+    #: request: a single crash can break every future of its pool).
+    worker_crashes: int = 0
+    #: Resubmissions after a crash (bounded by ``max_attempts``).
+    retries: int = 0
+    #: Per-request deadlines that expired before the worker answered.
+    timeouts: int = 0
+    #: Deterministic in-worker failures (parse errors, fuel blowups);
+    #: these degrade immediately — retrying cannot help.
+    errors: int = 0
+    #: Process pools torn down and rebuilt (after crashes/timeouts).
+    pool_restarts: int = 0
+    #: Exponential-backoff delay accumulated before resubmissions.
+    backoff_seconds: float = 0.0
+
+    # -- derived -------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hit rate of the cross-request cache; 0.0 before any lookup
+        (guarded like the :class:`CacheStats` rates)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def degraded_rate(self) -> float:
+        answered = self.completed + self.degraded
+        return self.degraded / answered if answered else 0.0
+
+    def merge(self, other: "ServiceStats") -> None:
+        """Accumulate another service's counters."""
+        self.submitted += other.submitted
+        self.completed += other.completed
+        self.degraded += other.degraded
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
+        self.worker_crashes += other.worker_crashes
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.errors += other.errors
+        self.pool_restarts += other.pool_restarts
+        self.backoff_seconds += other.backoff_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (the ``service`` section of the
+        ``--profile`` report)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "degraded_rate": round(self.degraded_rate, 4),
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses,
+                      "evictions": self.cache_evictions,
+                      "rate": round(self.cache_hit_rate, 4)},
+            "worker_crashes": self.worker_crashes,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "pool_restarts": self.pool_restarts,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+        }

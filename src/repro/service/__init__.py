@@ -1,0 +1,39 @@
+"""The batch specialization service.
+
+The specializers under :mod:`repro.online`, :mod:`repro.offline` and
+:mod:`repro.baselines` are blocking in-process engines; this package
+is the serving layer the ROADMAP's production north star asks for:
+
+* :class:`SpecRequest` / :class:`SpecResult`
+  (:mod:`repro.service.results`) — plain-data request/response types
+  shared by the Python API, the ``ppe batch`` manifest and the
+  ``ppe serve`` JSONL protocol;
+* :class:`SpecializationService` (:mod:`repro.service.scheduler`) —
+  process-pool scheduling with per-request deadlines, crash retry with
+  exponential backoff, and graceful degradation (callers get a
+  ``degraded=True`` fallback residual, never an exception);
+* :class:`ResidualCache` (:mod:`repro.service.cache`) — the bounded
+  cross-request LRU above PR 1's in-suite caches;
+* :func:`execute_request` (:mod:`repro.service.worker`) — the worker
+  entry point, also usable directly for sequential reference runs (the
+  byte-identical determinism test does exactly that);
+* :func:`serve` (:mod:`repro.service.serve`) — the JSONL loop.
+
+Residual determinism is the invariant the whole layer rests on: the
+same request yields the byte-identical residual whether it ran inline,
+in any worker of any pool size, or came from the cache — pinned by
+``tests/service/test_batch.py`` and continuously cross-checked against
+the interpreter by the differential harness in ``tests/differential/``.
+"""
+
+from repro.service.cache import ResidualCache
+from repro.service.results import SpecRequest, SpecResult, load_manifest
+from repro.service.scheduler import SpecializationService
+from repro.service.serve import serve
+from repro.service.worker import execute_request
+
+__all__ = [
+    "ResidualCache", "SpecRequest", "SpecResult",
+    "SpecializationService", "execute_request", "load_manifest",
+    "serve",
+]

@@ -1,0 +1,230 @@
+"""Requests and results of the batch specialization service.
+
+A :class:`SpecRequest` is everything one specialization needs, as plain
+data: program source, engine choice (``online`` / ``offline`` /
+``simple``), the input division as spec strings (see
+:mod:`repro.service.specs`) and :class:`~repro.online.config.PEConfig`
+overrides.  Plain data on purpose — requests cross process boundaries
+(the worker pool) and wire formats (the ``batch`` manifest, the
+``serve`` JSONL loop) unchanged.
+
+A :class:`SpecResult` is the answer: the pretty-printed residual
+program, the goal parameters it kept, the run's
+:class:`~repro.observability.PEStats` snapshot, and the service
+bookkeeping (``degraded``, ``cached``, ``attempts``, ``reason``).  The
+service **never** raises to the caller; a request that cannot be
+served honestly comes back ``degraded=True`` with the fallback
+residual.
+
+:func:`SpecRequest.fingerprint` is the cross-request cache key:
+a SHA-256 over source hash, entry point, division and config — the
+semantic identity of the request.  ``id``, ``deadline`` and the
+fault-injection hook deliberately stay out of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.online.config import PEConfig, UnfoldStrategy
+
+ENGINES = ("online", "offline", "simple")
+
+#: PEConfig fields a request may override, with their wire decoders.
+_CONFIG_FIELDS = {f.name for f in fields(PEConfig)}
+
+
+def _decode_config_value(name: str, value: Any) -> Any:
+    if name == "unfold_strategy" and isinstance(value, str):
+        try:
+            return UnfoldStrategy(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown unfold_strategy {value!r}; expected one of "
+                f"{[s.value for s in UnfoldStrategy]}") from None
+    return value
+
+
+def _encode_config_value(value: Any) -> Any:
+    if isinstance(value, UnfoldStrategy):
+        return value.value
+    return value
+
+
+@dataclass(frozen=True)
+class SpecRequest:
+    """One specialization request, as plain serializable data."""
+
+    #: Program source text (the parsed program's first definition is
+    #: the goal function, as everywhere else in the repo).
+    source: str
+    #: Input specs, one per goal parameter (``repro.service.specs``).
+    specs: tuple[str, ...] = ()
+    #: ``online`` | ``offline`` | ``simple``.
+    engine: str = "online"
+    #: PEConfig overrides as a sorted, hashable item tuple.
+    config: tuple[tuple[str, Any], ...] = ()
+    #: Caller-chosen correlation id, echoed on the result.
+    id: str | None = None
+    #: Per-request wall-clock budget (seconds); the service default
+    #: applies when ``None``.
+    deadline: float | None = None
+    #: Fault-injection hook for the service fault tests (see
+    #: ``repro.service.worker._crashy``); never set in production.
+    fault: tuple[tuple[str, Any], ...] | None = None
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(cls, source: str, specs: Sequence[str] = (),
+               engine: str = "online",
+               config: Mapping[str, Any] | None = None,
+               id: str | None = None, deadline: float | None = None,
+               fault: Mapping[str, Any] | None = None) -> "SpecRequest":
+        """Validating constructor: checks the engine name and the
+        config keys, normalizes mappings into hashable tuples."""
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+        items: tuple[tuple[str, Any], ...] = ()
+        if config:
+            unknown = sorted(set(config) - _CONFIG_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown PEConfig field(s) {unknown}; known: "
+                    f"{sorted(_CONFIG_FIELDS)}")
+            items = tuple(sorted(
+                (name, _decode_config_value(name, value))
+                for name, value in config.items()))
+        fault_items = tuple(sorted(fault.items())) if fault else None
+        return cls(source=source, specs=tuple(specs), engine=engine,
+                   config=items, id=id, deadline=deadline,
+                   fault=fault_items)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any],
+                  base_dir: Path | None = None) -> "SpecRequest":
+        """Decode a manifest/JSONL entry.  ``source`` may be given
+        inline or as a ``file`` path (resolved against ``base_dir``)."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"request must be an object, got {data!r}")
+        known = {"source", "file", "specs", "engine", "config", "id",
+                 "deadline", "fault"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown request field(s) {unknown}; "
+                             f"known: {sorted(known)}")
+        if ("source" in data) == ("file" in data):
+            raise ValueError(
+                "request needs exactly one of 'source' or 'file'")
+        if "source" in data:
+            source = data["source"]
+        else:
+            path = Path(data["file"])
+            if base_dir is not None and not path.is_absolute():
+                path = base_dir / path
+            source = path.read_text()
+        specs = data.get("specs", ())
+        if isinstance(specs, str):
+            specs = specs.split()
+        return cls.create(
+            source=source, specs=specs,
+            engine=data.get("engine", "online"),
+            config=data.get("config"), id=data.get("id"),
+            deadline=data.get("deadline"), fault=data.get("fault"))
+
+    # -- projections ---------------------------------------------------
+    def pe_config(self) -> PEConfig:
+        return PEConfig(**dict(self.config))
+
+    def to_payload(self) -> dict:
+        """The plain dict shipped to a worker process."""
+        payload: dict[str, Any] = {
+            "source": self.source, "specs": list(self.specs),
+            "engine": self.engine,
+            "config": {name: _encode_config_value(value)
+                       for name, value in self.config},
+        }
+        if self.id is not None:
+            payload["id"] = self.id
+        if self.fault is not None:
+            payload["fault"] = dict(self.fault)
+        return payload
+
+    def fingerprint(self) -> str:
+        """Cross-request cache key: the request's semantic identity."""
+        source_hash = hashlib.sha256(self.source.encode()).hexdigest()
+        identity = {
+            "source": source_hash,
+            "specs": list(self.specs),
+            "engine": self.engine,
+            "config": [[name, _encode_config_value(value)]
+                       for name, value in self.config],
+        }
+        blob = json.dumps(identity, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SpecResult:
+    """The service's answer to one :class:`SpecRequest`."""
+
+    #: Pretty-printed residual program.
+    residual: str
+    #: Goal parameters the residual kept (the dynamic division).
+    goal_params: tuple[str, ...] = ()
+    engine: str = "online"
+    id: str | None = None
+    #: ``True`` when the residual is a fallback (timeout, repeated
+    #: crash, or a deterministic failure), not the requested
+    #: specialization.  Degraded residuals still compute the source
+    #: program's function — they just specialize nothing.
+    degraded: bool = False
+    #: Why the request degraded (``deadline``, ``worker-crash``, or the
+    #: failure message); ``None`` on the happy path.
+    reason: str | None = None
+    #: Served from the cross-request residual cache.
+    cached: bool = False
+    #: Worker attempts consumed (0 for cache hits).
+    attempts: int = 1
+    #: ``PEStats.as_dict()`` of the run; ``{}`` when degraded before
+    #: any engine ran.
+    stats: Mapping[str, Any] = field(default_factory=dict)
+    #: Worker-side wall-clock seconds.
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id, "engine": self.engine,
+            "residual": self.residual,
+            "goal_params": list(self.goal_params),
+            "degraded": self.degraded, "reason": self.reason,
+            "cached": self.cached, "attempts": self.attempts,
+            "stats": dict(self.stats),
+            "seconds": round(self.seconds, 6),
+        }
+
+    def for_request(self, request: SpecRequest,
+                    cached: bool = False) -> "SpecResult":
+        """Rebind a (possibly cached) result to a concrete request."""
+        return replace(self, id=request.id, cached=cached)
+
+
+def load_manifest(text: str,
+                  base_dir: Path | None = None) -> list[SpecRequest]:
+    """Decode a ``ppe batch`` manifest: a JSON array of request
+    objects, or an object with a ``requests`` array."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"manifest is not valid JSON: {error}") \
+            from None
+    if isinstance(data, Mapping):
+        data = data.get("requests")
+    if not isinstance(data, list):
+        raise ValueError("manifest must be a JSON array of requests "
+                         "or an object with a 'requests' array")
+    return [SpecRequest.from_dict(entry, base_dir) for entry in data]

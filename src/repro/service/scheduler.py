@@ -1,0 +1,286 @@
+"""The batch specialization scheduler.
+
+:class:`SpecializationService` turns many
+:class:`~repro.service.results.SpecRequest` into
+:class:`~repro.service.results.SpecResult` under a strict contract:
+**the caller never sees an exception**.  Whatever happens — a worker
+process dies, a deadline expires, the program does not even parse —
+every request gets a result; the ones the service could not honestly
+specialize come back ``degraded=True`` carrying the trivially-residual
+fallback program.
+
+Mechanics, in order:
+
+1. **Cache** — each request's fingerprint is looked up in the bounded
+   cross-request LRU (:class:`~repro.service.cache.ResidualCache`);
+   hits skip the pool entirely.
+2. **Pool** — misses are fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor` in waves.  Each
+   future is reaped with the request's remaining deadline (measured
+   from submission, so queue time counts).
+3. **Retry** — a dying worker breaks its pool; affected requests are
+   resubmitted to a fresh pool with exponential backoff
+   (``backoff_base * 2**(attempt-1)``, capped), up to ``max_attempts``.
+4. **Degrade** — timeouts, exhausted retries and deterministic
+   failures fall back to the facet-free trivially-residual program
+   from :mod:`repro.baselines.simple_pe` (or, if even that fails, the
+   unspecialized source), flagged ``degraded=True``.
+
+``workers=0`` selects *inline* mode: requests run in-process, no pool
+and no deadlines, same cache/retry/degrade accounting — the mode the
+determinism tests and the ``serve`` loop's tests use.
+
+Every step reports into :class:`~repro.observability.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor, TimeoutError as FutureTimeout)
+from dataclasses import dataclass
+from time import monotonic
+from typing import Callable, Sequence
+
+from repro.baselines.simple_pe import DYN, specialize_simple
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.observability.service_stats import ServiceStats
+from repro.online.config import PEConfig, UnfoldStrategy
+from repro.service.cache import ResidualCache
+from repro.service.results import SpecRequest, SpecResult
+from repro.service.worker import execute_request
+
+#: Config of the degraded fallback: never unfold, never search — the
+#: residual is essentially a tidied copy of the source program.
+_FALLBACK_CONFIG = PEConfig(unfold_strategy=UnfoldStrategy.NEVER,
+                            simplify=False, tidy=True, fuel=200_000)
+
+
+@dataclass
+class _Job:
+    """One cache-missing request moving through the wave loop."""
+
+    index: int
+    request: SpecRequest
+    key: str
+    attempts: int = 0
+    backoff: float = 0.0
+
+
+class SpecializationService:
+    """Batch specialization over a worker pool; see module docstring."""
+
+    def __init__(self, workers: int = 1, cache_capacity: int = 256,
+                 max_attempts: int = 3, backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 default_deadline: float | None = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.default_deadline = default_deadline
+        self.stats = ServiceStats()
+        self.cache = ResidualCache(cache_capacity, self.stats)
+        self._sleep = sleep
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- public API ----------------------------------------------------
+    def run_batch(self, requests: Sequence[SpecRequest]) \
+            -> list[SpecResult]:
+        """Serve a batch; one result per request, in request order.
+
+        Identical requests submitted in the *same* batch may each run
+        once (the cache fills when the first finishes); across batches
+        and waves the later ones hit the cache.
+        """
+        results: list[SpecResult | None] = [None] * len(requests)
+        jobs: list[_Job] = []
+        for index, request in enumerate(requests):
+            self.stats.submitted += 1
+            key = request.fingerprint()
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.stats.completed += 1
+                results[index] = hit.for_request(request, cached=True)
+            else:
+                jobs.append(_Job(index, request, key))
+        if self.workers == 0:
+            for job in jobs:
+                results[job.index] = self._run_inline(job)
+        else:
+            self._run_pooled(jobs, results)
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, request: SpecRequest) -> SpecResult:
+        return self.run_batch([request])[0]
+
+    def close(self) -> None:
+        # Every future is reaped before run_batch returns, so the pool
+        # is idle here and waiting is cheap; wait=False would leave the
+        # executor for the interpreter's atexit hook to find half
+        # torn down (a "Bad file descriptor" traceback on stderr).
+        # Pools abandoned with a still-grinding worker go through
+        # _recycle_pool instead, which must not wait.
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SpecializationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- inline mode ---------------------------------------------------
+    def _run_inline(self, job: _Job) -> SpecResult:
+        while True:
+            payload = job.request.to_payload()
+            payload["inline"] = True
+            job.attempts += 1
+            try:
+                outcome = execute_request(payload)
+            except Exception:  # noqa: BLE001 — crash semantics
+                self.stats.worker_crashes += 1
+                if job.attempts >= self.max_attempts:
+                    return self._degrade(job, "worker-crash")
+                self.stats.retries += 1
+                delay = self._backoff_delay(job)
+                self._sleep(delay)
+                self.stats.backoff_seconds += delay
+                continue
+            return self._absorb(job, outcome)
+
+    # -- pooled mode ---------------------------------------------------
+    def _run_pooled(self, jobs: Sequence[_Job],
+                    results: list[SpecResult | None]) -> None:
+        pending = list(jobs)
+        # After a pool break, retries run one per wave: a persistently
+        # crashing request keeps breaking the shared pool, and wave-mates
+        # caught in the wreckage would burn their own retry budgets as
+        # collateral.  Serial waves isolate the culprit.
+        serial = False
+        while pending:
+            runnable: list[_Job] = []
+            for job in pending:
+                hit = self.cache.peek(job.key)
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    self.stats.completed += 1
+                    results[job.index] = hit.for_request(
+                        job.request, cached=True)
+                else:
+                    runnable.append(job)
+            if not runnable:
+                return
+            wave = runnable[:1] if serial else runnable
+            leftover = runnable[1:] if serial else []
+            pending = []
+            pool = self._ensure_pool()
+            submitted = []
+            for job in wave:
+                job.attempts += 1
+                future = pool.submit(execute_request,
+                                     job.request.to_payload())
+                submitted.append((job, future, monotonic()))
+            broken = False
+            for job, future, submitted_at in submitted:
+                deadline = job.request.deadline \
+                    if job.request.deadline is not None \
+                    else self.default_deadline
+                try:
+                    if deadline is None:
+                        outcome = future.result()
+                    else:
+                        remaining = deadline \
+                            - (monotonic() - submitted_at)
+                        outcome = future.result(
+                            timeout=max(remaining, 0.0))
+                except FutureTimeout:
+                    self.stats.timeouts += 1
+                    future.cancel()
+                    # The worker may still be grinding in its slot:
+                    # recycle the pool after the wave.
+                    broken = True
+                    results[job.index] = self._degrade(job, "deadline")
+                except Exception:  # noqa: BLE001
+                    # The pool broke (a worker died,
+                    # BrokenProcessPool) — or something unforeseen;
+                    # either way the caller must not see it.  Retry
+                    # while attempts remain.
+                    self.stats.worker_crashes += 1
+                    broken = True
+                    if job.attempts >= self.max_attempts:
+                        results[job.index] = self._degrade(
+                            job, "worker-crash")
+                    else:
+                        self.stats.retries += 1
+                        job.backoff = self._backoff_delay(job)
+                        pending.append(job)
+                else:
+                    results[job.index] = self._absorb(job, outcome)
+            if broken:
+                self._recycle_pool()
+                serial = True
+            if pending:
+                delay = max(job.backoff for job in pending)
+                self._sleep(delay)
+                self.stats.backoff_seconds += delay
+            pending.extend(leftover)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _recycle_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self.stats.pool_restarts += 1
+
+    # -- outcomes ------------------------------------------------------
+    def _backoff_delay(self, job: _Job) -> float:
+        return min(self.backoff_cap,
+                   self.backoff_base * (2 ** (job.attempts - 1)))
+
+    def _absorb(self, job: _Job, outcome: dict) -> SpecResult:
+        if outcome.get("failed"):
+            self.stats.errors += 1
+            return self._degrade(job, outcome.get("error", "failed"))
+        result = SpecResult(
+            residual=outcome["residual"],
+            goal_params=tuple(outcome.get("goal_params", ())),
+            engine=job.request.engine, id=job.request.id,
+            attempts=job.attempts, stats=outcome.get("stats", {}),
+            seconds=outcome.get("seconds", 0.0))
+        self.stats.completed += 1
+        self.cache.put(job.key, result)
+        return result
+
+    def _degrade(self, job: _Job, reason: str) -> SpecResult:
+        """Graceful degradation: the trivially-residual program, or —
+        if the source will not even parse — the source itself."""
+        self.stats.degraded += 1
+        residual, goal_params = _fallback_residual(job.request.source)
+        return SpecResult(
+            residual=residual, goal_params=goal_params,
+            engine=job.request.engine, id=job.request.id,
+            degraded=True, reason=reason, attempts=job.attempts)
+
+
+def _fallback_residual(source: str) -> tuple[str, tuple[str, ...]]:
+    try:
+        program = parse_program(source)
+        division = [DYN] * program.main.arity
+        result = specialize_simple(program, division, _FALLBACK_CONFIG)
+        return pretty_program(result.program), result.goal_params
+    except Exception:  # noqa: BLE001 — degradation must not raise
+        return source, ()

@@ -1,0 +1,83 @@
+"""``ppe serve`` — a long-running JSONL request/response loop.
+
+One JSON object per input line, one JSON object per output line,
+flushed immediately, so any process that can spawn a child and speak
+line-delimited JSON can drive the specializer without paying Python
+start-up per request.  Three input shapes:
+
+* a request object (the ``ppe batch`` manifest entry format, inline
+  ``source`` only) — answered with the
+  :meth:`~repro.service.results.SpecResult.to_dict` of its result;
+* ``{"op": "stats"}`` — answered with the service's
+  :class:`~repro.observability.ServiceStats` snapshot;
+* ``{"op": "shutdown"}`` — acknowledged, then the loop exits (EOF
+  does the same without the acknowledgement).
+
+Malformed lines are answered with ``{"ok": false, "error": ...}`` and
+the loop keeps going: a serving loop that dies on one bad request is
+not a serving loop.  The one fatal condition is the *consumer* going
+away — a ``BrokenPipeError`` on the output stream ends the loop
+cleanly (there is nobody left to answer).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.service.results import SpecRequest
+from repro.service.scheduler import SpecializationService
+
+
+def _emit(stream_out: IO[str], payload: dict) -> None:
+    stream_out.write(json.dumps(payload, sort_keys=True) + "\n")
+    stream_out.flush()
+
+
+def serve(service: SpecializationService, stream_in: IO[str],
+          stream_out: IO[str]) -> int:
+    """Pump the JSONL loop until shutdown, EOF, or the consumer
+    closing the output stream.  Returns 0."""
+    try:
+        _pump(service, stream_in, stream_out)
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _pump(service: SpecializationService, stream_in: IO[str],
+          stream_out: IO[str]) -> None:
+    for line in stream_in:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            _emit(stream_out, {"ok": False,
+                               "error": f"bad JSON: {error}"})
+            continue
+        if not isinstance(data, dict):
+            _emit(stream_out, {"ok": False,
+                               "error": "expected a JSON object"})
+            continue
+        op = data.get("op")
+        if op == "shutdown":
+            _emit(stream_out, {"ok": True, "op": "shutdown"})
+            break
+        if op == "stats":
+            _emit(stream_out, {"ok": True, "op": "stats",
+                               "stats": service.stats.as_dict()})
+            continue
+        if op is not None:
+            _emit(stream_out, {"ok": False,
+                               "error": f"unknown op {op!r}"})
+            continue
+        try:
+            request = SpecRequest.from_dict(data)
+        except (ValueError, OSError) as error:
+            _emit(stream_out, {"ok": False, "error": str(error),
+                               "id": data.get("id")})
+            continue
+        result = service.run_one(request)
+        _emit(stream_out, result.to_dict())

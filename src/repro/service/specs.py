@@ -1,0 +1,112 @@
+"""The spec mini-language shared by the CLI and the batch service.
+
+A *spec* describes one goal-function input as a short string:
+
+* a literal — ``3``, ``-2.5``, ``true``, ``#(1 2 3)`` — a fully static
+  input;
+* ``dyn`` — a fully dynamic input;
+* comma-separated ``facet=value`` pairs — dynamic with facet
+  information, e.g. ``size=3``, ``sign=pos,parity=odd``,
+  ``interval=1:9``.
+
+:func:`parse_spec` builds the online/offline input (a concrete value or
+a :class:`~repro.facets.vector.FacetVector`);
+:func:`simple_division` projects the same specs onto the
+facet-free world of :mod:`repro.baselines.simple_pe` (literals stay
+static, everything else collapses to :data:`~repro.baselines.simple_pe.DYN`).
+
+Errors raise :class:`SpecError` so both front ends — ``argparse`` in
+the CLI, request validation in the service — can report them their own
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.simple_pe import DYN
+from repro.facets.library.interval import Interval
+from repro.facets.vector import FacetSuite, FacetVector
+from repro.lang.values import INT, VECTOR, Value, Vector
+
+
+class SpecError(ValueError):
+    """A malformed input spec string."""
+
+
+def parse_value(text: str) -> Value:
+    """A literal: ``true``/``false``, an int, a float, or ``#(...)``."""
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text.startswith("#(") and text.endswith(")"):
+        items = text[2:-1].split()
+        try:
+            return Vector.of([float(i) for i in items])
+        except ValueError as error:
+            raise SpecError(f"bad vector literal {text!r}: {error}") \
+                from None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise SpecError(f"bad literal {text!r}") from None
+
+
+def parse_spec(suite: FacetSuite, text: str) -> FacetVector | Value:
+    """``dyn``, a literal, or comma-separated ``facet=value`` pairs."""
+    if text == "dyn":
+        return suite.unknown(None)
+    if "=" not in text:
+        return parse_value(text)
+    components: dict[str, object] = {}
+    sort = None
+    for pair in text.split(","):
+        name, _, raw = pair.partition("=")
+        if name == "size":
+            try:
+                components["size"] = int(raw)
+            except ValueError:
+                raise SpecError(
+                    f"size must be an int in spec {text!r}") from None
+            sort = VECTOR
+        elif name in ("sign", "parity"):
+            components[name] = raw
+            sort = INT
+        elif name == "interval":
+            lo_text, _, hi_text = raw.partition(":")
+            try:
+                lo = None if lo_text in ("", "-inf") else int(lo_text)
+                hi = None if hi_text in ("", "inf", "+inf") \
+                    else int(hi_text)
+            except ValueError:
+                raise SpecError(
+                    f"bad interval bounds in spec {text!r}") from None
+            components["interval"] = Interval(lo, hi)
+            sort = INT
+        else:
+            raise SpecError(f"unknown facet {name!r} in spec {text!r}")
+    assert sort is not None
+    return suite.input(sort, **components)  # type: ignore[arg-type]
+
+
+def parse_specs(suite: FacetSuite,
+                texts: Sequence[str]) -> list[FacetVector | Value]:
+    return [parse_spec(suite, text) for text in texts]
+
+
+def simple_division(texts: Sequence[str]) -> list[object]:
+    """Project specs onto Figure 2's facet-free division: literals are
+    static, ``dyn`` and facet specs (whose information the simple PE
+    cannot represent) are dynamic."""
+    division: list[object] = []
+    for text in texts:
+        if text == "dyn" or "=" in text:
+            division.append(DYN)
+        else:
+            division.append(parse_value(text))
+    return division

@@ -1,0 +1,144 @@
+"""Worker entry point: one specialization, inside a pool process.
+
+:func:`execute_request` is the only function the scheduler ships to
+``concurrent.futures`` workers, so it speaks plain dicts on both sides
+(payloads pickle cheaply and identically under fork and spawn).  It
+never raises for *program* reasons: parse errors, spec errors and fuel
+blowups come back as a ``{"failed": True, ...}`` marker so the
+scheduler can distinguish deterministic failures (degrade immediately,
+retrying cannot help) from worker crashes (retry with backoff).
+
+The ``_crashy`` hook is the fault-injection seam the service fault
+tests drive: a request may carry a ``fault`` mapping that makes the
+worker die (``crash``), stall past its deadline (``hang``) or fail
+deterministically (``error``).  Crash faults count their firings in a
+token file so "crash twice, then succeed" is expressible — exactly the
+shape the retry/backoff tests need.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from time import perf_counter
+from typing import Any, Mapping
+
+from repro.baselines.simple_pe import specialize_simple
+from repro.facets import (
+    FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.offline.specializer import specialize_offline
+from repro.online.config import PEConfig
+from repro.online.specializer import specialize_online
+from repro.service.specs import parse_specs, simple_division
+
+
+class WorkerCrash(RuntimeError):
+    """Raised instead of ``os._exit`` when a crash fault fires in
+    inline (``workers=0``) mode, where killing the process would kill
+    the caller too.  The scheduler treats it exactly like a pool
+    worker's death."""
+
+
+def default_suite() -> FacetSuite:
+    """Every shipped facet — the suite the CLI and the service use."""
+    return FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
+                       VectorSizeFacet()])
+
+
+# -- fault injection -------------------------------------------------------
+
+def _crash_count(token: str) -> int:
+    try:
+        with open(token, "r", encoding="utf-8") as handle:
+            return int(handle.read().strip() or 0)
+    except (OSError, ValueError):
+        return 0
+
+
+def _crashy(fault: Mapping[str, Any], inline: bool) -> None:
+    """The fault-injection hook (test-only; see module docstring)."""
+    kind = fault.get("kind")
+    if kind == "crash":
+        times = int(fault.get("times", 1))
+        token = fault.get("token")
+        if token is not None:
+            fired = _crash_count(token)
+            if fired >= times:
+                return  # budget spent: behave normally.
+            with open(token, "w", encoding="utf-8") as handle:
+                handle.write(str(fired + 1))
+        if inline:
+            raise WorkerCrash("injected crash")
+        os._exit(13)
+    elif kind == "hang":
+        time.sleep(float(fault.get("seconds", 60.0)))
+    elif kind == "error":
+        raise ValueError(fault.get("message", "injected failure"))
+    else:
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+
+# -- the worker body -------------------------------------------------------
+
+def execute_request(payload: Mapping[str, Any]) -> dict:
+    """Run one specialization request; return a plain result dict.
+
+    Deterministic failures return ``{"failed": True, "error": ...}``;
+    only infrastructure faults (a dying process) escape this function.
+    """
+    started = perf_counter()
+    try:
+        fault = payload.get("fault")
+        if fault:
+            _crashy(fault, inline=bool(payload.get("inline")))
+        residual, goal_params, stats = _specialize(payload)
+    except WorkerCrash:
+        raise
+    except Exception as error:  # noqa: BLE001 — the seam to the caller
+        return {
+            "failed": True,
+            "error": f"{type(error).__name__}: {error}",
+            "id": payload.get("id"),
+            "engine": payload.get("engine", "online"),
+            "seconds": perf_counter() - started,
+        }
+    return {
+        "id": payload.get("id"),
+        "engine": payload.get("engine", "online"),
+        "residual": residual,
+        "goal_params": list(goal_params),
+        "stats": stats,
+        "seconds": perf_counter() - started,
+    }
+
+
+def _specialize(payload: Mapping[str, Any]) \
+        -> tuple[str, tuple[str, ...], dict]:
+    program = parse_program(payload["source"])
+    specs = payload.get("specs", ())
+    config = _decode_config(payload.get("config") or {})
+    engine = payload.get("engine", "online")
+    if engine == "simple":
+        division = simple_division(specs)
+        result = specialize_simple(program, division, config)
+    elif engine == "online":
+        suite = default_suite()
+        inputs = parse_specs(suite, specs)
+        result = specialize_online(program, inputs, suite, config)
+    elif engine == "offline":
+        suite = default_suite()
+        inputs = parse_specs(suite, specs)
+        result = specialize_offline(program, inputs, suite,
+                                    config=config)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    return (pretty_program(result.program), result.goal_params,
+            result.stats.as_dict())
+
+
+def _decode_config(overrides: Mapping[str, Any]) -> PEConfig:
+    from repro.service.results import _decode_config_value
+    return PEConfig(**{name: _decode_config_value(name, value)
+                       for name, value in overrides.items()})

@@ -1,0 +1,118 @@
+"""Golden residual snapshots for the scenarios shipped in examples/.
+
+Each case re-runs one of the repo's example specializations through
+the service worker (:func:`repro.service.worker.execute_request` — the
+exact path ``repro batch`` takes) and compares the pretty-printed
+residual byte-for-byte against a checked-in snapshot under
+``tests/golden/snapshots/``.  Any change to parsing, specialization,
+simplification, tidying or pretty-printing that alters residual text
+shows up here as a readable diff.
+
+When a change is *intended*, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and commit the updated snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import pytest
+
+from repro.service.worker import execute_request
+from repro.workloads import WORKLOADS
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+
+#: Figure 1's running abs-value example, used by the constraint
+#: propagation example script.
+ABS_SRC = "(define (f x) (if (< x 0) (neg x) x))"
+
+
+@dataclass(frozen=True)
+class Case:
+    """One snapshotted specialization; ``name`` doubles as the file
+    stem under ``snapshots/``."""
+
+    name: str
+    workload: str | None
+    specs: tuple[str, ...]
+    engine: str = "online"
+    source: str | None = None
+    config: dict = field(default_factory=dict)
+
+    def payload(self) -> dict:
+        source = self.source if self.source is not None \
+            else WORKLOADS[self.workload].source
+        return {"source": source, "specs": list(self.specs),
+                "engine": self.engine, "config": dict(self.config)}
+
+
+CASES = [
+    # examples/quickstart.py — power with a static exponent.
+    Case("quickstart_power_n10", "power", ("dyn", "10")),
+    Case("power_offline_n7", "power", ("dyn", "7"), engine="offline"),
+    Case("power_simple_n6", "power", ("dyn", "6"), engine="simple"),
+    # examples/inner_product.py — size facet unrolls the dot product.
+    Case("inner_product_online_size3", "inner_product",
+         ("size=3", "size=3")),
+    Case("inner_product_offline_size3", "inner_product",
+         ("size=3", "size=3"), engine="offline"),
+    # examples/sign_specialization.py — sign facet prunes a branch.
+    Case("sign_pipeline_pos", "sign_pipeline", ("sign=pos", "dyn")),
+    Case("sign_pipeline_neg", "sign_pipeline", ("sign=neg", "dyn")),
+    # examples/interval_bounds_check.py — range proofs drop the clamp.
+    Case("clamped_lookup_static_vector", "clamped_lookup",
+         ("size=4", "dyn", "1", "4")),
+    Case("clamped_lookup_interval", "clamped_lookup",
+         ("dyn", "interval=2:3", "1", "4")),
+    # examples/futamura_vm.py — static bytecode compiles away.
+    Case("futamura_vm_compile", "mini_vm",
+         ("#(3 1 10 2 3 0)", "dyn")),
+    # parity facet: alternating sum over a size-4 vector.
+    Case("alternating_sum_size4", "alternating_sum", ("size=4",)),
+    Case("poly_eval_size3", "poly_eval", ("size=3", "dyn")),
+    Case("gcd_fully_static", "gcd", ("48", "18")),
+    Case("binary_search_size7", "binary_search", ("size=7", "dyn")),
+    # examples/constraint_propagation.py — Figure 1 under Section 4.4.
+    Case("constraint_propagation_abs", None, ("dyn",),
+         source=ABS_SRC, config={"propagate_constraints": True}),
+    # examples/higher_order_analysis.py — the higher-order corpus.
+    Case("ho_select_static_flag", "ho_select", ("dyn", "true")),
+    Case("ho_pipeline_size3", "ho_pipeline", ("size=3", "2")),
+]
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.name)
+def test_residual_matches_snapshot(case, update_golden):
+    outcome = execute_request(case.payload())
+    assert not outcome.get("failed"), outcome.get("error")
+    text = outcome["residual"]
+    if not text.endswith("\n"):
+        text += "\n"
+    path = SNAPSHOT_DIR / f"{case.name}.txt"
+    if update_golden:
+        SNAPSHOT_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    assert path.exists(), \
+        f"missing snapshot {path.name}; run pytest --update-golden"
+    expected = path.read_text(encoding="utf-8")
+    assert text == expected, \
+        f"residual for {case.name} drifted from its snapshot"
+
+
+def test_no_orphan_snapshots():
+    """Every snapshot file corresponds to a live case — stale files
+    would silently stop being checked."""
+    known = {f"{case.name}.txt" for case in CASES}
+    on_disk = {path.name for path in SNAPSHOT_DIR.glob("*.txt")}
+    assert on_disk <= known, f"orphans: {sorted(on_disk - known)}"

@@ -6,11 +6,23 @@ from repro.observability import CacheStats
 
 
 def test_rates_start_at_zero():
+    """Zero lookups must report a 0.0 hit rate, not divide by zero —
+    a fresh suite's profile report is the degenerate case."""
     stats = CacheStats()
     assert stats.dispatch_rate == 0.0
     assert stats.vector_rate == 0.0
     assert stats.op_rate == 0.0
     assert stats.outcome_rate == 0.0
+    assert stats.overall_rate == 0.0
+    assert stats.as_dict()["overall_rate"] == 0.0
+
+
+def test_overall_rate_aggregates_every_cache():
+    stats = CacheStats(dispatch_hits=3, dispatch_misses=1,
+                       vector_hits=2, vector_misses=2,
+                       op_hits=1, op_misses=1,
+                       outcome_hits=0, outcome_misses=2)
+    assert stats.overall_rate == 6 / 12
 
 
 def test_rates():
@@ -39,7 +51,9 @@ def test_merge_accumulates():
 
 def test_as_dict_shape():
     as_dict = CacheStats(dispatch_hits=1, dispatch_misses=1).as_dict()
-    assert set(as_dict) == {"dispatch", "vector", "op", "outcome"}
+    assert set(as_dict) == {"dispatch", "vector", "op", "outcome",
+                            "overall_rate"}
     assert as_dict["dispatch"] == {"hits": 1, "misses": 1, "rate": 0.5}
-    for section in as_dict.values():
-        assert set(section) == {"hits", "misses", "rate"}
+    assert as_dict["overall_rate"] == 0.5
+    for name in ("dispatch", "vector", "op", "outcome"):
+        assert set(as_dict[name]) == {"hits", "misses", "rate"}

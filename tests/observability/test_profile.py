@@ -7,7 +7,8 @@ import json
 
 from repro.cli import main
 from repro.observability import (
-    CacheStats, PEStats, PhaseTimer, build_report, write_report)
+    CacheStats, PEStats, PhaseTimer, ServiceStats, build_report,
+    write_report)
 from repro.workloads import WORKLOADS
 
 
@@ -28,8 +29,19 @@ def test_build_report_full():
     assert report["phases"] == {"parse": 0.5}
     assert report["total_seconds"] == 0.5
     assert report["stats"]["facet_evaluations"] == 7
-    assert set(report["caches"]) == {"dispatch", "vector", "op", "outcome"}
+    assert set(report["caches"]) == {"dispatch", "vector", "op",
+                                     "outcome", "overall_rate"}
     assert report["suites"] == 2
+
+
+def test_build_report_service_section():
+    stats = ServiceStats(submitted=4, completed=3, degraded=1,
+                         cache_hits=1, cache_misses=3)
+    report = build_report(command="ppe batch m.json",
+                          service_stats=stats)
+    assert report["service"]["submitted"] == 4
+    assert report["service"]["degraded"] == 1
+    assert report["service"]["cache"]["rate"] == 0.25
 
 
 def test_write_report_to_path(tmp_path):

@@ -1,0 +1,57 @@
+"""Unit tests for :class:`repro.observability.ServiceStats`."""
+
+from __future__ import annotations
+
+from repro.observability import ServiceStats
+
+
+def test_rates_start_at_zero():
+    """No traffic yet: every derived rate is 0.0, never an error."""
+    stats = ServiceStats()
+    assert stats.cache_hit_rate == 0.0
+    assert stats.degraded_rate == 0.0
+    snapshot = stats.as_dict()
+    assert snapshot["cache"]["rate"] == 0.0
+    assert snapshot["degraded_rate"] == 0.0
+
+
+def test_cache_hit_rate():
+    stats = ServiceStats(cache_hits=3, cache_misses=1)
+    assert stats.cache_hit_rate == 0.75
+
+
+def test_degraded_rate():
+    stats = ServiceStats(completed=3, degraded=1)
+    assert stats.degraded_rate == 0.25
+
+
+def test_merge_accumulates():
+    left = ServiceStats(submitted=2, completed=1, degraded=1,
+                        cache_hits=1, retries=2, timeouts=1,
+                        backoff_seconds=0.25)
+    right = ServiceStats(submitted=3, completed=3, cache_misses=2,
+                         worker_crashes=1, errors=1, pool_restarts=1,
+                         backoff_seconds=0.5, cache_evictions=4)
+    left.merge(right)
+    assert left.submitted == 5
+    assert left.completed == 4
+    assert left.degraded == 1
+    assert left.cache_hits == 1
+    assert left.cache_misses == 2
+    assert left.cache_evictions == 4
+    assert left.worker_crashes == 1
+    assert left.retries == 2
+    assert left.timeouts == 1
+    assert left.errors == 1
+    assert left.pool_restarts == 1
+    assert left.backoff_seconds == 0.75
+
+
+def test_as_dict_shape():
+    snapshot = ServiceStats(submitted=1).as_dict()
+    assert set(snapshot) == {
+        "submitted", "completed", "degraded", "degraded_rate", "cache",
+        "worker_crashes", "retries", "timeouts", "errors",
+        "pool_restarts", "backoff_seconds"}
+    assert set(snapshot["cache"]) == {"hits", "misses", "evictions",
+                                      "rate"}

@@ -1,0 +1,166 @@
+"""Batch semantics: determinism, caching, engine routing, manifests.
+
+The acceptance bar for the service layer: a 32-request manifest served
+by a 4-worker pool must return **byte-identical** residuals to
+sequential single-request runs of the same requests — parallelism, the
+scheduler and the cross-request cache must be invisible in the output.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    SpecRequest, SpecializationService, execute_request, load_manifest)
+from repro.workloads import WORKLOADS
+
+#: (workload, specs, engine) rows that exercise every engine and most
+#: of the first-order corpus; repeated with distinct configs below to
+#: reach 32 requests.
+_ROWS = [
+    ("inner_product", ["size=3", "size=3"], "online"),
+    ("inner_product", ["size=5", "size=5"], "online"),
+    ("inner_product", ["size=3", "size=3"], "offline"),
+    ("power", ["dyn", "10"], "online"),
+    ("power", ["dyn", "7"], "offline"),
+    ("power", ["dyn", "6"], "simple"),
+    ("sign_pipeline", ["sign=pos", "dyn"], "online"),
+    ("sign_pipeline", ["sign=neg", "dyn"], "online"),
+    ("clamped_lookup", ["size=4", "dyn", "1", "4"], "online"),
+    ("clamped_lookup", ["dyn", "interval=2:3", "1", "4"], "online"),
+    ("alternating_sum", ["size=4"], "online"),
+    ("alternating_sum", ["size=4"], "offline"),
+    ("poly_eval", ["size=3", "dyn"], "online"),
+    ("gcd", ["48", "18"], "online"),
+    ("gcd", ["48", "18"], "simple"),
+    ("binary_search", ["size=7", "dyn"], "online"),
+]
+
+
+def make_requests() -> list[SpecRequest]:
+    """32 distinct requests: each row once as authored and once with a
+    config override (so config participates in identity too)."""
+    requests = []
+    for index, (name, specs, engine) in enumerate(_ROWS):
+        source = WORKLOADS[name].source
+        requests.append(SpecRequest.create(
+            source=source, specs=specs, engine=engine,
+            id=f"{name}-{index}"))
+        requests.append(SpecRequest.create(
+            source=source, specs=specs, engine=engine,
+            config={"unfold_fuel": 64},
+            id=f"{name}-{index}-fuel64"))
+    assert len(requests) == 32
+    return requests
+
+
+def sequential_residuals(requests) -> list[str]:
+    """The reference: each request run alone, in this process."""
+    return [execute_request(request.to_payload())["residual"]
+            for request in requests]
+
+
+class TestByteIdenticalResiduals:
+    def test_pool_of_4_matches_sequential(self):
+        requests = make_requests()
+        expected = sequential_residuals(requests)
+        with SpecializationService(workers=4) as service:
+            results = service.run_batch(requests)
+        assert not any(result.degraded for result in results)
+        got = [result.residual for result in results]
+        assert got == expected  # byte-identical, in request order
+        assert service.stats.completed == 32
+        assert service.stats.submitted == 32
+
+    def test_inline_mode_matches_sequential(self):
+        requests = make_requests()[:8]
+        expected = sequential_residuals(requests)
+        with SpecializationService(workers=0) as service:
+            got = [r.residual for r in service.run_batch(requests)]
+        assert got == expected
+
+
+class TestCacheAcrossBatches:
+    def test_second_batch_is_served_from_cache(self):
+        requests = make_requests()[:6]
+        with SpecializationService(workers=2) as service:
+            first = service.run_batch(requests)
+            second = service.run_batch(requests)
+        assert [r.residual for r in first] \
+            == [r.residual for r in second]
+        assert not any(r.cached for r in first)
+        assert all(r.cached for r in second)
+        assert service.stats.cache_hits == len(requests)
+
+    def test_cache_capacity_zero_never_hits(self):
+        request = SpecRequest.create(
+            source=WORKLOADS["gcd"].source, specs=["8", "6"])
+        with SpecializationService(workers=0,
+                                   cache_capacity=0) as service:
+            service.run_one(request)
+            result = service.run_one(request)
+        assert not result.cached
+        assert service.stats.cache_hits == 0
+
+    def test_eviction_counters_surface(self):
+        requests = make_requests()[:6]
+        with SpecializationService(workers=0,
+                                   cache_capacity=2) as service:
+            service.run_batch(requests)
+        assert service.stats.cache_evictions == 4
+        assert service.stats.as_dict()["cache"]["evictions"] == 4
+
+
+class TestEngineRouting:
+    def test_simple_engine_ignores_facet_specs(self):
+        """Facet specs carry information Figure 2 cannot represent;
+        the simple engine must treat them as dynamic, not crash."""
+        request = SpecRequest.create(
+            source=WORKLOADS["inner_product"].source,
+            specs=["size=3", "size=3"], engine="simple")
+        with SpecializationService(workers=0) as service:
+            result = service.run_one(request)
+        assert not result.degraded
+        assert "dotprod" in result.residual  # nothing unrolled
+
+    def test_online_vs_offline_goal_params_agree(self):
+        online = SpecRequest.create(
+            source=WORKLOADS["inner_product"].source,
+            specs=["size=3", "size=3"], engine="online")
+        offline = SpecRequest.create(
+            source=WORKLOADS["inner_product"].source,
+            specs=["size=3", "size=3"], engine="offline")
+        with SpecializationService(workers=0) as service:
+            results = service.run_batch([online, offline])
+        assert results[0].goal_params == results[1].goal_params \
+            == ("A", "B")
+
+    def test_stats_snapshot_travels_with_result(self):
+        request = SpecRequest.create(
+            source=WORKLOADS["power"].source, specs=["dyn", "9"])
+        with SpecializationService(workers=0) as service:
+            result = service.run_one(request)
+        assert result.stats["facet_evaluations"] > 0
+        assert result.seconds > 0
+
+
+class TestManifest:
+    def test_load_manifest_array_and_object_forms(self, tmp_path):
+        entry = {"source": WORKLOADS["gcd"].source, "specs": ["8", "6"]}
+        assert len(load_manifest(json.dumps([entry]))) == 1
+        assert len(load_manifest(
+            json.dumps({"requests": [entry, entry]}))) == 2
+
+    def test_manifest_file_references(self, tmp_path):
+        (tmp_path / "prog.ppe").write_text(WORKLOADS["gcd"].source)
+        manifest = json.dumps([{"file": "prog.ppe", "specs": ["8", "6"]}])
+        [request] = load_manifest(manifest, tmp_path)
+        assert request.source == WORKLOADS["gcd"].source
+
+    def test_manifest_rejects_non_array(self):
+        with pytest.raises(ValueError, match="array"):
+            load_manifest(json.dumps({"nope": 1}))
+        with pytest.raises(ValueError, match="JSON"):
+            load_manifest("not json")

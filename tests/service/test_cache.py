@@ -1,0 +1,141 @@
+"""Unit tests for the cross-request residual LRU and request
+fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import ServiceStats
+from repro.service import ResidualCache, SpecRequest, SpecResult
+
+SRC = "(define (f x) (+ x 1))"
+
+
+def result(tag: str) -> SpecResult:
+    return SpecResult(residual=f"; {tag}", goal_params=("x",))
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = ResidualCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", result("a"))
+        assert cache.get("a").residual == "; a"
+        assert cache.stats.cache_misses == 1
+        assert cache.stats.cache_hits == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResidualCache(capacity=2)
+        cache.put("a", result("a"))
+        cache.put("b", result("b"))
+        cache.get("a")             # refresh a: b is now the LRU entry
+        cache.put("c", result("c"))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.cache_evictions == 1
+
+    def test_eviction_counter_accumulates(self):
+        cache = ResidualCache(capacity=1)
+        for tag in "abcd":
+            cache.put(tag, result(tag))
+        assert len(cache) == 1
+        assert cache.stats.cache_evictions == 3
+
+    def test_capacity_zero_disables(self):
+        cache = ResidualCache(capacity=0)
+        cache.put("a", result("a"))
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_degraded_results_are_never_cached(self):
+        cache = ResidualCache(capacity=4)
+        degraded = SpecResult(residual=SRC, degraded=True,
+                              reason="deadline")
+        cache.put("a", degraded)
+        assert "a" not in cache
+
+    def test_peek_does_not_count_or_refresh(self):
+        stats = ServiceStats()
+        cache = ResidualCache(capacity=2, stats=stats)
+        cache.put("a", result("a"))
+        cache.put("b", result("b"))
+        cache.peek("a")            # no recency refresh: a stays LRU
+        cache.put("c", result("c"))
+        assert "a" not in cache
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResidualCache(capacity=-1)
+
+
+class TestFingerprint:
+    def test_identical_requests_collide(self):
+        a = SpecRequest.create(source=SRC, specs=["dyn"])
+        b = SpecRequest.create(source=SRC, specs=["dyn"])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_id_deadline_and_fault_do_not_matter(self):
+        plain = SpecRequest.create(source=SRC, specs=["dyn"])
+        decorated = SpecRequest.create(
+            source=SRC, specs=["dyn"], id="r7", deadline=1.5,
+            fault={"kind": "hang", "seconds": 0.1})
+        assert plain.fingerprint() == decorated.fingerprint()
+
+    @pytest.mark.parametrize("other", [
+        dict(source=SRC + " "),
+        dict(specs=["3"]),
+        dict(engine="simple"),
+        dict(config={"unfold_fuel": 7}),
+    ])
+    def test_semantic_fields_matter(self, other):
+        base = dict(source=SRC, specs=["dyn"], engine="online")
+        changed = {**base, **other}
+        assert SpecRequest.create(**base).fingerprint() \
+            != SpecRequest.create(**changed).fingerprint()
+
+    def test_config_order_is_canonical(self):
+        a = SpecRequest.create(
+            source=SRC, config={"unfold_fuel": 9, "max_variants": 3})
+        b = SpecRequest.create(
+            source=SRC, config={"max_variants": 3, "unfold_fuel": 9})
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestRequestValidation:
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SpecRequest.create(source=SRC, engine="quantum")
+
+    def test_unknown_config_key(self):
+        with pytest.raises(ValueError, match="unknown PEConfig"):
+            SpecRequest.create(source=SRC, config={"warp": 9})
+
+    def test_unfold_strategy_decodes_from_string(self):
+        request = SpecRequest.create(
+            source=SRC, config={"unfold_strategy": "never"})
+        from repro.online.config import UnfoldStrategy
+        assert request.pe_config().unfold_strategy \
+            is UnfoldStrategy.NEVER
+
+    def test_bad_unfold_strategy(self):
+        with pytest.raises(ValueError, match="unfold_strategy"):
+            SpecRequest.create(source=SRC,
+                               config={"unfold_strategy": "sometimes"})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            SpecRequest.from_dict({"source": SRC, "sauce": "secret"})
+
+    def test_from_dict_needs_source_or_file(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SpecRequest.from_dict({"specs": ["dyn"]})
+
+    def test_from_dict_reads_file(self, tmp_path):
+        path = tmp_path / "f.ppe"
+        path.write_text(SRC)
+        request = SpecRequest.from_dict({"file": "f.ppe"},
+                                        base_dir=tmp_path)
+        assert request.source == SRC

@@ -1,0 +1,194 @@
+"""Service-layer fault tests: crashes, deadlines, deterministic
+failures.
+
+Faults are injected through the ``_crashy`` worker hook (a ``fault``
+mapping on the request).  The contract under test: the caller *never*
+sees an exception; every fault path ends in either a successful retry
+or a ``degraded=True`` fallback, and :class:`ServiceStats` accounts
+for what happened.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import SpecRequest, SpecializationService
+from repro.workloads import WORKLOADS
+
+SRC = WORKLOADS["gcd"].source
+
+
+def crashy_request(tmp_path, times: int, tag: str = "t",
+                   **kwargs) -> SpecRequest:
+    """A request whose worker dies ``times`` times, then behaves.
+
+    Its division (49, 18) is deliberately unlike any healthy request
+    in these tests: the fault hook is not part of the fingerprint, so
+    sharing a division with a healthy request would let the crashy one
+    be (correctly!) served from the cross-request cache.
+    """
+    token = tmp_path / f"crash-{tag}.count"
+    return SpecRequest.create(
+        source=SRC, specs=["49", "18"], id=f"crashy-{tag}",
+        fault={"kind": "crash", "times": times, "token": str(token)},
+        **kwargs)
+
+
+@pytest.fixture
+def recorded_sleep():
+    """Replace real backoff sleeps with a recorder: fault tests assert
+    the backoff *accounting*, not wall-clock."""
+    slept: list[float] = []
+    return slept, slept.append
+
+
+class TestCrashRetry:
+    def test_crash_once_then_retry_succeeds(self, tmp_path,
+                                            recorded_sleep):
+        slept, sleep = recorded_sleep
+        request = crashy_request(tmp_path, times=1)
+        with SpecializationService(workers=1, max_attempts=3,
+                                   backoff_base=0.01,
+                                   sleep=sleep) as service:
+            result = service.run_one(request)
+        assert not result.degraded
+        assert result.residual.strip() == "(define (gcd) 1)"
+        assert result.attempts == 2
+        assert service.stats.worker_crashes == 1
+        assert service.stats.retries == 1
+        assert service.stats.pool_restarts == 1
+        assert service.stats.backoff_seconds == pytest.approx(sum(slept))
+        assert service.stats.backoff_seconds > 0
+
+    def test_backoff_grows_exponentially(self, tmp_path,
+                                         recorded_sleep):
+        slept, sleep = recorded_sleep
+        request = crashy_request(tmp_path, times=2)
+        with SpecializationService(workers=1, max_attempts=4,
+                                   backoff_base=0.01,
+                                   sleep=sleep) as service:
+            result = service.run_one(request)
+        assert not result.degraded
+        assert slept == [pytest.approx(0.01), pytest.approx(0.02)]
+        assert service.stats.retries == 2
+
+    def test_persistent_crash_degrades_without_raising(
+            self, tmp_path, recorded_sleep):
+        _, sleep = recorded_sleep
+        request = crashy_request(tmp_path, times=99)
+        with SpecializationService(workers=1, max_attempts=3,
+                                   backoff_base=0.01,
+                                   sleep=sleep) as service:
+            result = service.run_one(request)
+        assert result.degraded
+        assert result.reason == "worker-crash"
+        assert result.attempts == 3
+        assert service.stats.worker_crashes == 3
+        assert service.stats.retries == 2
+        assert service.stats.degraded == 1
+        # The fallback is still a runnable copy of the source program.
+        assert "(define (gcd" in result.residual
+
+    def test_inline_mode_has_the_same_crash_semantics(
+            self, tmp_path, recorded_sleep):
+        _, sleep = recorded_sleep
+        request = crashy_request(tmp_path, times=1)
+        with SpecializationService(workers=0, max_attempts=3,
+                                   backoff_base=0.01,
+                                   sleep=sleep) as service:
+            result = service.run_one(request)
+        assert not result.degraded
+        assert result.attempts == 2
+        assert service.stats.retries == 1
+
+    def test_crash_does_not_sink_the_rest_of_the_batch(
+            self, tmp_path, recorded_sleep):
+        _, sleep = recorded_sleep
+        healthy = [SpecRequest.create(source=SRC, specs=["48", str(k)],
+                                      id=f"ok-{k}")
+                   for k in (18, 30, 36)]
+        batch = healthy[:1] + [crashy_request(tmp_path, times=99)] \
+            + healthy[1:]
+        with SpecializationService(workers=2, max_attempts=2,
+                                   backoff_base=0.01,
+                                   sleep=sleep) as service:
+            results = service.run_batch(batch)
+        by_id = {result.id: result for result in results}
+        assert by_id["crashy-t"].degraded
+        for request in healthy:
+            assert not by_id[request.id].degraded
+
+
+class TestDeadlines:
+    def test_hang_past_deadline_degrades(self, tmp_path):
+        request = SpecRequest.create(
+            source=SRC, specs=["48", "18"], id="sleepy",
+            deadline=0.2, fault={"kind": "hang", "seconds": 5.0})
+        with SpecializationService(workers=1) as service:
+            result = service.run_one(request)
+        assert result.degraded
+        assert result.reason == "deadline"
+        assert service.stats.timeouts == 1
+        assert service.stats.degraded == 1
+        assert service.stats.retries == 0   # timeouts are not retried
+        assert service.stats.pool_restarts == 1
+
+    def test_deadline_only_hits_the_slow_request(self, tmp_path):
+        fast = SpecRequest.create(source=SRC, specs=["48", "18"],
+                                  id="fast")
+        slow = SpecRequest.create(
+            source=SRC, specs=["48", "18"], id="slow", deadline=0.2,
+            fault={"kind": "hang", "seconds": 5.0})
+        with SpecializationService(workers=2) as service:
+            results = service.run_batch([fast, slow])
+        by_id = {result.id: result for result in results}
+        assert not by_id["fast"].degraded
+        assert by_id["slow"].degraded
+        assert by_id["slow"].reason == "deadline"
+
+    def test_service_default_deadline_applies(self, tmp_path):
+        request = SpecRequest.create(
+            source=SRC, specs=["48", "18"],
+            fault={"kind": "hang", "seconds": 5.0})
+        with SpecializationService(workers=1,
+                                   default_deadline=0.2) as service:
+            result = service.run_one(request)
+        assert result.degraded
+        assert result.reason == "deadline"
+
+
+class TestDeterministicFailures:
+    def test_injected_error_degrades_without_retry(self, recorded_sleep):
+        slept, sleep = recorded_sleep
+        request = SpecRequest.create(
+            source=SRC, specs=["48", "18"],
+            fault={"kind": "error", "message": "boom"})
+        with SpecializationService(workers=1, sleep=sleep) as service:
+            result = service.run_one(request)
+        assert result.degraded
+        assert "boom" in result.reason
+        assert service.stats.errors == 1
+        assert service.stats.retries == 0
+        assert slept == []
+
+    def test_parse_error_degrades_to_raw_source(self):
+        request = SpecRequest.create(source="(define (f x) (oops",
+                                     specs=["dyn"])
+        with SpecializationService(workers=0) as service:
+            result = service.run_one(request)
+        assert result.degraded
+        assert "ParseError" in result.reason
+        assert result.residual == "(define (f x) (oops"
+
+    def test_degraded_results_never_enter_the_cache(self, tmp_path):
+        request = crashy_request(tmp_path, times=99)
+        with SpecializationService(workers=0, max_attempts=1,
+                                   sleep=lambda _s: None) as service:
+            first = service.run_one(request)
+            # The crash budget is unlimited, so a cached degradation
+            # would be the only way the second call could degrade
+            # without counting a new crash.
+            second = service.run_one(request)
+        assert first.degraded and second.degraded
+        assert not second.cached
+        assert service.stats.cache_hits == 0

@@ -1,0 +1,146 @@
+"""The JSONL serve loop and the ``ppe batch`` / ``ppe serve`` CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli import main
+from repro.service import SpecializationService, serve
+from repro.workloads import WORKLOADS
+
+GCD = WORKLOADS["gcd"].source
+
+
+def pump(*lines: object) -> list[dict]:
+    """Run the loop over JSON lines; return the decoded responses."""
+    text = "\n".join(
+        line if isinstance(line, str) else json.dumps(line)
+        for line in lines) + "\n"
+    out = io.StringIO()
+    with SpecializationService(workers=0) as service:
+        serve(service, io.StringIO(text), out)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestServeLoop:
+    def test_request_response(self):
+        [response] = pump(
+            {"id": "g", "source": GCD, "specs": ["48", "18"]})
+        assert response["id"] == "g"
+        assert not response["degraded"]
+        assert "(define (gcd) 6)" in response["residual"]
+
+    def test_one_response_per_line_in_order(self):
+        responses = pump(
+            {"id": "a", "source": GCD, "specs": ["48", "18"]},
+            {"id": "b", "source": GCD, "specs": ["50", "15"]})
+        assert [r["id"] for r in responses] == ["a", "b"]
+
+    def test_stats_op(self):
+        responses = pump(
+            {"id": "a", "source": GCD, "specs": ["48", "18"]},
+            {"op": "stats"})
+        stats = responses[-1]
+        assert stats["ok"] is True
+        assert stats["stats"]["submitted"] == 1
+        assert stats["stats"]["completed"] == 1
+
+    def test_shutdown_op_acknowledges_and_stops(self):
+        responses = pump(
+            {"op": "shutdown"},
+            {"id": "after", "source": GCD, "specs": ["48", "18"]})
+        assert responses == [{"ok": True, "op": "shutdown"}]
+
+    def test_malformed_lines_do_not_kill_the_loop(self):
+        responses = pump(
+            "this is not json",
+            "[1, 2, 3]",
+            {"op": "teleport"},
+            {"specs": ["dyn"]},              # no source and no file
+            {"id": "ok", "source": GCD, "specs": ["48", "18"]})
+        assert [r.get("ok", "absent") for r in responses[:4]] \
+            == [False, False, False, False]
+        assert responses[-1]["id"] == "ok"
+        assert not responses[-1]["degraded"]
+
+    def test_blank_lines_are_skipped(self):
+        responses = pump(
+            "", "   ",
+            {"id": "ok", "source": GCD, "specs": ["48", "18"]})
+        assert len(responses) == 1
+
+    def test_bad_program_degrades_in_band(self):
+        [response] = pump({"id": "bad", "source": "(define (f x",
+                           "specs": ["dyn"]})
+        assert response["degraded"] is True
+        assert "ParseError" in response["reason"]
+
+
+class TestBatchCLI:
+    def _manifest(self, tmp_path, entries):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"requests": entries}))
+        return path
+
+    def test_batch_writes_results_and_profile(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path, [
+            {"id": "g", "source": GCD, "specs": ["48", "18"]},
+            {"id": "p", "source": WORKLOADS["power"].source,
+             "specs": ["dyn", "5"], "engine": "offline"},
+        ])
+        out = tmp_path / "results.json"
+        profile = tmp_path / "profile.json"
+        code = main(["batch", str(manifest), "--workers", "2",
+                     "--output", str(out), "--profile", str(profile)])
+        assert code == 0
+        results = json.loads(out.read_text())
+        assert [r["id"] for r in results] == ["g", "p"]
+        assert not any(r["degraded"] for r in results)
+        report = json.loads(profile.read_text())
+        assert report["version"] == 1
+        assert report["service"]["submitted"] == 2
+        assert report["service"]["completed"] == 2
+        assert "batch" in report["phases"]
+
+    def test_batch_stdout_and_stderr_summary(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path, [
+            {"id": "g", "source": GCD, "specs": ["48", "18"]}])
+        code = main(["batch", str(manifest), "--workers", "0"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)[0]["id"] == "g"
+        assert "1 requests, 0 degraded" in captured.err
+
+    def test_batch_file_references_resolve_against_manifest(
+            self, tmp_path, capsys):
+        (tmp_path / "prog.ppe").write_text(GCD)
+        manifest = self._manifest(tmp_path, [
+            {"id": "f", "file": "prog.ppe", "specs": ["48", "18"]}])
+        code = main(["batch", str(manifest), "--workers", "0"])
+        assert code == 0
+        [result] = json.loads(capsys.readouterr().out)
+        assert "(define (gcd) 6)" in result["residual"]
+
+    def test_bad_manifest_exits_nonzero(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{\"requests\": 7}")
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["batch", str(path)])
+
+
+class TestServeCLI:
+    def test_serve_reads_stdin_writes_stdout(self, tmp_path,
+                                             monkeypatch, capsys):
+        lines = json.dumps(
+            {"id": "g", "source": GCD, "specs": ["48", "18"]}) + "\n" \
+            + json.dumps({"op": "shutdown"}) + "\n"
+        import sys
+        monkeypatch.setattr(sys, "stdin", io.StringIO(lines))
+        code = main(["serve", "--workers", "0"])
+        assert code == 0
+        out_lines = capsys.readouterr().out.splitlines()
+        assert json.loads(out_lines[0])["id"] == "g"
+        assert json.loads(out_lines[-1]) == {"ok": True,
+                                             "op": "shutdown"}
