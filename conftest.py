@@ -67,8 +67,13 @@ def pytest_runtest_call(item):
         return
 
     def _expired(signum, frame):
-        raise TimeoutError(
-            f"{item.nodeid} exceeded the {seconds:g}s timeout")
+        # pytest.fail raises an OutcomeException (BaseException-derived)
+        # on purpose: the engines' never-raise seams (engine_guard, the
+        # service's degradation catches) swallow any plain Exception —
+        # a TimeoutError fired mid-specialization would be converted
+        # into a graceful degradation and the test would keep running
+        # unprotected.  pytest-timeout's signal method does the same.
+        pytest.fail(f"{item.nodeid} exceeded the {seconds:g}s timeout")
 
     previous = signal.signal(signal.SIGALRM, _expired)
     signal.setitimer(signal.ITIMER_REAL, seconds)

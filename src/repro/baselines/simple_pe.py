@@ -14,14 +14,23 @@ strategy, same cache discipline, same counters) so the
 the *facet machinery*, not incidental engineering differences.
 Semantically, ``SPE`` coincides with online PPE run with an empty facet
 suite — a property the test suite checks program-by-program.
+
+Like the online engine, ``SPE`` runs its recursion on a generator
+trampoline (constant Python stack depth, no ``sys.setrecursionlimit``)
+and meters its work against the :class:`~repro.engine.budget.Budget`
+derived from the config, degrading gracefully — widen the call, emit a
+residual call, record a :class:`~repro.engine.budget.DegradeEvent` —
+when a soft budget is exhausted.
 """
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
+from repro.engine.budget import STEP_STRIDE, DegradeEvent
+from repro.engine.errors import BudgetExhausted, engine_guard
+from repro.engine.trampoline import run_trampoline
 from repro.lang.ast import (
     App, Call, Const, Expr, FunDef, If, Lam, Let, Prim, Var,
     count_occurrences)
@@ -32,8 +41,6 @@ from repro.lang.values import is_value
 from repro.online.config import PEConfig, PEStats, UnfoldStrategy
 from repro.transform.cleanup import canonical_names, drop_unreachable
 from repro.transform.simplify import definitely_total, simplify_program
-
-_RECURSION_LIMIT = 100_000
 
 #: Marker for a dynamic input position.
 DYN = object()
@@ -59,6 +66,7 @@ class SimplePartialEvaluator:
         self.functions = program.functions()
         self.config = config if config is not None else PEConfig()
         self.stats = PEStats()
+        self.budget = self.config.make_budget()
         self._cache: dict[Hashable, tuple[str, tuple[int, ...],
                                           tuple[str, ...]]] = {}
         self._residuals: list[FunDef | None] = []
@@ -74,71 +82,80 @@ class SimplePartialEvaluator:
             raise PEError(
                 f"{main.name}: expected {main.arity} inputs, "
                 f"got {len(inputs)}")
-        env: dict[str, Expr] = {}
-        goal_params = []
-        for param, value in zip(main.params, inputs):
-            if value is DYN:
-                env[param] = Var(param)
-                goal_params.append(param)
-            elif is_value(value):
-                env[param] = Const(value)
-            else:
-                raise PEError(f"input for {param!r} must be a value or "
-                              f"DYN, got {value!r}")
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
-        try:
-            body = self._pe(main.body, env, depth=0)
-        finally:
-            sys.setrecursionlimit(old_limit)
-        goal = FunDef(main.name, tuple(goal_params), body)
-        raw = Program((goal, *[d for d in self._residuals
-                               if d is not None]))
-        cleaned = raw
-        if self.config.simplify:
-            cleaned = simplify_program(cleaned)
-        if self.config.tidy:
-            cleaned = canonical_names(drop_unreachable(cleaned))
-        return SimplePEResult(cleaned, raw, self.stats,
-                              tuple(goal_params))
+        with engine_guard("simple partial evaluation"):
+            env: dict[str, Expr] = {}
+            goal_params = []
+            for param, value in zip(main.params, inputs):
+                if value is DYN:
+                    env[param] = Var(param)
+                    goal_params.append(param)
+                elif is_value(value):
+                    env[param] = Const(value)
+                else:
+                    raise PEError(
+                        f"input for {param!r} must be a value or "
+                        f"DYN, got {value!r}")
+            self.budget.start()
+            try:
+                body = run_trampoline(self._pe(main.body, env, depth=0))
+            finally:
+                self.budget.charge_steps(self.stats.steps)
+                self.stats.budget_used = self.budget.used()
+            goal = FunDef(main.name, tuple(goal_params), body)
+            raw = Program((goal, *[d for d in self._residuals
+                                   if d is not None]))
+            cleaned = raw
+            if self.config.simplify:
+                cleaned = simplify_program(cleaned)
+            if self.config.tidy:
+                cleaned = canonical_names(drop_unreachable(cleaned))
+            return SimplePEResult(cleaned, raw, self.stats,
+                                  tuple(goal_params))
 
     # -- SPE ----------------------------------------------------------------
     def _pe(self, expr: Expr, env: Mapping[str, Expr],
-            depth: int) -> Expr:
+            depth: int):
         self._tick()
         if isinstance(expr, Const):
             return expr
         if isinstance(expr, Var):
             return env.get(expr.name, expr)
         if isinstance(expr, Prim):
-            args = [self._pe(a, env, depth) for a in expr.args]
+            args = []
+            for a in expr.args:
+                args.append((yield self._pe(a, env, depth)))
             return self._sk_p(expr.op, args)
         if isinstance(expr, If):
-            test = self._pe(expr.test, env, depth)
+            test = yield self._pe(expr.test, env, depth)
             self.stats.decisions += 1
             if isinstance(test, Const) and isinstance(test.value, bool):
                 self.stats.if_reductions += 1
                 branch = expr.then if test.value else expr.else_
-                return self._pe(branch, env, depth)
-            return If(test, self._pe(expr.then, env, depth),
-                      self._pe(expr.else_, env, depth))
+                return (yield self._pe(branch, env, depth))
+            then = yield self._pe(expr.then, env, depth)
+            else_ = yield self._pe(expr.else_, env, depth)
+            self.budget.charge_nodes()
+            return If(test, then, else_)
         if isinstance(expr, Let):
-            bound = self._pe(expr.bound, env, depth)
+            bound = yield self._pe(expr.bound, env, depth)
             if isinstance(bound, (Const, Var)):
                 inner = dict(env)
                 inner[expr.name] = bound
-                return self._pe(expr.body, inner, depth)
+                return (yield self._pe(expr.body, inner, depth))
             fresh = self._fresh(expr.name)
             inner = dict(env)
             inner[expr.name] = Var(fresh)
-            body = self._pe(expr.body, inner, depth)
+            body = yield self._pe(expr.body, inner, depth)
             if count_occurrences(body, fresh) == 0 \
                     and definitely_total(bound):
                 return body
+            self.budget.charge_nodes()
             return Let(fresh, bound, body)
         if isinstance(expr, Call):
-            args = [self._pe(a, env, depth) for a in expr.args]
-            return self._app(expr.fn, args, depth)
+            args = []
+            for a in expr.args:
+                args.append((yield self._pe(a, env, depth)))
+            return (yield self._app(expr.fn, args, depth))
         if isinstance(expr, Lam):
             inner = dict(env)
             renamed = []
@@ -146,18 +163,30 @@ class SimplePartialEvaluator:
                 fresh = self._fresh(param)
                 renamed.append(fresh)
                 inner[param] = Var(fresh)
-            return Lam(tuple(renamed), self._pe(expr.body, inner, depth))
+            body = yield self._pe(expr.body, inner, depth)
+            self.budget.charge_nodes()
+            return Lam(tuple(renamed), body)
         if isinstance(expr, App):
-            fn = self._pe(expr.fn, env, depth)
-            args = [self._pe(a, env, depth) for a in expr.args]
+            fn = yield self._pe(expr.fn, env, depth)
+            args = []
+            for a in expr.args:
+                args.append((yield self._pe(a, env, depth)))
             self.stats.decisions += 1
             if isinstance(fn, Lam) and depth < self.config.unfold_fuel:
-                self.stats.unfoldings += 1
-                fundef = FunDef("<lambda>", fn.params, fn.body)
-                return self._unfold(fundef, args, depth + 1)
+                reason = self.budget.exhausted
+                if reason is None and self.budget.blocks_unfold(depth):
+                    reason = "unfold_depth"
+                if reason is not None:
+                    self._degrade("<lambda>", reason, depth,
+                                  "residual-call")
+                else:
+                    self.stats.unfoldings += 1
+                    fundef = FunDef("<lambda>", fn.params, fn.body)
+                    return (yield self._unfold(fundef, args, depth + 1))
             if isinstance(fn, Var) and fn.name in self.functions \
                     and fn.name not in env:
-                return self._app(fn.name, args, depth)
+                return (yield self._app(fn.name, args, depth))
+            self.budget.charge_nodes()
             return App(fn, tuple(args))
         raise PEError(f"unknown expression node {expr!r}")
 
@@ -170,21 +199,32 @@ class SimplePartialEvaluator:
                 value = apply_primitive(
                     op, [a.value for a in args])  # type: ignore[union-attr]
             except EvalError:
+                self.budget.charge_nodes()
                 return Prim(op, tuple(args))
             self.stats.record_fold("pe")
             return Const(value)
+        self.budget.charge_nodes()
         return Prim(op, tuple(args))
 
     # -- APP ------------------------------------------------------------------
-    def _app(self, fn: str, args: Sequence[Expr], depth: int) -> Expr:
+    def _app(self, fn: str, args: Sequence[Expr], depth: int):
         fundef = self.functions.get(fn)
         if fundef is None:
             raise PEError(f"call to unknown function {fn!r}")
         self.stats.decisions += 1
+        reason = self.budget.exhausted
+        if reason is not None:
+            self._degrade(fundef.name, reason, depth, "widened-call")
+            return (yield self._specialize_call(fundef, args,
+                                                widen=True))
         if self._should_unfold(args, depth):
-            self.stats.unfoldings += 1
-            return self._unfold(fundef, args, depth + 1)
-        return self._specialize_call(fundef, args)
+            if self.budget.blocks_unfold(depth):
+                self._degrade(fundef.name, "unfold_depth", depth,
+                              "residual-call")
+            else:
+                self.stats.unfoldings += 1
+                return (yield self._unfold(fundef, args, depth + 1))
+        return (yield self._specialize_call(fundef, args))
 
     def _should_unfold(self, args: Sequence[Expr], depth: int) -> bool:
         strategy = self.config.unfold_strategy
@@ -197,7 +237,7 @@ class SimplePartialEvaluator:
         return any(isinstance(a, Const) for a in args)
 
     def _unfold(self, fundef: FunDef, args: Sequence[Expr],
-                depth: int) -> Expr:
+                depth: int):
         env: dict[str, Expr] = {}
         lets: list[tuple[str, Expr]] = []
         for param, arg in zip(fundef.params, args):
@@ -208,18 +248,21 @@ class SimplePartialEvaluator:
                 fresh = self._fresh(param)
                 lets.append((fresh, arg))
                 env[param] = Var(fresh)
-        body = self._pe(fundef.body, env, depth)
+        body = yield self._pe(fundef.body, env, depth)
         for fresh, bound in reversed(lets):
             if count_occurrences(body, fresh) == 0 \
                     and definitely_total(bound):
                 continue
+            self.budget.charge_nodes()
             body = Let(fresh, bound, body)
         return body
 
     def _specialize_call(self, fundef: FunDef,
-                         args: Sequence[Expr]) -> Expr:
+                         args: Sequence[Expr], widen: bool = False):
         variants = sum(1 for key in self._cache if key[0] == fundef.name)
-        generalize = variants >= self.config.max_variants
+        # A budget-forced widening collapses onto the all-dynamic
+        # variant, exactly like running out of max_variants.
+        generalize = widen or variants >= self.config.max_variants
         pattern: list[Hashable] = [fundef.name]
         for arg in args:
             if isinstance(arg, Const) and not generalize:
@@ -243,12 +286,13 @@ class SimplePartialEvaluator:
             for i, param in enumerate(fundef.params):
                 env[param] = Var(param) if i in positions \
                     else args[i]
-            body = self._pe(fundef.body, env, depth=0)
+            body = yield self._pe(fundef.body, env, depth=0)
             self._residuals[slot] = FunDef(name, params, body)
             entry = self._cache[key]
         else:
             self.stats.cache_hits += 1
         name, positions, _params = entry
+        self.budget.charge_nodes()
         return Call(name, tuple(args[i] for i in positions))
 
     # -- plumbing ----------------------------------------------------------------
@@ -266,11 +310,28 @@ class SimplePartialEvaluator:
         self._taken.add(candidate)
         return candidate
 
+    def _degrade(self, site: str, reason: str, depth: int,
+                 action: str) -> None:
+        if self.config.strict_budgets:
+            raise BudgetExhausted(
+                f"budget exceeded ({reason}) at {site!r}; "
+                f"strict_budgets=True turns degradation into an error",
+                dimension=reason,
+                limit=self.budget.limits().get(reason),
+                used=self.budget.used().get(reason))
+        self.stats.record_degrade(DegradeEvent(
+            site=site, reason=reason, action=action, depth=depth,
+            step=self.stats.steps))
+
     def _tick(self) -> None:
-        self.stats.steps += 1
-        if self.stats.steps > self.config.fuel:
-            raise PEError(
-                f"partial evaluation exceeded {self.config.fuel} steps")
+        steps = self.stats.steps = self.stats.steps + 1
+        if steps > self.config.fuel:
+            raise BudgetExhausted(
+                f"partial evaluation exceeded {self.config.fuel} steps",
+                dimension="fuel", limit=self.config.fuel,
+                used=self.stats.steps)
+        if self.budget.limited and steps & (STEP_STRIDE - 1) == 0:
+            self.budget.charge_steps(steps)
 
 
 def specialize_simple(program: Program, inputs: Sequence[object],

@@ -23,7 +23,16 @@ Facets available from the command line: ``sign``, ``parity``,
 a JSON report with per-phase wall-clock times (parse / analyze /
 specialize / simplify), the specializer's work counters, and the facet
 suite's cache hit rates is written to PATH (stderr when omitted or
-``-``).
+``-``).  The report's ``stats.budget`` section records budget usage
+and any graceful degradations (see :mod:`repro.engine.budget`).
+
+``specialize``, ``offline``, ``batch`` and ``serve`` accept the budget
+flags ``--max-steps`` / ``--max-residual-nodes`` /
+``--max-unfold-depth`` / ``--max-wall-seconds`` (0 = unlimited).
+Crossing a budget never fails the run: the engine widens at the
+offending call and reports the degradations on stderr.  For ``batch``
+and ``serve`` the flags are service-wide defaults; per-request
+``config`` entries win.
 """
 
 from __future__ import annotations
@@ -73,6 +82,7 @@ def main(argv: list[str] | None = None) -> int:
     run_cmd.add_argument("file", type=Path)
     run_cmd.add_argument("args", nargs="*")
 
+    spec_cmds = []
     for name, help_text in (
             ("specialize", "online parameterized PE"),
             ("analyze", "facet analysis (Figure 4)"),
@@ -86,6 +96,31 @@ def main(argv: list[str] | None = None) -> int:
             help="emit a JSON profile report (phase times, work "
                  "counters, cache hit rates) to PATH, or stderr "
                  "when PATH is omitted or '-'")
+        if name != "analyze":
+            spec_cmds.append(cmd)
+
+    def _add_budget_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--max-steps", type=int, default=None, metavar="N",
+            help="soft PE-step budget; past it the engine widens "
+                 "instead of raising (0 = unlimited)")
+        cmd.add_argument(
+            "--max-residual-nodes", type=int, default=None,
+            metavar="N",
+            help="soft residual-size budget in AST nodes "
+                 "(0 = unlimited)")
+        cmd.add_argument(
+            "--max-unfold-depth", type=int, default=None, metavar="N",
+            help="unfold-depth cap; deeper calls residualize and "
+                 "record a degrade event (0 = unlimited)")
+        cmd.add_argument(
+            "--max-wall-seconds", type=float, default=None,
+            metavar="SECONDS",
+            help="soft wall-clock budget for one specialization "
+                 "(0 = unlimited)")
+
+    for cmd in spec_cmds:
+        _add_budget_flags(cmd)
 
     sub.add_parser("workloads", help="list the shipped corpus")
 
@@ -107,6 +142,8 @@ def main(argv: list[str] | None = None) -> int:
             "--cache-size", type=int, default=256, metavar="N",
             help="cross-request residual-cache capacity "
                  "(0 disables; default 256)")
+    for cmd in (batch_cmd, serve_cmd):
+        _add_budget_flags(cmd)
     batch_cmd.add_argument(
         "--output", type=Path, default=None, metavar="PATH",
         help="write the JSON results array to PATH (default stdout)")
@@ -162,10 +199,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"ppe: cannot write profile report: {error}")
 
     if options.command == "specialize":
-        result = specialize_online(program, specs, suite)
+        result = specialize_online(program, specs, suite,
+                                   _budget_config(options))
         print(pretty_program(result.program), end="")
         print(f"; facet evaluations: "
               f"{result.stats.facet_evaluations}", file=sys.stderr)
+        _warn_degradations(result.stats)
         _emit_profile(result.stats)
         return 0
 
@@ -182,12 +221,41 @@ def main(argv: list[str] | None = None) -> int:
         _emit_profile()
         return 0
 
-    result = OfflineSpecializer(analysis, suite).specialize(specs)
+    result = OfflineSpecializer(
+        analysis, suite, _budget_config(options)).specialize(specs)
     print(pretty_program(result.program), end="")
     print(f"; facet evaluations: {result.stats.facet_evaluations}",
           file=sys.stderr)
+    _warn_degradations(result.stats)
     _emit_profile(result.stats)
     return 0
+
+
+def _budget_overrides(options: argparse.Namespace) -> dict:
+    """Budget flags as PEConfig overrides; 0 means unlimited."""
+    overrides = {}
+    for name in ("max_steps", "max_residual_nodes",
+                 "max_unfold_depth", "max_wall_seconds"):
+        value = getattr(options, name, None)
+        if value is not None:
+            overrides[name] = None if value == 0 else value
+    return overrides
+
+
+def _budget_config(options: argparse.Namespace):
+    from repro.online.config import PEConfig
+    overrides = _budget_overrides(options)
+    return PEConfig(**overrides) if overrides else None
+
+
+def _warn_degradations(stats) -> None:
+    if stats.degradations:
+        reasons = ", ".join(
+            f"{reason}: {count}" for reason, count in
+            sorted(stats.degradations_by_reason.items()))
+        print(f"; budget degradations: {stats.degradations} "
+              f"({reasons}) — residual is correct but less "
+              f"specialized", file=sys.stderr)
 
 
 def _run_batch(options: argparse.Namespace) -> int:
@@ -205,7 +273,8 @@ def _run_batch(options: argparse.Namespace) -> int:
 
     with SpecializationService(
             workers=options.workers, cache_capacity=options.cache_size,
-            default_deadline=options.deadline) as service:
+            default_deadline=options.deadline,
+            default_config=_budget_overrides(options)) as service:
         with timer.phase("batch"):
             results = service.run_batch(requests)
         stats = service.stats
@@ -238,7 +307,8 @@ def _run_serve(options: argparse.Namespace) -> int:
 
     with SpecializationService(
             workers=options.workers, cache_capacity=options.cache_size,
-            default_deadline=options.deadline) as service:
+            default_deadline=options.deadline,
+            default_config=_budget_overrides(options)) as service:
         code = serve(service, sys.stdin, sys.stdout)
     try:
         sys.stdout.flush()

@@ -1,0 +1,99 @@
+"""The structured failure taxonomy of the specialization engine.
+
+Every exception the engine can raise derives from :class:`ReproError`,
+split by *who is at fault*:
+
+* :class:`ProgramError` — the subject program: it does not lex, parse
+  or validate, or a static subcomputation failed.  The language
+  substrate's :class:`repro.lang.errors.LangError` hierarchy is rooted
+  here.
+* :class:`SpecializationError` — the specializer itself: internal
+  invariant violations and any unexpected Python exception caught at an
+  engine entry point (see :func:`engine_guard`).  The legacy
+  :class:`repro.lang.errors.PEError` sits under both this class and
+  :class:`ProgramError` because historically it covered both kinds of
+  failure; new engine code should raise the precise class.
+* :class:`FacetError` — the facet algebra: a product of facet values
+  violating Definition 6, or a facet operator misbehaving.
+* :class:`BudgetExhausted` — a resource budget was spent and the
+  caller asked for strict enforcement (``PEConfig(strict_budgets=
+  True)``), or the hard ``fuel`` backstop overran.  The default
+  engines never raise this for soft budgets — they degrade by
+  widening instead (see :mod:`repro.engine.budget`).
+
+The contract enforced by :func:`engine_guard` is the robustness
+north-star of the engine: **no bare Python exception escapes** — a
+caller that catches :class:`ReproError` has caught everything the
+engine can throw.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro engine."""
+
+
+class ProgramError(ReproError):
+    """The subject program is at fault (syntax, validation, a failing
+    static subcomputation)."""
+
+
+class SpecializationError(ReproError):
+    """The specializer is at fault: an internal invariant broke, or an
+    unexpected exception was caught at an engine entry point."""
+
+
+class FacetError(ReproError):
+    """The facet algebra is at fault (e.g. a Definition 6 violation)."""
+
+
+class BudgetExhausted(ReproError):
+    """A resource budget ran out under strict enforcement, or the hard
+    ``fuel`` backstop overran.
+
+    Carries the exhausted ``dimension`` (``steps``, ``wall_clock``,
+    ``residual_nodes``, ``unfold_depth`` or ``fuel``) plus the limit
+    and the usage observed when it fired.
+    """
+
+    def __init__(self, message: str, dimension: str,
+                 limit: float | int | None = None,
+                 used: float | int | None = None) -> None:
+        super().__init__(message)
+        self.dimension = dimension
+        self.limit = limit
+        self.used = used
+
+
+@contextmanager
+def engine_guard(stage: str) -> Iterator[None]:
+    """Entry-point guard: let :class:`ReproError` through untouched,
+    wrap anything else as a :class:`SpecializationError` so callers
+    never see a bare Python exception from the engine."""
+    try:
+        yield
+    except ReproError:
+        raise
+    except Exception as error:  # noqa: BLE001 — the taxonomy boundary
+        raise SpecializationError(
+            f"internal error during {stage}: "
+            f"{type(error).__name__}: {error}") from error
+
+
+def classify(error: BaseException) -> str:
+    """Taxonomy bucket of an exception, for reporting (the service's
+    failure accounting uses it): ``budget`` / ``program`` / ``facet``
+    / ``specialization`` / ``internal``."""
+    if isinstance(error, BudgetExhausted):
+        return "budget"
+    if isinstance(error, FacetError):
+        return "facet"
+    if isinstance(error, ProgramError):
+        return "program"
+    if isinstance(error, SpecializationError):
+        return "specialization"
+    return "internal"

@@ -255,19 +255,29 @@ def used_primitives(expr: Expr) -> frozenset[str]:
 
 
 def count_occurrences(expr: Expr, name: str) -> int:
-    """Number of *free* occurrences of variable ``name`` in ``expr``."""
-    if isinstance(expr, Var):
-        return 1 if expr.name == name else 0
-    if isinstance(expr, Let):
-        bound = count_occurrences(expr.bound, name)
-        if expr.name == name:
-            return bound
-        return bound + count_occurrences(expr.body, name)
-    if isinstance(expr, Lam):
-        if name in expr.params:
-            return 0
-        return count_occurrences(expr.body, name)
-    return sum(count_occurrences(child, name) for child in expr.children())
+    """Number of *free* occurrences of variable ``name`` in ``expr``.
+
+    Iterative (like :func:`walk`): the specializers run this on residual
+    expressions whose nesting depth is bounded only by their budgets,
+    far past Python's recursion limit.
+    """
+    count = 0
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            if node.name == name:
+                count += 1
+        elif isinstance(node, Let):
+            stack.append(node.bound)
+            if node.name != name:
+                stack.append(node.body)
+        elif isinstance(node, Lam):
+            if name not in node.params:
+                stack.append(node.body)
+        else:
+            stack.extend(node.children())
+    return count
 
 
 def substitute(expr: Expr, bindings: Mapping[str, Expr]) -> Expr:

@@ -5,12 +5,23 @@ interpreter) derives from :class:`LangError`, so callers can catch one type.
 The partial evaluators reuse :class:`EvalError` for errors raised while
 reducing static subexpressions, which lets them distinguish "the static part
 of the program is broken" from bugs in the specializer itself.
+
+The hierarchy is rooted in the engine-wide failure taxonomy of
+:mod:`repro.engine.errors`: a :class:`LangError` is a
+:class:`~repro.engine.errors.ProgramError` (the subject program is at
+fault), and :class:`PEError` additionally sits under
+:class:`~repro.engine.errors.SpecializationError` for compatibility —
+it historically covered both program-side and specializer-side
+failures.  Catching ``ReproError`` therefore catches everything.
 """
 
 from __future__ import annotations
 
+from repro.engine.errors import (
+    FacetError, ProgramError, SpecializationError)
 
-class LangError(Exception):
+
+class LangError(ProgramError):
     """Base class of all object-language errors."""
 
 
@@ -61,11 +72,11 @@ class FuelExhausted(EvalError):
     """
 
 
-class PEError(LangError):
+class PEError(LangError, SpecializationError):
     """Base class for partial-evaluation errors (both specializers)."""
 
 
-class ConsistencyError(PEError):
+class ConsistencyError(PEError, FacetError):
     """Raised when a product of facet values violates Definition 6, i.e.
     the facet components describe disjoint sets of concrete values."""
 

@@ -15,7 +15,7 @@ benchmark merges one instance per worker-count configuration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -29,6 +29,11 @@ class ServiceStats:
     completed: int = 0
     #: Requests answered with a fallback residual (``degraded=True``).
     degraded: int = 0
+    #: Requests whose engine degraded *in-engine* (budget exhaustion →
+    #: widening) and still returned a real residual: the cooperative
+    #: alternative to a worker kill.  Counted under ``completed``, not
+    #: ``degraded``.
+    engine_degradations: int = 0
 
     #: Cross-request residual-cache traffic.
     cache_hits: int = 0
@@ -45,6 +50,10 @@ class ServiceStats:
     #: Deterministic in-worker failures (parse errors, fuel blowups);
     #: these degrade immediately — retrying cannot help.
     errors: int = 0
+    #: The same failures keyed by taxonomy category
+    #: (:func:`repro.engine.errors.classify`: ``program`` / ``budget`` /
+    #: ``facet`` / ``specialization`` / ``internal``).
+    errors_by_category: dict = field(default_factory=dict)
     #: Process pools torn down and rebuilt (after crashes/timeouts).
     pool_restarts: int = 0
     #: Exponential-backoff delay accumulated before resubmissions.
@@ -68,6 +77,7 @@ class ServiceStats:
         self.submitted += other.submitted
         self.completed += other.completed
         self.degraded += other.degraded
+        self.engine_degradations += other.engine_degradations
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
@@ -75,6 +85,9 @@ class ServiceStats:
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.errors += other.errors
+        for category, count in other.errors_by_category.items():
+            self.errors_by_category[category] = \
+                self.errors_by_category.get(category, 0) + count
         self.pool_restarts += other.pool_restarts
         self.backoff_seconds += other.backoff_seconds
 
@@ -94,6 +107,10 @@ class ServiceStats:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "errors": self.errors,
+            "errors_by_category": dict(self.errors_by_category),
             "pool_restarts": self.pool_restarts,
             "backoff_seconds": round(self.backoff_seconds, 6),
+            "budget": {
+                "engine_degradations": self.engine_degradations,
+            },
         }

@@ -15,6 +15,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine.budget import DegradeEvent
+
+#: Degrade events kept verbatim per run; past the cap only the
+#: per-reason counters grow (a pathological run can degrade at every
+#: remaining call site).
+MAX_RECORDED_DEGRADES = 64
+
 
 @dataclass
 class PEStats:
@@ -41,6 +48,15 @@ class PEStats:
     #: Wall-clock seconds per phase ("specialize", "simplify", ...),
     #: excluded from the semantic accounting above.
     phase_seconds: dict = field(default_factory=dict)
+    #: Graceful-degradation decisions taken under budget pressure
+    #: (:class:`repro.engine.budget.DegradeEvent`); zero on any run
+    #: whose budgets were not exhausted.
+    degradations: int = 0
+    degradations_by_reason: dict = field(default_factory=dict)
+    degrade_events: list = field(default_factory=list)
+    #: Budget usage snapshot ({"steps": ..., "wall_clock": ...,
+    #: "residual_nodes": ...}), filled by the engine at run end.
+    budget_used: dict = field(default_factory=dict)
 
     def record_fold(self, producer: str) -> None:
         self.prim_folds += 1
@@ -50,6 +66,13 @@ class PEStats:
     def record_phase(self, name: str, seconds: float) -> None:
         self.phase_seconds[name] = \
             self.phase_seconds.get(name, 0.0) + seconds
+
+    def record_degrade(self, event: DegradeEvent) -> None:
+        self.degradations += 1
+        self.degradations_by_reason[event.reason] = \
+            self.degradations_by_reason.get(event.reason, 0) + 1
+        if len(self.degrade_events) < MAX_RECORDED_DEGRADES:
+            self.degrade_events.append(event)
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot (used by the ``--profile`` report)."""
@@ -66,4 +89,11 @@ class PEStats:
             "decisions": self.decisions,
             "constraint_refinements": self.constraint_refinements,
             "phase_seconds": dict(self.phase_seconds),
+            "budget": {
+                "degradations": self.degradations,
+                "by_reason": dict(self.degradations_by_reason),
+                "events": [event.as_dict()
+                           for event in self.degrade_events],
+                "used": dict(self.budget_used),
+            },
         }

@@ -31,15 +31,24 @@ matching run, a Static annotation can still meet a residual value in
 one case only — a static subexpression *errored* (the paper's "modulo
 termination" bottom caveat) — and then the specializer residualizes, so
 the error surfaces at run time instead of specialization time.
+
+Like the online engine, the walk runs on the generator trampoline of
+:mod:`repro.engine.trampoline` (constant Python stack depth) and meters
+its work against the config's :class:`~repro.engine.budget.Budget`.
+Budget-forced widening collapses a call onto the all-dynamic variant
+(the lenient rung-2 path) — safe here because a Static annotation
+meeting a residual value residualizes via the bottom caveat above.
 """
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Mapping, Sequence
 
+from repro.engine.budget import STEP_STRIDE, DegradeEvent
+from repro.engine.errors import BudgetExhausted, engine_guard
+from repro.engine.trampoline import run_trampoline
 from repro.lang.ast import (
     Call, Const, Expr, FunDef, If, Let, Prim, Var, count_occurrences)
 from repro.lang.errors import EvalError, PEError
@@ -55,8 +64,6 @@ from repro.online.cache import SpecCache, dynamic_positions, make_key
 from repro.online.config import PEConfig, PEStats, UnfoldStrategy
 from repro.transform.cleanup import canonical_names, drop_unreachable
 from repro.transform.simplify import definitely_total, simplify_program
-
-_RECURSION_LIMIT = 100_000
 
 
 @dataclass(frozen=True)
@@ -89,6 +96,7 @@ class OfflineSpecializer:
         self.config = config if config is not None else PEConfig()
         self.stats = PEStats()
         self.cache = SpecCache(reserved_names=list(self.functions))
+        self.budget = self.config.make_budget()
         self._gensym = 0
         #: facet-name -> Facet, for trigger dispatch.
         self._facets = {facet.name: facet for facet in suite.facets}
@@ -102,42 +110,47 @@ class OfflineSpecializer:
             raise PEError(
                 f"{main.name}: expected {main.arity} inputs, "
                 f"got {len(inputs)}")
-        vectors = [self.suite.const_vector(value) if is_value(value)
-                   else value for value in inputs]
-        self._check_pattern(vectors)
+        with engine_guard("offline specialization"):
+            vectors = [self.suite.const_vector(value) if is_value(value)
+                       else value for value in inputs]
+            self._check_pattern(vectors)
 
-        needed = self.analysis.needed_facets.get(main.name, frozenset())
-        env: dict[str, _Binding] = {}
-        goal_params = []
-        for param, vector in zip(main.params, vectors):
-            vector = self._restrict(vector, needed)
-            if vector.pe.is_const:
-                env[param] = _Binding(Const(vector.pe.constant()), vector)
-            else:
-                env[param] = _Binding(Var(param), vector)
-                goal_params.append(param)
+            needed = self.analysis.needed_facets.get(main.name,
+                                                     frozenset())
+            env: dict[str, _Binding] = {}
+            goal_params = []
+            for param, vector in zip(main.params, vectors):
+                vector = self._restrict(vector, needed)
+                if vector.pe.is_const:
+                    env[param] = _Binding(Const(vector.pe.constant()),
+                                          vector)
+                else:
+                    env[param] = _Binding(Var(param), vector)
+                    goal_params.append(param)
 
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
-        started = perf_counter()
-        try:
-            body, _ = self._pe(main.body, env, main.name, depth=0)
-        finally:
-            sys.setrecursionlimit(old_limit)
-            self.stats.record_phase("specialize",
+            self.budget.start()
+            started = perf_counter()
+            try:
+                body, _ = run_trampoline(
+                    self._pe(main.body, env, main.name, depth=0))
+            finally:
+                self.stats.record_phase("specialize",
+                                        perf_counter() - started)
+                self.budget.charge_steps(self.stats.steps)
+                self.stats.budget_used = self.budget.used()
+
+            goal = FunDef(main.name, tuple(goal_params), body)
+            raw = Program((goal, *self.cache.residual_defs()))
+            cleaned = raw
+            started = perf_counter()
+            if self.config.simplify:
+                cleaned = simplify_program(cleaned)
+            if self.config.tidy:
+                cleaned = canonical_names(drop_unreachable(cleaned))
+            self.stats.record_phase("simplify",
                                     perf_counter() - started)
-
-        goal = FunDef(main.name, tuple(goal_params), body)
-        raw = Program((goal, *self.cache.residual_defs()))
-        cleaned = raw
-        started = perf_counter()
-        if self.config.simplify:
-            cleaned = simplify_program(cleaned)
-        if self.config.tidy:
-            cleaned = canonical_names(drop_unreachable(cleaned))
-        self.stats.record_phase("simplify", perf_counter() - started)
-        return OfflineResult(cleaned, raw, self.stats,
-                             tuple(goal_params), self.analysis)
+            return OfflineResult(cleaned, raw, self.stats,
+                                 tuple(goal_params), self.analysis)
 
     def _check_pattern(self, vectors: Sequence[FacetVector]) -> None:
         """Inputs must lie at or below the analyzed abstract pattern."""
@@ -177,7 +190,7 @@ class OfflineSpecializer:
 
     # -- the specialization walk -------------------------------------------------
     def _pe(self, expr: Expr, env: Mapping[str, _Binding], fn: str,
-            depth: int) -> tuple[Expr, FacetVector]:
+            depth: int):
         self._tick()
         if isinstance(expr, Const):
             return expr, self._const_vector(expr.value, self._needed(fn))
@@ -187,24 +200,24 @@ class OfflineSpecializer:
                 raise PEError(f"unbound variable {expr.name!r}")
             return binding.expr, binding.vector
         if isinstance(expr, Prim):
-            return self._pe_prim(expr, env, fn, depth)
+            return (yield from self._pe_prim(expr, env, fn, depth))
         if isinstance(expr, If):
-            return self._pe_if(expr, env, fn, depth)
+            return (yield from self._pe_if(expr, env, fn, depth))
         if isinstance(expr, Let):
-            return self._pe_let(expr, env, fn, depth)
+            return (yield from self._pe_let(expr, env, fn, depth))
         if isinstance(expr, Call):
-            return self._pe_call(expr, env, fn, depth)
+            return (yield from self._pe_call(expr, env, fn, depth))
         raise PEError(
             f"higher-order node {type(expr).__name__} reached the "
             f"first-order offline specializer")
 
     def _pe_prim(self, expr: Prim, env: Mapping[str, _Binding],
-                 fn: str, depth: int) -> tuple[Expr, FacetVector]:
+                 fn: str, depth: int):
         needed = self._needed(fn)
         residual_args = []
         vectors = []
         for arg in expr.args:
-            arg_expr, arg_vector = self._pe(arg, env, fn, depth)
+            arg_expr, arg_vector = yield self._pe(arg, env, fn, depth)
             residual_args.append(arg_expr)
             vectors.append(arg_vector)
         annotation = self.analysis.annotation_of(expr)
@@ -263,6 +276,7 @@ class OfflineSpecializer:
         needed = self._needed(fn)
         sig = self.suite.resolve_sig(op, vectors)
         residual = Prim(op, tuple(residual_args))
+        self.budget.charge_nodes()
         if sig is None:
             return residual, self.suite.unknown(None)
         if any(self.suite.is_bottom(v) for v in vectors):
@@ -284,43 +298,49 @@ class OfflineSpecializer:
         return residual, self.suite.unknown(sig.result_sort)
 
     def _pe_if(self, expr: If, env: Mapping[str, _Binding], fn: str,
-               depth: int) -> tuple[Expr, FacetVector]:
+               depth: int):
         annotation = self.analysis.annotation_of(expr)
         static_test = isinstance(annotation, IfAnnotation) \
             and annotation.test_bt.is_static
-        test_expr, _ = self._pe(expr.test, env, fn, depth)
+        test_expr, _ = yield self._pe(expr.test, env, fn, depth)
         if static_test:
             if isinstance(test_expr, Const) \
                     and isinstance(test_expr.value, bool):
                 self.stats.if_reductions += 1
                 branch = expr.then if test_expr.value else expr.else_
-                return self._pe(branch, env, fn, depth)
+                return (yield self._pe(branch, env, fn, depth))
             # Bottom caveat again: the static test errored upstream and
             # was residualized; keep the conditional residual.
-        then_expr, then_vector = self._pe(expr.then, env, fn, depth)
-        else_expr, else_vector = self._pe(expr.else_, env, fn, depth)
+        then_expr, then_vector = yield self._pe(expr.then, env, fn,
+                                                depth)
+        else_expr, else_vector = yield self._pe(expr.else_, env, fn,
+                                                depth)
         joined = self.suite.join(then_vector, else_vector)
+        self.budget.charge_nodes()
         return If(test_expr, then_expr, else_expr), joined
 
     def _pe_let(self, expr: Let, env: Mapping[str, _Binding], fn: str,
-                depth: int) -> tuple[Expr, FacetVector]:
-        bound_expr, bound_vector = self._pe(expr.bound, env, fn, depth)
+                depth: int):
+        bound_expr, bound_vector = yield self._pe(expr.bound, env, fn,
+                                                  depth)
         if isinstance(bound_expr, (Const, Var)):
             inner = dict(env)
             inner[expr.name] = _Binding(bound_expr, bound_vector)
-            return self._pe(expr.body, inner, fn, depth)
+            return (yield self._pe(expr.body, inner, fn, depth))
         fresh = self._fresh(expr.name)
         inner = dict(env)
         inner[expr.name] = _Binding(Var(fresh), bound_vector)
-        body_expr, body_vector = self._pe(expr.body, inner, fn, depth)
+        body_expr, body_vector = yield self._pe(expr.body, inner, fn,
+                                                depth)
         if count_occurrences(body_expr, fresh) == 0 \
                 and definitely_total(bound_expr):
             return body_expr, body_vector
+        self.budget.charge_nodes()
         return Let(fresh, bound_expr, body_expr), body_vector
 
     # -- APP -----------------------------------------------------------------------
     def _pe_call(self, expr: Call, env: Mapping[str, _Binding],
-                 fn: str, depth: int) -> tuple[Expr, FacetVector]:
+                 fn: str, depth: int):
         fundef = self.functions.get(expr.fn)
         if fundef is None:
             raise PEError(f"call to unknown function {expr.fn!r}")
@@ -328,16 +348,26 @@ class OfflineSpecializer:
         residual_args = []
         vectors = []
         for arg in expr.args:
-            arg_expr, arg_vector = self._pe(arg, env, fn, depth)
+            arg_expr, arg_vector = yield self._pe(arg, env, fn, depth)
             residual_args.append(arg_expr)
             # The callee only tracks its needed facets.
             vectors.append(self._restrict(arg_vector, callee_needed))
         self.stats.decisions += 1
+        reason = self.budget.exhausted
+        if reason is not None:
+            self._degrade(fundef.name, reason, depth, "widened-call")
+            return (yield self._specialize_call(
+                fundef, residual_args, vectors, widen=True))
         if self._should_unfold(vectors, depth):
-            self.stats.unfoldings += 1
-            return self._unfold(fundef, residual_args, vectors,
-                                depth + 1)
-        return self._specialize_call(fundef, residual_args, vectors)
+            if self.budget.blocks_unfold(depth):
+                self._degrade(fundef.name, "unfold_depth", depth,
+                              "residual-call")
+            else:
+                self.stats.unfoldings += 1
+                return (yield self._unfold(fundef, residual_args,
+                                           vectors, depth + 1))
+        return (yield self._specialize_call(fundef, residual_args,
+                                            vectors))
 
     def _should_unfold(self, vectors: Sequence[FacetVector],
                        depth: int) -> bool:
@@ -359,7 +389,7 @@ class OfflineSpecializer:
 
     def _unfold(self, fundef: FunDef, residual_args: Sequence[Expr],
                 vectors: Sequence[FacetVector],
-                depth: int) -> tuple[Expr, FacetVector]:
+                depth: int):
         env: dict[str, _Binding] = {}
         lets: list[tuple[str, Expr]] = []
         for param, arg_expr, vector in zip(fundef.params, residual_args,
@@ -371,22 +401,31 @@ class OfflineSpecializer:
                 fresh = self._fresh(param)
                 lets.append((fresh, arg_expr))
                 env[param] = _Binding(Var(fresh), vector)
-        body_expr, body_vector = self._pe(fundef.body, env, fundef.name,
-                                          depth)
+        body_expr, body_vector = yield self._pe(fundef.body, env,
+                                                fundef.name, depth)
         for fresh, bound in reversed(lets):
             if count_occurrences(body_expr, fresh) == 0 \
                     and definitely_total(bound):
                 continue
+            self.budget.charge_nodes()
             body_expr = Let(fresh, bound, body_expr)
         return body_expr, body_vector
 
     def _specialize_call(self, fundef: FunDef,
                          residual_args: Sequence[Expr],
-                         vectors: Sequence[FacetVector]) \
-            -> tuple[Expr, FacetVector]:
+                         vectors: Sequence[FacetVector],
+                         widen: bool = False):
         variants = self.cache.variants_of(fundef.name)
         rung = 0
-        if variants >= 2 * self.config.max_variants:
+        if widen:
+            # Budget-forced widening: collapse onto the all-dynamic
+            # variant.  Unlike the variant-blowup case below this never
+            # raises — a Static annotation meeting a now-dynamic value
+            # residualizes via the bottom caveat, so correctness holds.
+            rung = 2
+            self.stats.generalizations += 1
+            vectors = [self.suite.unknown(v.sort) for v in vectors]
+        elif variants >= 2 * self.config.max_variants:
             # Static data grows under dynamic control.  Classic offline
             # PE diverges here: making the argument dynamic would break
             # the analysis's Static promises.  Lenient mode residualizes
@@ -422,14 +461,15 @@ class OfflineSpecializer:
                 else:
                     env[param] = _Binding(
                         Const(vector.pe.constant()), vector)
-            body_expr, _ = self._pe(fundef.body, env, fundef.name,
-                                    depth=0)
+            body_expr, _ = yield self._pe(fundef.body, env, fundef.name,
+                                          depth=0)
             self.cache.finish(
                 entry, FunDef(entry.name, entry.params, body_expr))
         else:
             self.stats.cache_hits += 1
         call_args = tuple(residual_args[i]
                           for i in entry.dynamic_positions)
+        self.budget.charge_nodes()
         return Call(entry.name, call_args), self.suite.unknown(None)
 
     # -- plumbing --------------------------------------------------------------------
@@ -437,11 +477,28 @@ class OfflineSpecializer:
         self._gensym += 1
         return f"{base}!{self._gensym}"
 
+    def _degrade(self, site: str, reason: str, depth: int,
+                 action: str) -> None:
+        if self.config.strict_budgets:
+            raise BudgetExhausted(
+                f"budget exceeded ({reason}) at {site!r}; "
+                f"strict_budgets=True turns degradation into an error",
+                dimension=reason,
+                limit=self.budget.limits().get(reason),
+                used=self.budget.used().get(reason))
+        self.stats.record_degrade(DegradeEvent(
+            site=site, reason=reason, action=action, depth=depth,
+            step=self.stats.steps))
+
     def _tick(self) -> None:
-        self.stats.steps += 1
-        if self.stats.steps > self.config.fuel:
-            raise PEError(
-                f"specialization exceeded {self.config.fuel} steps")
+        steps = self.stats.steps = self.stats.steps + 1
+        if steps > self.config.fuel:
+            raise BudgetExhausted(
+                f"specialization exceeded {self.config.fuel} steps",
+                dimension="fuel", limit=self.config.fuel,
+                used=self.stats.steps)
+        if self.budget.limited and steps & (STEP_STRIDE - 1) == 0:
+            self.budget.charge_steps(steps)
 
 
 def specialize_offline(program: Program,

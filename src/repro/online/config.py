@@ -14,6 +14,17 @@ termination guards, all tunable here:
 * ``fuel`` bounds total PE work, turning a diverging *static* loop in
   the subject program into a catchable error.
 
+On top of the guards sit the *soft budgets* of
+:mod:`repro.engine.budget` (``max_steps`` / ``max_unfold_depth`` /
+``max_residual_nodes`` / ``max_wall_seconds``).  Crossing a soft budget
+never raises by default: the engine widens the offending call to
+Dynamic, emits a residual call instead of unfolding further, records a
+:class:`~repro.engine.budget.DegradeEvent` and keeps going — a correct
+but less-specialized residual instead of a crash.
+``strict_budgets=True`` turns exhaustion into a
+:class:`~repro.engine.errors.BudgetExhausted` instead; ``fuel`` stays
+as the hard backstop behind everything and always raises.
+
 ``PEStats`` — the decision-cost instrumentation behind
 ``benchmarks/bench_decisions.py`` — now lives in
 :mod:`repro.observability.stats` and is re-exported here for
@@ -27,6 +38,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.engine.budget import Budget
 from repro.observability.stats import PEStats
 
 __all__ = ["PEConfig", "PEStats", "UnfoldStrategy"]
@@ -67,3 +79,31 @@ class PEConfig:
     #: negation — into the consequent/alternative branches, refining
     #: the facet values of the variables it mentions.
     propagate_constraints: bool = False
+
+    # -- resource governance (repro.engine.budget) ---------------------
+    #: Soft PE-step budget; past it the engine stops unfolding and
+    #: widens every further call to Dynamic instead of raising.
+    #: ``None`` disables the dimension.  The default is far above any
+    #: legitimate workload in the repo but finite, so known-divergent
+    #: programs terminate with a degraded residual out of the box.
+    max_steps: int | None = 1_000_000
+    #: Soft cap on residual AST nodes built before widening kicks in.
+    max_residual_nodes: int | None = 250_000
+    #: Visible unfold-depth cap: unlike ``unfold_fuel`` (a silent
+    #: strategy bound), crossing it records a DegradeEvent.
+    max_unfold_depth: int | None = None
+    #: Soft wall-clock budget in seconds (sampled every
+    #: :data:`repro.engine.budget.STEP_STRIDE` steps).  The service
+    #: maps per-request deadlines here so the engine degrades
+    #: cooperatively before the worker is killed.
+    max_wall_seconds: float | None = None
+    #: Raise :class:`~repro.engine.errors.BudgetExhausted` on soft
+    #: budget exhaustion instead of degrading gracefully.
+    strict_budgets: bool = False
+
+    def make_budget(self) -> Budget:
+        """A fresh meter for one specializer instance."""
+        return Budget(max_steps=self.max_steps,
+                      max_unfold_depth=self.max_unfold_depth,
+                      max_residual_nodes=self.max_residual_nodes,
+                      max_wall_seconds=self.max_wall_seconds)

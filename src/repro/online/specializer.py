@@ -16,6 +16,28 @@ evaluation order).  Per expression form:
 * calls go through ``APP`` — the unfold-or-specialize strategy described
   in :mod:`repro.online.config`.
 
+Two engineering layers sit on top of the figure:
+
+**Trampolined recursion.**  ``PE`` recurses as deeply as the program
+unfolds; Python's C stack does not.  Instead of raising
+``sys.setrecursionlimit`` (the old band-aid, which deep programs could
+still segfault), every ``_pe*`` method is a *generator* that yields the
+sub-computations it needs; :func:`repro.engine.trampoline.run_trampoline`
+drives them from an explicit heap-allocated stack, so the Python stack
+depth stays constant no matter how deep specialization goes.  The
+evaluation order is exactly that of the direct-recursive code, so
+residuals are byte-identical.
+
+**Resource governance.**  Every step charges the run's
+:class:`~repro.engine.budget.Budget`; when a soft budget (steps, wall
+clock, residual nodes, unfold depth) is exhausted the engine does not
+raise — it *generalizes at the offending point*: the call's facet
+vector is widened to Dynamic (top), a residual call is emitted instead
+of unfolding further, and a DegradeEvent is recorded.  Specialization
+then terminates with a correct but less-specialized residual.  Only the
+hard ``fuel`` backstop (and ``strict_budgets=True``) still raises, as
+:class:`~repro.engine.errors.BudgetExhausted`.
+
 The paper notes (end of Section 4.4) that Figure 3 does not propagate
 predicate properties into conditional branches (Redfun-style
 constraints); neither do we — see FUTURE.md.
@@ -23,11 +45,13 @@ constraints); neither do we — see FUTURE.md.
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Mapping, Sequence
 
+from repro.engine.budget import STEP_STRIDE, DegradeEvent
+from repro.engine.errors import BudgetExhausted, engine_guard
+from repro.engine.trampoline import run_trampoline
 from repro.lang.ast import (
     App, Call, Const, Expr, FunDef, If, Lam, Let, Prim, Var,
     count_occurrences)
@@ -40,10 +64,6 @@ from repro.online.cache import (
 from repro.online.config import PEConfig, PEStats, UnfoldStrategy
 from repro.transform.cleanup import canonical_names, drop_unreachable
 from repro.transform.simplify import definitely_total, simplify_program
-
-#: Specializing deeply unfolded programs nests Python frames; Python's
-#: default limit is far too small for PE work.
-_RECURSION_LIMIT = 100_000
 
 
 @dataclass(frozen=True)
@@ -79,6 +99,7 @@ class OnlineSpecializer:
         self.config = config if config is not None else PEConfig()
         self.stats = PEStats()
         self.cache = SpecCache(reserved_names=list(self.functions))
+        self.budget = self.config.make_budget()
         self._gensym = 0
 
     # -- entry point ------------------------------------------------------
@@ -95,43 +116,47 @@ class OnlineSpecializer:
             raise PEError(
                 f"{main.name}: expected {main.arity} inputs, "
                 f"got {len(inputs)}")
-        vectors = [self.suite.const_vector(value) if is_value(value)
-                   else value for value in inputs]
-        env: dict[str, _Binding] = {}
-        goal_params = []
-        for param, vector in zip(main.params, vectors):
-            assert isinstance(vector, FacetVector)
-            if vector.pe.is_const:
-                env[param] = _Binding(Const(vector.pe.constant()), vector)
-            else:
-                env[param] = _Binding(Var(param), vector)
-                goal_params.append(param)
+        with engine_guard("online specialization"):
+            vectors = [self.suite.const_vector(value) if is_value(value)
+                       else value for value in inputs]
+            env: dict[str, _Binding] = {}
+            goal_params = []
+            for param, vector in zip(main.params, vectors):
+                assert isinstance(vector, FacetVector)
+                if vector.pe.is_const:
+                    env[param] = _Binding(Const(vector.pe.constant()),
+                                          vector)
+                else:
+                    env[param] = _Binding(Var(param), vector)
+                    goal_params.append(param)
 
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
-        started = perf_counter()
-        try:
-            body, vector = self._pe(main.body, env, depth=0)
-        finally:
-            sys.setrecursionlimit(old_limit)
-            self.stats.record_phase("specialize",
+            self.budget.start()
+            started = perf_counter()
+            try:
+                body, vector = run_trampoline(self._pe(main.body, env,
+                                                       depth=0))
+            finally:
+                self.stats.record_phase("specialize",
+                                        perf_counter() - started)
+                self.budget.charge_steps(self.stats.steps)
+                self.stats.budget_used = self.budget.used()
+
+            goal = FunDef(main.name, tuple(goal_params), body)
+            raw = Program((goal, *self.cache.residual_defs()))
+            cleaned = raw
+            started = perf_counter()
+            if self.config.simplify:
+                cleaned = simplify_program(cleaned)
+            if self.config.tidy:
+                cleaned = canonical_names(drop_unreachable(cleaned))
+            self.stats.record_phase("simplify",
                                     perf_counter() - started)
-
-        goal = FunDef(main.name, tuple(goal_params), body)
-        raw = Program((goal, *self.cache.residual_defs()))
-        cleaned = raw
-        started = perf_counter()
-        if self.config.simplify:
-            cleaned = simplify_program(cleaned)
-        if self.config.tidy:
-            cleaned = canonical_names(drop_unreachable(cleaned))
-        self.stats.record_phase("simplify", perf_counter() - started)
-        return SpecializationResult(cleaned, raw, vector, self.stats,
-                                    tuple(goal_params))
+            return SpecializationResult(cleaned, raw, vector, self.stats,
+                                        tuple(goal_params))
 
     # -- the valuation function PE ----------------------------------------
     def _pe(self, expr: Expr, env: Mapping[str, _Binding],
-            depth: int) -> tuple[Expr, FacetVector]:
+            depth: int):
         self._tick()
         if isinstance(expr, Const):
             return expr, self.suite.const_vector(expr.value)
@@ -142,25 +167,26 @@ class OnlineSpecializer:
                 return expr, self.suite.unknown(None)
             return binding.expr, binding.vector
         if isinstance(expr, Prim):
-            return self._pe_prim(expr, env, depth)
+            return (yield from self._pe_prim(expr, env, depth))
         if isinstance(expr, If):
-            return self._pe_if(expr, env, depth)
+            return (yield from self._pe_if(expr, env, depth))
         if isinstance(expr, Let):
-            return self._pe_let(expr, env, depth)
+            return (yield from self._pe_let(expr, env, depth))
         if isinstance(expr, Call):
-            return self._pe_call(expr.fn, expr.args, env, depth)
+            return (yield from self._pe_call(expr.fn, expr.args, env,
+                                             depth))
         if isinstance(expr, Lam):
-            return self._pe_lambda(expr, env, depth)
+            return (yield from self._pe_lambda(expr, env, depth))
         if isinstance(expr, App):
-            return self._pe_app(expr, env, depth)
+            return (yield from self._pe_app(expr, env, depth))
         raise PEError(f"unknown expression node {expr!r}")
 
     def _pe_prim(self, expr: Prim, env: Mapping[str, _Binding],
-                 depth: int) -> tuple[Expr, FacetVector]:
+                 depth: int):
         residual_args = []
         vectors = []
         for arg in expr.args:
-            arg_expr, arg_vector = self._pe(arg, env, depth)
+            arg_expr, arg_vector = yield self._pe(arg, env, depth)
             residual_args.append(arg_expr)
             vectors.append(arg_vector)
         outcome = self.suite.apply_prim(expr.op, vectors)
@@ -170,24 +196,28 @@ class OnlineSpecializer:
             self.stats.record_fold(outcome.producer or "pe")
             constant = outcome.vector.pe.constant()
             return Const(constant), outcome.vector
+        self.budget.charge_nodes()
         return Prim(expr.op, tuple(residual_args)), outcome.vector
 
     def _pe_if(self, expr: If, env: Mapping[str, _Binding],
-               depth: int) -> tuple[Expr, FacetVector]:
-        test_expr, test_vector = self._pe(expr.test, env, depth)
+               depth: int):
+        test_expr, test_vector = yield self._pe(expr.test, env, depth)
         self.stats.decisions += 1
         if isinstance(test_expr, Const) \
                 and isinstance(test_expr.value, bool):
             self.stats.if_reductions += 1
             branch = expr.then if test_expr.value else expr.else_
-            return self._pe(branch, env, depth)
+            return (yield self._pe(branch, env, depth))
         then_env = else_env = env
         if self.config.propagate_constraints:
             then_env = self._constrained(env, test_expr, assume=True)
             else_env = self._constrained(env, test_expr, assume=False)
-        then_expr, then_vector = self._pe(expr.then, then_env, depth)
-        else_expr, else_vector = self._pe(expr.else_, else_env, depth)
+        then_expr, then_vector = yield self._pe(expr.then, then_env,
+                                                depth)
+        else_expr, else_vector = yield self._pe(expr.else_, else_env,
+                                                depth)
         joined = self.suite.join(then_vector, else_vector)
+        self.budget.charge_nodes()
         return If(test_expr, then_expr, else_expr), joined
 
     def _constrained(self, env: Mapping[str, _Binding], test: Expr,
@@ -219,40 +249,60 @@ class OnlineSpecializer:
         return updated
 
     def _pe_let(self, expr: Let, env: Mapping[str, _Binding],
-                depth: int) -> tuple[Expr, FacetVector]:
-        bound_expr, bound_vector = self._pe(expr.bound, env, depth)
+                depth: int):
+        bound_expr, bound_vector = yield self._pe(expr.bound, env, depth)
         if isinstance(bound_expr, (Const, Var)):
             inner = dict(env)
             inner[expr.name] = _Binding(bound_expr, bound_vector)
-            return self._pe(expr.body, inner, depth)
+            return (yield self._pe(expr.body, inner, depth))
         fresh = self._fresh(expr.name)
         inner = dict(env)
         inner[expr.name] = _Binding(Var(fresh), bound_vector)
-        body_expr, body_vector = self._pe(expr.body, inner, depth)
+        body_expr, body_vector = yield self._pe(expr.body, inner, depth)
         if count_occurrences(body_expr, fresh) == 0 \
                 and definitely_total(bound_expr):
             return body_expr, body_vector
+        self.budget.charge_nodes()
         return Let(fresh, bound_expr, body_expr), body_vector
 
     # -- APP: unfold or specialize -----------------------------------------
     def _pe_call(self, fn: str, args: Sequence[Expr],
                  env: Mapping[str, _Binding],
-                 depth: int) -> tuple[Expr, FacetVector]:
+                 depth: int):
         fundef = self.functions.get(fn)
         if fundef is None:
             raise PEError(f"call to unknown function {fn!r}")
         residual_args = []
         vectors = []
         for arg in args:
-            arg_expr, arg_vector = self._pe(arg, env, depth)
+            arg_expr, arg_vector = yield self._pe(arg, env, depth)
             residual_args.append(arg_expr)
             vectors.append(arg_vector)
         self.stats.decisions += 1
+        return (yield self._apply(fundef, residual_args, vectors,
+                                  depth))
+
+    def _apply(self, fundef: FunDef, residual_args: Sequence[Expr],
+               vectors: Sequence[FacetVector], depth: int):
+        """The unfold-or-specialize decision, with budget governance:
+        an exhausted budget widens the call to Dynamic and emits a
+        residual call; an unfold-depth cap refuses the unfold but keeps
+        the precise specialization."""
+        reason = self.budget.exhausted
+        if reason is not None:
+            self._degrade(fundef.name, reason, depth, "widened-call")
+            return (yield self._specialize_call(
+                fundef, residual_args, vectors, depth, widen=True))
         if self._should_unfold(vectors, residual_args, depth):
-            self.stats.unfoldings += 1
-            return self._unfold(fundef, residual_args, vectors, depth + 1)
-        return self._specialize_call(fundef, residual_args, vectors,
-                                     depth)
+            if self.budget.blocks_unfold(depth):
+                self._degrade(fundef.name, "unfold_depth", depth,
+                              "residual-call")
+            else:
+                self.stats.unfoldings += 1
+                return (yield self._unfold(fundef, residual_args,
+                                           vectors, depth + 1))
+        return (yield self._specialize_call(fundef, residual_args,
+                                            vectors, depth))
 
     def _should_unfold(self, vectors: Sequence[FacetVector],
                        residual_args: Sequence[Expr],
@@ -281,7 +331,7 @@ class OnlineSpecializer:
 
     def _unfold(self, fundef: FunDef, residual_args: Sequence[Expr],
                 vectors: Sequence[FacetVector],
-                depth: int) -> tuple[Expr, FacetVector]:
+                depth: int):
         """Unfold a call: specialize the body in an environment binding
         parameters to the residual arguments.  Compound arguments whose
         parameter occurs more than once are let-bound to avoid
@@ -297,19 +347,27 @@ class OnlineSpecializer:
                 fresh = self._fresh(param)
                 lets.append((fresh, arg_expr))
                 env[param] = _Binding(Var(fresh), vector)
-        body_expr, body_vector = self._pe(fundef.body, env, depth)
+        body_expr, body_vector = yield self._pe(fundef.body, env, depth)
         for fresh, bound in reversed(lets):
             if count_occurrences(body_expr, fresh) == 0 \
                     and definitely_total(bound):
                 continue
+            self.budget.charge_nodes()
             body_expr = Let(fresh, bound, body_expr)
         return body_expr, body_vector
 
     def _specialize_call(self, fundef: FunDef,
                          residual_args: Sequence[Expr],
                          vectors: Sequence[FacetVector],
-                         depth: int) -> tuple[Expr, FacetVector]:
-        rung = self._generalization_rung(fundef.name)
+                         depth: int, widen: bool = False):
+        if widen:
+            # Budget-forced widening: collapse the call onto the fully
+            # generic variant of the callee (rung 2 of the ladder), so
+            # at most one new residual function per source function can
+            # still be created, no matter how wild the call patterns.
+            rung = 2
+        else:
+            rung = self._generalization_rung(fundef.name)
         if rung:
             self.stats.generalizations += 1
             vectors = [self._generalize_vector(v, rung) for v in vectors]
@@ -330,13 +388,14 @@ class OnlineSpecializer:
                     env[param] = _Binding(
                         Const(vector.pe.constant()), vector)
             # Fresh unfold budget: termination now rests on the cache.
-            body_expr, _ = self._pe(fundef.body, env, depth=0)
+            body_expr, _ = yield self._pe(fundef.body, env, depth=0)
             self.cache.finish(
                 entry, FunDef(entry.name, entry.params, body_expr))
         else:
             self.stats.cache_hits += 1
         call_args = tuple(residual_args[i]
                           for i in entry.dynamic_positions)
+        self.budget.charge_nodes()
         return Call(entry.name, call_args), self.suite.unknown(None)
 
     def _generalization_rung(self, fn: str) -> int:
@@ -357,7 +416,7 @@ class OnlineSpecializer:
 
     # -- higher-order forms -------------------------------------------------
     def _pe_lambda(self, expr: Lam, env: Mapping[str, _Binding],
-                   depth: int) -> tuple[Expr, FacetVector]:
+                   depth: int):
         """Specialize under the lambda with dynamic parameters; free
         variables keep their bindings (they may be static)."""
         inner = dict(env)
@@ -366,50 +425,73 @@ class OnlineSpecializer:
             fresh = self._fresh(param)
             renamed.append(fresh)
             inner[param] = _Binding(Var(fresh), self.suite.unknown(None))
-        body_expr, _ = self._pe(expr.body, inner, depth)
+        body_expr, _ = yield self._pe(expr.body, inner, depth)
+        self.budget.charge_nodes()
         return Lam(tuple(renamed), body_expr), self.suite.unknown(None)
 
     def _pe_app(self, expr: App, env: Mapping[str, _Binding],
-                depth: int) -> tuple[Expr, FacetVector]:
-        fn_expr, _ = self._pe(expr.fn, env, depth)
+                depth: int):
+        fn_expr, _ = yield self._pe(expr.fn, env, depth)
         residual_args = []
         vectors = []
         for arg in expr.args:
-            arg_expr, arg_vector = self._pe(arg, env, depth)
+            arg_expr, arg_vector = yield self._pe(arg, env, depth)
             residual_args.append(arg_expr)
             vectors.append(arg_vector)
         self.stats.decisions += 1
         if isinstance(fn_expr, Lam) and depth < self.config.unfold_fuel:
-            self.stats.unfoldings += 1
-            fundef = FunDef("<lambda>", fn_expr.params, fn_expr.body)
-            return self._unfold(fundef, residual_args, vectors, depth + 1)
+            reason = self.budget.exhausted
+            if reason is None and self.budget.blocks_unfold(depth):
+                reason = "unfold_depth"
+            if reason is not None:
+                # Beta-reduction is an unfold too: refuse it under
+                # budget pressure and emit the application residually.
+                self._degrade("<lambda>", reason, depth,
+                              "residual-call")
+            else:
+                self.stats.unfoldings += 1
+                fundef = FunDef("<lambda>", fn_expr.params, fn_expr.body)
+                return (yield self._unfold(fundef, residual_args,
+                                           vectors, depth + 1))
         if isinstance(fn_expr, Var) and fn_expr.name in self.functions \
                 and fn_expr.name not in env:
-            return self._pe_call_direct(fn_expr.name, residual_args,
-                                        vectors, depth)
-        return App(fn_expr, tuple(residual_args)), self.suite.unknown(None)
-
-    def _pe_call_direct(self, fn: str, residual_args: Sequence[Expr],
-                        vectors: Sequence[FacetVector],
-                        depth: int) -> tuple[Expr, FacetVector]:
-        fundef = self.functions[fn]
-        if self._should_unfold(vectors, residual_args, depth):
-            self.stats.unfoldings += 1
-            return self._unfold(fundef, residual_args, vectors, depth + 1)
-        return self._specialize_call(fundef, residual_args, vectors,
-                                     depth)
+            fundef = self.functions[fn_expr.name]
+            return (yield self._apply(fundef, residual_args, vectors,
+                                      depth))
+        self.budget.charge_nodes()
+        return (App(fn_expr, tuple(residual_args)),
+                self.suite.unknown(None))
 
     # -- plumbing -------------------------------------------------------------
     def _fresh(self, base: str) -> str:
         self._gensym += 1
         return f"{base}!{self._gensym}"
 
+    def _degrade(self, site: str, reason: str, depth: int,
+                 action: str) -> None:
+        """Record a graceful-degradation decision (or raise, under
+        strict enforcement)."""
+        if self.config.strict_budgets:
+            raise BudgetExhausted(
+                f"budget exceeded ({reason}) at {site!r}; "
+                f"strict_budgets=True turns degradation into an error",
+                dimension=reason,
+                limit=self.budget.limits().get(reason),
+                used=self.budget.used().get(reason))
+        self.stats.record_degrade(DegradeEvent(
+            site=site, reason=reason, action=action, depth=depth,
+            step=self.stats.steps))
+
     def _tick(self) -> None:
-        self.stats.steps += 1
-        if self.stats.steps > self.config.fuel:
-            raise PEError(
+        steps = self.stats.steps = self.stats.steps + 1
+        if steps > self.config.fuel:
+            raise BudgetExhausted(
                 f"partial evaluation exceeded {self.config.fuel} steps; "
-                f"a static loop in the subject program may diverge")
+                f"a static loop in the subject program may diverge",
+                dimension="fuel", limit=self.config.fuel,
+                used=self.stats.steps)
+        if self.budget.limited and steps & (STEP_STRIDE - 1) == 0:
+            self.budget.charge_steps(steps)
 
 
 def specialize_online(program: Program,

@@ -26,8 +26,27 @@ Mechanics, in order:
    from :mod:`repro.baselines.simple_pe` (or, if even that fails, the
    unspecialized source), flagged ``degraded=True``.
 
-``workers=0`` selects *inline* mode: requests run in-process, no pool
-and no deadlines, same cache/retry/degrade accounting — the mode the
+A request with a deadline additionally gets a *cooperative* engine
+budget: ``deadline_budget_fraction`` (default 0.8) of the deadline is
+mapped onto the engine's soft wall-clock budget
+(``PEConfig.max_wall_seconds``) unless the request set one itself, so
+a long-running specialization widens itself down inside the engine and
+returns a real — if less specialized — residual *before* the hard
+future-timeout kill fires.  Such in-engine degradations count as
+``completed`` (and ``ServiceStats.engine_degradations``), not
+``degraded``, and are kept out of the cross-request cache: the
+injected wall budget is not part of the fingerprint, and what it
+produced is timing-dependent.
+
+Mind the fraction on adversarial inputs: post-processing (simplify,
+pretty-printing) runs *outside* the budget-governed region and scales
+with the residual the budget permitted, so a fraction close to 1 can
+still blow the deadline in the un-metered tail.  Keep it conservative,
+or disable ``simplify``/``tidy`` in the request config.
+
+``workers=0`` selects *inline* mode: requests run in-process with no
+pool and no hard deadline kills (the cooperative engine budget still
+applies), same cache/retry/degrade accounting — the mode the
 determinism tests and the ``serve`` loop's tests use.
 
 Every step reports into :class:`~repro.observability.ServiceStats`.
@@ -75,17 +94,28 @@ class SpecializationService:
                  max_attempts: int = 3, backoff_base: float = 0.05,
                  backoff_cap: float = 2.0,
                  default_deadline: float | None = None,
+                 deadline_budget_fraction: float | None = 0.8,
+                 default_config: dict | None = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if max_attempts < 1:
             raise ValueError(
                 f"max_attempts must be >= 1, got {max_attempts}")
+        if deadline_budget_fraction is not None \
+                and not 0.0 < deadline_budget_fraction <= 1.0:
+            raise ValueError(
+                f"deadline_budget_fraction must be in (0, 1], got "
+                f"{deadline_budget_fraction}")
         self.workers = workers
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.default_deadline = default_deadline
+        self.deadline_budget_fraction = deadline_budget_fraction
+        #: Service-wide PEConfig defaults (e.g. budget caps from the
+        #: CLI); a request's own config always wins.
+        self.default_config = dict(default_config or {})
         self.stats = ServiceStats()
         self.cache = ResidualCache(cache_capacity, self.stats)
         self._sleep = sleep
@@ -139,10 +169,30 @@ class SpecializationService:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- payload shaping -----------------------------------------------
+    def _deadline_of(self, job: _Job) -> float | None:
+        return job.request.deadline if job.request.deadline is not None \
+            else self.default_deadline
+
+    def _payload_for(self, job: _Job) -> dict:
+        """The worker payload, with the request's deadline mapped onto
+        a cooperative engine wall-clock budget (see module docstring).
+        An explicit ``max_wall_seconds`` in the request wins."""
+        payload = job.request.to_payload()
+        for name, value in self.default_config.items():
+            payload["config"].setdefault(name, value)
+        deadline = self._deadline_of(job)
+        if deadline is not None \
+                and self.deadline_budget_fraction is not None:
+            payload["config"].setdefault(
+                "max_wall_seconds",
+                deadline * self.deadline_budget_fraction)
+        return payload
+
     # -- inline mode ---------------------------------------------------
     def _run_inline(self, job: _Job) -> SpecResult:
         while True:
-            payload = job.request.to_payload()
+            payload = self._payload_for(job)
             payload["inline"] = True
             job.attempts += 1
             try:
@@ -188,13 +238,11 @@ class SpecializationService:
             for job in wave:
                 job.attempts += 1
                 future = pool.submit(execute_request,
-                                     job.request.to_payload())
+                                     self._payload_for(job))
                 submitted.append((job, future, monotonic()))
             broken = False
             for job, future, submitted_at in submitted:
-                deadline = job.request.deadline \
-                    if job.request.deadline is not None \
-                    else self.default_deadline
+                deadline = self._deadline_of(job)
                 try:
                     if deadline is None:
                         outcome = future.result()
@@ -254,6 +302,10 @@ class SpecializationService:
     def _absorb(self, job: _Job, outcome: dict) -> SpecResult:
         if outcome.get("failed"):
             self.stats.errors += 1
+            category = outcome.get("category")
+            if category:
+                self.stats.errors_by_category[category] = \
+                    self.stats.errors_by_category.get(category, 0) + 1
             return self._degrade(job, outcome.get("error", "failed"))
         result = SpecResult(
             residual=outcome["residual"],
@@ -262,6 +314,15 @@ class SpecializationService:
             attempts=job.attempts, stats=outcome.get("stats", {}),
             seconds=outcome.get("seconds", 0.0))
         self.stats.completed += 1
+        budget = (outcome.get("stats") or {}).get("budget") or {}
+        if budget.get("degradations"):
+            # The engine degraded in-engine: still a real residual,
+            # but keep it out of the cross-request cache — the
+            # deadline-mapped wall budget is not in the fingerprint,
+            # so a timing-dependent, less-specialized residual could
+            # shadow a fully specialized answer for identical requests.
+            self.stats.engine_degradations += 1
+            return result
         self.cache.put(job.key, result)
         return result
 

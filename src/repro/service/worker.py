@@ -24,6 +24,7 @@ from time import perf_counter
 from typing import Any, Mapping
 
 from repro.baselines.simple_pe import specialize_simple
+from repro.engine.errors import classify
 from repro.facets import (
     FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
 from repro.lang.parser import parse_program
@@ -100,6 +101,7 @@ def execute_request(payload: Mapping[str, Any]) -> dict:
         return {
             "failed": True,
             "error": f"{type(error).__name__}: {error}",
+            "category": classify(error),
             "id": payload.get("id"),
             "engine": payload.get("engine", "online"),
             "seconds": perf_counter() - started,

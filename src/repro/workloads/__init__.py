@@ -1,6 +1,10 @@
-"""Program corpus and random program generation."""
+"""Program corpus, random program generation, and the adversarial
+family used by the robustness suite."""
 
-from repro.workloads.generator import GenConfig, generate_program
+from repro.workloads.generator import (
+    ADVERSARIAL_CASES, AdversarialCase, GenConfig, adversarial_cases,
+    branchy_descent, deep_static_loop, generate_program,
+    mutual_pingpong, self_inlining_tree)
 from repro.workloads.programs import (
     ALTERNATING_SUM_SRC, CLAMPED_LOOKUP_SRC, FIB_SRC, GCD_SRC,
     HO_PIPELINE_SRC, HO_SELECT_SRC, INNER_PRODUCT_SRC, MINI_VM_SRC,
@@ -8,7 +12,9 @@ from repro.workloads.programs import (
     get_workload, vm_program_square_plus)
 
 __all__ = [
-    "GenConfig", "generate_program",
+    "ADVERSARIAL_CASES", "AdversarialCase", "GenConfig",
+    "adversarial_cases", "branchy_descent", "deep_static_loop",
+    "generate_program", "mutual_pingpong", "self_inlining_tree",
     "ALTERNATING_SUM_SRC", "CLAMPED_LOOKUP_SRC", "FIB_SRC", "GCD_SRC",
     "HO_PIPELINE_SRC", "HO_SELECT_SRC", "INNER_PRODUCT_SRC",
     "MINI_VM_SRC", "POLY_EVAL_SRC", "POWER_SRC", "SIGN_PIPELINE_SRC",

@@ -142,3 +142,126 @@ def _leaf(ctx: _Ctx) -> Expr:
     if ctx.scope and rng.random() < 0.6:
         return Var(rng.choice(ctx.scope))
     return Const(rng.randint(-config.const_range, config.const_range))
+
+
+# -- adversarial corpus ----------------------------------------------------
+#
+# The generated programs above are terminating *by construction*; the
+# family below is the opposite: programs on which naive PE diverges or
+# explodes, used by the robustness suite and the budget-overhead
+# benchmark.  Each case unfolds under a *dynamic* test, so the
+# exponential blowup happens at specialization time while a concrete
+# run stays cheap — which is exactly what the differential oracle
+# needs: the source must be runnable so the degraded residual can be
+# checked against it.
+#
+# (A *linear* static grind — ``count (n+1) (d-1)`` style accumulation —
+# is already tamed by the ``max_variants`` generalization ladder before
+# any soft budget fires, so it does not belong in this family.)
+
+@dataclass(frozen=True)
+class AdversarialCase:
+    """One known-exploding program for the robustness suite."""
+
+    name: str
+    description: str
+    #: Program source; the goal function takes a single dynamic
+    #: argument and the blowup depth is baked in as a literal.
+    source: str
+    #: Concrete goal arguments for the differential oracle.  Chosen so
+    #: a standard evaluation of the *source* is cheap even though
+    #: specialization is exponential.
+    oracle_args: tuple[int, ...]
+
+
+def branchy_descent(depth: int = 64) -> str:
+    """Dynamic-test recursion: every unfold level residualizes a test
+    on ``d`` and unfolds *both* arms, each with a distinct dynamic
+    argument — a ``2^depth`` specialization tree, linear concretely."""
+    return f"""
+(define (main d) (walk {depth} d))
+(define (walk n d)
+  (if (<= n 0)
+      d
+      (if (< d 0)
+          (walk (- n 1) (+ d 1))
+          (walk (- n 1) (- d 1)))))
+"""
+
+
+def self_inlining_tree(depth: int = 48) -> str:
+    """Self-inlining loop: the body re-inlines itself twice per level
+    (both calls carry an informative static ``n``), so unfolding is
+    ``2^depth`` while a concrete run is bounded by the dynamic ``d``."""
+    return f"""
+(define (main d) (tree {depth} d))
+(define (tree n d)
+  (if (<= n 0)
+      d
+      (if (<= d 0)
+          0
+          (+ (tree (- n 1) (- d 1))
+             (tree (- n 1) (- d 2))))))
+"""
+
+
+def mutual_pingpong(depth: int = 64) -> str:
+    """The branchy descent split across two mutually recursive
+    functions, so degradation fires at *two* sites."""
+    return f"""
+(define (main d) (ping {depth} d))
+(define (ping n d)
+  (if (<= n 0)
+      d
+      (if (< d 0)
+          (pong (- n 1) (+ d 1))
+          (pong (- n 1) (- d 2)))))
+(define (pong n d)
+  (if (<= n 0)
+      (- 0 d)
+      (if (< d 0)
+          (ping (- n 1) (+ d 2))
+          (ping (- n 1) (- d 1)))))
+"""
+
+
+def deep_static_loop() -> str:
+    """A fully static countdown: specialized on ``n = depth`` it
+    unfolds ``depth`` levels before folding to a constant — the
+    regression program for trampolined (stack-safe) specialization;
+    it needs ``unfold_fuel > depth`` and exhausts no budget."""
+    return """
+(define (main n) (count n 0))
+(define (count n acc)
+  (if (<= n 0)
+      acc
+      (count (- n 1) (+ acc 1))))
+"""
+
+
+def adversarial_cases() -> tuple[AdversarialCase, ...]:
+    """The shipped family, at scales that exhaust the *default* soft
+    budgets (``PEConfig.max_steps`` / ``max_residual_nodes``) in a few
+    seconds and then terminate by widening."""
+    return (
+        AdversarialCase(
+            name="branchy-descent",
+            description="binary unfold tree under a dynamic test",
+            source=branchy_descent(),
+            oracle_args=(-9, 0, 7)),
+        AdversarialCase(
+            name="self-inlining-tree",
+            description="loop body re-inlined twice per unfold level",
+            source=self_inlining_tree(),
+            oracle_args=(0, 3, 8)),
+        AdversarialCase(
+            name="mutual-pingpong",
+            description="exponential unfolding across two mutually "
+                        "recursive sites",
+            source=mutual_pingpong(),
+            oracle_args=(-5, 0, 9)),
+    )
+
+
+#: The family at default scales, for direct iteration in tests.
+ADVERSARIAL_CASES = adversarial_cases()

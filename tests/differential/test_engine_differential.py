@@ -163,8 +163,14 @@ class TestServiceDifferential:
         source = pretty_program(program)
         specs = ["dyn" if i in dynamic_positions else str(value)
                  for i, value in enumerate(args)]
+        # Tight soft budgets: pathological generated programs degrade
+        # in-engine within milliseconds instead of grinding toward the
+        # 1M-step defaults — and the degraded (still real) residuals
+        # land in the verdict path below, so budget-widened output is
+        # inside the differential loop too.
         config = {"unfold_fuel": 12, "max_variants": 4,
-                  "fuel": 2_000_000}
+                  "fuel": 2_000_000, "max_steps": 20_000,
+                  "max_residual_nodes": 20_000}
         requests = [
             SpecRequest.create(source=source, specs=specs,
                                engine=engine, config=config, id=engine)

@@ -52,6 +52,19 @@ def test_as_dict_shape():
     assert set(snapshot) == {
         "submitted", "completed", "degraded", "degraded_rate", "cache",
         "worker_crashes", "retries", "timeouts", "errors",
-        "pool_restarts", "backoff_seconds"}
+        "errors_by_category", "pool_restarts", "backoff_seconds",
+        "budget"}
     assert set(snapshot["cache"]) == {"hits", "misses", "evictions",
                                       "rate"}
+    assert set(snapshot["budget"]) == {"engine_degradations"}
+
+
+def test_merge_accumulates_budget_and_categories():
+    left = ServiceStats(engine_degradations=1,
+                        errors_by_category={"program": 1})
+    right = ServiceStats(engine_degradations=2,
+                         errors_by_category={"program": 2,
+                                             "budget": 1})
+    left.merge(right)
+    assert left.engine_degradations == 3
+    assert left.errors_by_category == {"program": 3, "budget": 1}

@@ -1,0 +1,98 @@
+"""Service-level graceful degradation: deadlines become engine
+budgets, so runaway specializations degrade *inside* the engine
+instead of being killed at the deadline.
+
+Before this layer existed the service's only defense was the
+worker-kill + trivial-fallback path (``degraded=True``); these tests
+pin the cooperative alternative: the scheduler maps a fraction of the
+request deadline onto ``max_wall_seconds``, the engine widens when the
+clock runs out, and the caller gets a *real* residual
+(``degraded=False``) whose stats carry the degrade events.
+"""
+
+from __future__ import annotations
+
+from repro.service import SpecRequest, SpecializationService
+from repro.workloads import ADVERSARIAL_CASES
+
+BRANCHY = ADVERSARIAL_CASES[0]
+
+
+def _request(**kwargs) -> SpecRequest:
+    return SpecRequest.create(source=BRANCHY.source, specs=["dyn"],
+                              **kwargs)
+
+
+def test_deadline_degrades_in_engine_not_by_worker_kill():
+    """A deadline on an exploding request ends in cooperative widening
+    — no timeout, no kill, no pool restart, no trivial fallback."""
+    # A small fraction of a generous deadline: the engine's clock runs
+    # out early (~0.2s in), leaving the worker plenty of margin to
+    # widen and answer well before the 10s kill would fire.  The
+    # fraction must be conservative because post-processing (simplify /
+    # pretty-printing) is *outside* the governed region and scales with
+    # the partial residual the budget permitted.
+    with SpecializationService(workers=1,
+                               deadline_budget_fraction=0.02) as service:
+        result = service.run_one(_request(
+            deadline=10.0, config={"simplify": False, "tidy": False}))
+        stats = service.stats
+    assert not result.degraded
+    budget = result.stats["budget"]
+    assert budget["degradations"] > 0
+    assert budget["by_reason"].get("wall_clock", 0) > 0
+    assert stats.engine_degradations == 1
+    assert stats.completed == 1
+    assert stats.timeouts == 0
+    assert stats.worker_crashes == 0
+    assert stats.pool_restarts == 0
+
+
+def test_inline_mode_maps_deadline_too():
+    """``workers=0`` cannot kill anything, so the engine budget is the
+    *only* deadline enforcement there."""
+    with SpecializationService(workers=0,
+                               deadline_budget_fraction=0.05) as service:
+        result = service.run_one(_request(deadline=2.0))
+        stats = service.stats
+    assert not result.degraded
+    assert result.stats["budget"]["by_reason"].get("wall_clock", 0) > 0
+    assert stats.engine_degradations == 1
+
+
+def test_degraded_residuals_are_not_cached():
+    """The deadline budget is not part of the request fingerprint, so
+    a residual produced under budget pressure must not be served to a
+    later (possibly deadline-less) identical request."""
+    with SpecializationService(workers=0,
+                               deadline_budget_fraction=0.05) as service:
+        first = service.run_one(_request(id="a", deadline=2.0))
+        second = service.run_one(_request(id="b", deadline=2.0))
+        stats = service.stats
+    assert first.stats["budget"]["degradations"] > 0
+    assert second.stats["budget"]["degradations"] > 0
+    assert stats.engine_degradations == 2
+    assert stats.cache_hits == 0
+
+
+def test_request_config_budget_wins_over_deadline_mapping():
+    """An explicit per-request budget is honoured as-is; degradation
+    then happens on that dimension, not the wall clock."""
+    with SpecializationService(workers=0) as service:
+        result = service.run_one(
+            _request(config={"max_steps": 5_000}, deadline=30.0))
+        stats = service.stats
+    assert not result.degraded
+    assert result.stats["budget"]["by_reason"].get("steps", 0) > 0
+    assert stats.engine_degradations == 1
+
+
+def test_service_wide_default_budgets_apply():
+    """``ppe batch --max-steps N`` plumbs through ``default_config``;
+    requests without their own budget inherit it."""
+    with SpecializationService(
+            workers=0,
+            default_config={"max_steps": 5_000}) as service:
+        result = service.run_one(_request())
+    assert not result.degraded
+    assert result.stats["budget"]["by_reason"].get("steps", 0) > 0

@@ -1,0 +1,76 @@
+"""Stack-safety regression: deep specializations must not rely on
+``sys.setrecursionlimit``.
+
+The engines' ``_pe`` recursion is trampolined (an explicit stack of
+generators, :mod:`repro.engine.trampoline`), so an unfold chain far
+past CPython's default recursion limit specializes fine — the old
+``sys.setrecursionlimit(100_000)`` band-aid is gone, and these tests
+monkeypatch the function to *fail* if anything reaches for it again.
+
+(The concrete interpreter and the offline *analysis* still manage the
+recursion limit for their own recursion — only the specializers are
+under test here.)
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.baselines.simple_pe import specialize_simple
+from repro.lang.ast import Const
+from repro.lang.parser import parse_program
+from repro.offline.specializer import specialize_offline
+from repro.online.config import PEConfig
+from repro.online.specializer import specialize_online
+from repro.service.specs import parse_specs, simple_division
+from repro.service.worker import default_suite
+from repro.workloads import deep_static_loop
+
+#: Far past the default recursion limit (1000); every unfold level
+#: used to cost several Python frames.
+DEPTH = 5000
+
+CONFIG = PEConfig(unfold_fuel=10_000)
+
+
+@pytest.fixture
+def no_recursion_limit_tampering(monkeypatch):
+    def forbid(limit):
+        raise AssertionError(
+            f"engine called sys.setrecursionlimit({limit})")
+    monkeypatch.setattr(sys, "setrecursionlimit", forbid)
+
+
+def _assert_folded(result):
+    body = result.program.defs[0].body
+    assert body == Const(DEPTH), \
+        f"expected the loop to fold to {DEPTH}, got {body!r}"
+    assert result.stats.degradations == 0
+
+
+def test_online_specializes_deep_loop(no_recursion_limit_tampering):
+    program = parse_program(deep_static_loop())
+    suite = default_suite()
+    inputs = parse_specs(suite, [str(DEPTH)])
+    result = specialize_online(program, inputs, suite, CONFIG)
+    _assert_folded(result)
+
+
+def test_simple_pe_specializes_deep_loop(no_recursion_limit_tampering):
+    program = parse_program(deep_static_loop())
+    division = simple_division([str(DEPTH)])
+    result = specialize_simple(program, division, CONFIG)
+    _assert_folded(result)
+
+
+def test_offline_specializes_deep_loop():
+    # No tampering guard: the offline *analysis* front end still
+    # manages the recursion limit for its own AST recursion; the
+    # specializer itself is trampolined.
+    program = parse_program(deep_static_loop())
+    suite = default_suite()
+    inputs = parse_specs(suite, [str(DEPTH)])
+    result = specialize_offline(program, inputs, suite, config=CONFIG)
+    _assert_folded(result)
