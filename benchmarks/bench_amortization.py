@@ -67,7 +67,8 @@ def test_offline_burst(benchmark, report, program, size_suite):
            f"{total} facet evaluations (analysis done once)")
 
 
-def test_crossover_point(report, program, size_suite, benchmark):
+def test_crossover_point(report, bench_record, program, size_suite,
+                         benchmark):
     abstract_suite = AbstractSuite(size_suite)
     pattern = [abstract_suite.input(VECTOR, bt=BT.DYNAMIC,
                                     size=STATIC_SIZE),
@@ -110,3 +111,10 @@ def test_crossover_point(report, program, size_suite, benchmark):
            f"offline pays off after "
            f"{crossover if crossover else '>%d' % len(SIZES)} "
            f"specializations")
+    bench_record("crossover",
+                 analysis_ms=round(analysis_cost * 1e3, 3),
+                 mean_online_ms=round(
+                     1e3 * sum(online_costs) / len(SIZES), 3),
+                 mean_offline_ms=round(
+                     1e3 * sum(offline_costs) / len(SIZES), 3),
+                 crossover=crossover)

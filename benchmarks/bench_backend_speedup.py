@@ -1,0 +1,181 @@
+"""Experiment: compiled residuals beat interpreted residuals on the
+wall clock — the backend's reason to exist.
+
+``bench_residual_speedup.py`` compares *step counts* inside one
+interpreter: specialization removes work, but every remaining step
+still pays tree-walking overhead.  This experiment completes the
+paper's Theorem 1 story on executed code: for each workload we
+specialize once, then time three executions of the same computation —
+
+* the **source** program, interpreted, on the full argument vector;
+* the **residual**, interpreted, on the dynamic arguments;
+* the **residual**, compiled by :mod:`repro.backend`, on the same
+  dynamic arguments —
+
+and report both ratios.  The acceptance bar is a **median >= 5x**
+compiled-over-interpreted-residual speedup across the suite, with the
+three answers agreeing (through the shared approx-equal helper) on
+every case.  Rows land in ``BENCH_backend_speedup.json`` when
+``REPRO_BENCH_JSON_DIR`` is set — the artifact CI archives.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.backend import compile_program
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.parser import parse_program
+from repro.service import SpecRequest, SpecializationService
+from repro.service.specs import parse_value
+from repro.workloads import WORKLOADS
+
+ROUNDS = 7
+MIN_MEDIAN_SPEEDUP = 5.0
+
+
+def _vec(n: int, scale: float = 1.0) -> str:
+    return "#(" + " ".join(str(scale * (i + 1)) for i in range(n)) + ")"
+
+
+#: (workload, specs, concrete source arguments).  Literal specs make
+#: the argument static (it drops out of the goal); ``size=``/``dyn``
+#: specs keep it dynamic, and the same concrete value is what the
+#: residual then runs on.
+CASES = [
+    ("inner_product", ["size=16", "size=16"],
+     [_vec(16), _vec(16, 0.5)]),
+    ("power", ["dyn", "12"], ["3", "12"]),
+    ("alternating_sum", ["size=16"], [_vec(16)]),
+    ("poly_eval", ["size=8", "dyn"], [_vec(8), "2.0"]),
+    ("binary_search", ["size=15", "dyn"], [_vec(15), "11.0"]),
+    ("mini_vm", ["#(3 1 10 2 3 0)", "dyn"],
+     ["#(3 1 10 2 3 0)", "3.5"]),
+    ("gcd", ["dyn", "18"], ["1071", "18"]),
+    ("ho_pipeline", ["size=8", "2.0"], [_vec(8), "2.0"]),
+]
+
+
+def _is_literal_spec(spec: str) -> bool:
+    return spec[0].isdigit() or spec[0] in "#-" or spec in (
+        "true", "false")
+
+
+def _specialize(name: str, specs: list[str]):
+    request = SpecRequest.create(
+        source=WORKLOADS[name].source, specs=specs, id=name)
+    with SpecializationService(workers=0) as service:
+        (result,) = service.run_batch([request])
+    assert not result.degraded, f"{name}: {result.reason}"
+    return parse_program(result.residual)
+
+
+def _median_seconds(fn, args, rounds: int = ROUNDS,
+                    budget: float = 0.05) -> float:
+    """Median per-call wall-clock, auto-scaling the inner iteration
+    count so one round is long enough for the clock to resolve."""
+    iterations = 1
+    while True:
+        started = time.perf_counter()
+        for _ in range(iterations):
+            fn(*args)
+        elapsed = time.perf_counter() - started
+        if elapsed >= budget / rounds or iterations >= 4096:
+            break
+        iterations *= 4
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            fn(*args)
+        samples.append((time.perf_counter() - started) / iterations)
+    return statistics.median(samples)
+
+
+def _case_row(name: str, specs: list[str], raw_args: list[str],
+              values_close) -> dict:
+    program = WORKLOADS[name].program()
+    source_args = [parse_value(text) for text in raw_args]
+    dynamic_args = [value for spec, value in zip(specs, source_args)
+                    if not _is_literal_spec(spec)]
+
+    residual = _specialize(name, specs)
+    compiled = compile_program(residual)
+    interp = Interpreter(residual)
+
+    expected = run_program(program, *source_args)
+    values_close(expected, interp.run(*dynamic_args),
+                 context=f"{name} interpreted residual")
+    values_close(expected, compiled.run(*dynamic_args),
+                 context=f"{name} compiled residual")
+
+    source_s = _median_seconds(
+        lambda *a: run_program(program, *a), source_args)
+    interp_s = _median_seconds(interp.run, dynamic_args)
+    compiled_s = _median_seconds(compiled.run, dynamic_args)
+    return {
+        "workload": name, "specs": specs,
+        "source_us": round(source_s * 1e6, 3),
+        "interp_residual_us": round(interp_s * 1e6, 3),
+        "compiled_residual_us": round(compiled_s * 1e6, 3),
+        "compiled_vs_interp": round(interp_s / compiled_s, 2),
+        "compiled_vs_source": round(source_s / compiled_s, 2),
+    }
+
+
+def test_compiled_residuals_beat_interpreted_residuals(
+        benchmark, report, values_close, bench_record):
+    rows = [_case_row(name, specs, args, values_close)
+            for name, specs, args in CASES]
+
+    # The pytest-benchmark column times the headline case end to end
+    # (compiled inner product over dynamic vectors).
+    residual = _specialize("inner_product", ["size=16", "size=16"])
+    compiled = compile_program(residual)
+    a = parse_value(_vec(16))
+    b = parse_value(_vec(16, 0.5))
+    benchmark(lambda: compiled.run(a, b))
+
+    lines = ["workload          | interp us | compiled us | vs interp"
+             " | vs source"]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:17s} | {row['interp_residual_us']:9.2f}"
+            f" | {row['compiled_residual_us']:11.2f}"
+            f" | {row['compiled_vs_interp']:8.1f}x"
+            f" | {row['compiled_vs_source']:8.1f}x")
+        bench_record(row["workload"], **row)
+
+    speedups = [row["compiled_vs_interp"] for row in rows]
+    median = statistics.median(speedups)
+    lines.append(f"median compiled-over-interpreted speedup: "
+                 f"{median:.1f}x (bar: {MIN_MEDIAN_SPEEDUP:.0f}x)")
+    report(*lines)
+    bench_record("summary", median_compiled_vs_interp=round(median, 2),
+                 bar=MIN_MEDIAN_SPEEDUP)
+    assert median >= MIN_MEDIAN_SPEEDUP, \
+        f"median compiled speedup {median:.2f}x under the " \
+        f"{MIN_MEDIAN_SPEEDUP:.0f}x acceptance bar"
+
+
+def test_shadow_verification_is_clean_across_the_suite(
+        report, bench_record):
+    """Zero mismatches across the suite: every case double-run through
+    ``shadow_run`` — the acceptance criterion stated by the issue."""
+    from repro.backend import shadow_run
+    from repro.observability import BackendStats
+    stats = BackendStats()
+    for name, specs, raw_args in CASES:
+        residual = _specialize(name, specs)
+        source_args = [parse_value(text) for text in raw_args]
+        dynamic_args = [value
+                        for spec, value in zip(specs, source_args)
+                        if not _is_literal_spec(spec)]
+        shadow_run(residual, dynamic_args, stats=stats)
+    assert stats.mismatches == 0
+    assert stats.shadow_runs == len(CASES)
+    report(f"shadow: {stats.shadow_runs} comparisons, "
+           f"{stats.mismatches} mismatches")
+    bench_record("shadow", runs=stats.shadow_runs,
+                 mismatches=stats.mismatches)

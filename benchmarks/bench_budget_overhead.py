@@ -52,7 +52,8 @@ def _paired_medians(governed, ungoverned) -> tuple[float, float]:
             statistics.median(ungoverned_samples))
 
 
-def _assert_overhead(report, name, governed, ungoverned):
+def _assert_overhead(report, bench_record, name, governed,
+                     ungoverned):
     overhead = (governed - ungoverned) / ungoverned
     report(f"{name}: governed {governed * 1e3:.2f}ms, "
            f"ungoverned {ungoverned * 1e3:.2f}ms, "
@@ -60,23 +61,28 @@ def _assert_overhead(report, name, governed, ungoverned):
     assert governed - ungoverned <= max(
         MAX_OVERHEAD * ungoverned, NOISE_FLOOR_SECONDS), \
         f"{name}: governance overhead {overhead:.1%} exceeds 5%"
-    _record(name, governed, ungoverned, overhead)
+    _record(bench_record, name, governed, ungoverned, overhead)
 
 
 _RESULTS: dict[str, dict] = {}
 
 
-def _record(name, governed, ungoverned, overhead):
+def _record(bench_record, name, governed, ungoverned, overhead):
     _RESULTS[name] = {"governed_seconds": round(governed, 6),
                       "ungoverned_seconds": round(ungoverned, 6),
                       "overhead": round(overhead, 4)}
+    # Shared machine-readable artifact (BENCH_budget_overhead.json,
+    # gated on REPRO_BENCH_JSON_DIR like every other benchmark)...
+    bench_record(name, **_RESULTS[name])
+    # ...plus the legacy single-file env var CI already wires up.
     destination = os.environ.get("REPRO_BUDGET_OVERHEAD_JSON")
     if destination:
         with open(destination, "w", encoding="utf-8") as handle:
             json.dump(_RESULTS, handle, indent=2, sort_keys=True)
 
 
-def test_overhead_inner_product(benchmark, report, size_suite):
+def test_overhead_inner_product(benchmark, report, size_suite,
+                                bench_record):
     program = WORKLOADS["inner_product"].program()
     inputs = [size_suite.input(VECTOR, size=64)] * 2
 
@@ -91,11 +97,12 @@ def test_overhead_inner_product(benchmark, report, size_suite):
     assert governed().program == ungoverned().program
     governed_s, ungoverned_s = _paired_medians(governed, ungoverned)
     benchmark(governed)
-    _assert_overhead(report, "inner_product(size=64)",
+    _assert_overhead(report, bench_record, "inner_product(size=64)",
                      governed_s, ungoverned_s)
 
 
-def test_overhead_higher_order(benchmark, report, rich_suite):
+def test_overhead_higher_order(benchmark, report, rich_suite,
+                               bench_record):
     program = WORKLOADS["ho_pipeline"].program()
     inputs = [rich_suite.input(VECTOR, size=8),
               rich_suite.const_vector(2.0)]
@@ -110,5 +117,5 @@ def test_overhead_higher_order(benchmark, report, rich_suite):
     assert governed().program == ungoverned().program
     governed_s, ungoverned_s = _paired_medians(governed, ungoverned)
     benchmark(governed)
-    _assert_overhead(report, "ho_pipeline(size=8)",
+    _assert_overhead(report, bench_record, "ho_pipeline(size=8)",
                      governed_s, ungoverned_s)

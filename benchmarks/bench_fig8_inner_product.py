@@ -40,7 +40,8 @@ def test_fig8_exact(benchmark, report, program, size_suite):
 
 
 @pytest.mark.parametrize("size", [4, 16, 64])
-def test_fig8_scaling(benchmark, report, program, size_suite, size):
+def test_fig8_scaling(benchmark, report, bench_record, program,
+                      size_suite, size):
     inputs = [size_suite.input(VECTOR, size=size)] * 2
 
     result = benchmark(specialize_online, program, inputs, size_suite)
@@ -53,3 +54,5 @@ def test_fig8_scaling(benchmark, report, program, size_suite, size):
     assert calls == 0, "recursion must be fully unfolded"
     report(f"size {size:3d}: residual vrefs={vrefs}, calls={calls}, "
            f"PE steps={result.stats.steps}")
+    bench_record(f"size_{size}", vrefs=vrefs, calls=calls,
+                 pe_steps=result.stats.steps)

@@ -21,15 +21,19 @@ def _vector(n, scale=1.0):
     return Vector.of([scale * (i + 1) for i in range(n)])
 
 
-def _residual_speedup(program, inputs, suite, run_args, source_args):
+def _residual_speedup(program, inputs, suite, run_args, source_args,
+                      values_close):
     result = specialize_online(program, inputs, suite)
     want, source_stats = run_with_stats(program, *source_args)
     got, residual_stats = run_with_stats(result.program, *run_args)
-    assert want == got
+    # Float results go through the shared approx-equal helper: the
+    # residual may reassociate constant arithmetic.
+    values_close(want, got)
     return source_stats.steps, residual_stats.steps, result
 
 
-def test_inner_product_speedup(benchmark, report, size_suite):
+def test_inner_product_speedup(benchmark, report, size_suite,
+                               values_close, bench_record):
     program = WORKLOADS["inner_product"].program()
     inputs = [size_suite.input(VECTOR, size=SIZE)] * 2
     a, b = _vector(SIZE), _vector(SIZE, 0.5)
@@ -39,14 +43,18 @@ def test_inner_product_speedup(benchmark, report, size_suite):
     benchmark(lambda: Interpreter(result.program).run(a, b))
 
     source_steps, residual_steps, _ = _residual_speedup(
-        program, inputs, size_suite, (a, b), (a, b))
+        program, inputs, size_suite, (a, b), (a, b), values_close)
     assert residual_steps < source_steps
     report(f"inner_product size {SIZE}: {source_steps} -> "
            f"{residual_steps} interpreter steps "
            f"({source_steps / residual_steps:.1f}x)")
+    bench_record("inner_product", size=SIZE, source_steps=source_steps,
+                 residual_steps=residual_steps,
+                 step_speedup=round(source_steps / residual_steps, 2))
 
 
-def test_mini_vm_speedup(benchmark, report):
+def test_mini_vm_speedup(benchmark, report, values_close,
+                         bench_record):
     program = WORKLOADS["mini_vm"].program()
     suite = FacetSuite()
     code = Vector.of(vm_program_square_plus(7.0))
@@ -55,15 +63,19 @@ def test_mini_vm_speedup(benchmark, report):
 
     benchmark(lambda: Interpreter(result.program).run(3.5))
 
-    _, source_stats = run_with_stats(program, code, 3.5)
-    _, residual_stats = run_with_stats(result.program, 3.5)
+    want, source_stats = run_with_stats(program, code, 3.5)
+    got, residual_stats = run_with_stats(result.program, 3.5)
+    values_close(want, got)
     assert residual_stats.steps * 5 < source_stats.steps, \
         "compiling the VM away should win by a lot"
     report(f"mini_vm: {source_stats.steps} -> {residual_stats.steps} "
            f"steps ({source_stats.steps / residual_stats.steps:.1f}x)")
+    bench_record("mini_vm", source_steps=source_stats.steps,
+                 residual_steps=residual_stats.steps)
 
 
-def test_alternating_sum_speedup(benchmark, report, rich_suite):
+def test_alternating_sum_speedup(benchmark, report, rich_suite,
+                                 values_close):
     program = WORKLOADS["alternating_sum"].program()
     inputs = [rich_suite.input(VECTOR, size=SIZE)]
     v = _vector(SIZE)
@@ -71,8 +83,9 @@ def test_alternating_sum_speedup(benchmark, report, rich_suite):
 
     benchmark(lambda: Interpreter(result.program).run(v))
 
-    _, source_stats = run_with_stats(program, v)
-    _, residual_stats = run_with_stats(result.program, v)
+    want, source_stats = run_with_stats(program, v)
+    got, residual_stats = run_with_stats(result.program, v)
+    values_close(want, got)
     assert residual_stats.steps < source_stats.steps
     report(f"alternating_sum size {SIZE}: {source_stats.steps} -> "
            f"{residual_stats.steps} steps "

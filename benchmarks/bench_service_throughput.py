@@ -52,7 +52,7 @@ def corpus_requests() -> list[SpecRequest]:
 
 @pytest.mark.parametrize("workers", [1, 2, 4])
 def test_batch_throughput(benchmark, report, track_service_stats,
-                          workers):
+                          bench_record, workers):
     requests = corpus_requests()
 
     def run():
@@ -71,3 +71,48 @@ def test_batch_throughput(benchmark, report, track_service_stats,
            f"{seconds * 1000:.0f} ms "
            f"({len(requests) / seconds:.1f} req/s), "
            f"{degraded} degraded")
+    bench_record(f"workers_{workers}",
+                 requests=len(requests), degraded=degraded,
+                 seconds=round(seconds, 6),
+                 requests_per_second=round(len(requests) / seconds, 1))
+
+
+def test_batch_throughput_compiled_backend(benchmark, report,
+                                           track_service_stats,
+                                           bench_record):
+    """The compiled variant: every successful residual is additionally
+    lowered to Python and its artifact attached.  The delta against
+    the interp row above is the per-request compilation tax the
+    artifact cache then amortizes across repeat requests."""
+    requests = corpus_requests()
+
+    stats_boxes = []
+
+    def run():
+        with SpecializationService(workers=0, cache_capacity=0,
+                                   backend="compiled") as service:
+            results = service.run_batch(requests)
+        track_service_stats(service.stats)
+        stats_boxes.append(service.backend_stats)
+        return results
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1,
+                                 warmup_rounds=1)
+    degraded = sum(result.degraded for result in results)
+    assert degraded == 0
+    compiled = sum(result.compiled is not None for result in results)
+    assert compiled == len(requests), \
+        "every successful request should carry an artifact"
+    backend = stats_boxes[-1]
+    seconds = benchmark.stats.stats.mean
+    report(f"backend=compiled: {len(requests)} requests in "
+           f"{seconds * 1000:.0f} ms "
+           f"({len(requests) / seconds:.1f} req/s), "
+           f"{backend.compiles} compiles "
+           f"({backend.compile_seconds * 1000:.0f} ms compiling)")
+    bench_record("compiled_backend",
+                 requests=len(requests),
+                 seconds=round(seconds, 6),
+                 requests_per_second=round(len(requests) / seconds, 1),
+                 compiles=backend.compiles,
+                 compile_seconds=round(backend.compile_seconds, 6))

@@ -6,14 +6,26 @@ DESIGN.md's per-experiment index).  Besides timing via
 comparison needs; the ``report`` fixture writes them to the live
 terminal (bypassing capture) so ``pytest benchmarks/ --benchmark-only``
 shows them inline.
+
+Machine-readable artifacts: when ``REPRO_BENCH_JSON_DIR`` is set,
+every benchmark module's recorded rows are written to
+``BENCH_<name>.json`` files in that directory at session end (one
+shared writer; the ``bench_record`` fixture is the per-test recording
+end, and every ``report`` line is captured as well).  This is how the
+CI perf trajectory is fed — see EXPERIMENTS.md.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.facets import (
     FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
+from repro.lang.values import format_value, values_approx_equal
 from repro.observability import (
     CacheStats, ServiceStats, build_report, write_report)
 
@@ -25,6 +37,49 @@ _SUITES: list[FacetSuite] = []
 #: ``track_service_stats`` fixture; merged into the profile report.
 _SERVICE_STATS: list[ServiceStats] = []
 
+#: Env var naming the directory ``BENCH_<name>.json`` artifacts go to;
+#: unset means no artifacts (the usual local run).
+BENCH_JSON_ENV = "REPRO_BENCH_JSON_DIR"
+
+#: Rows recorded this session, keyed by benchmark name (the module
+#: name minus its ``bench_`` prefix) then by row key.
+_BENCH_RECORDS: dict[str, dict[str, object]] = {}
+
+
+def record_bench(bench: str, key: str, payload: object) -> None:
+    """The one shared writer behind ``BENCH_<name>.json``: stage a
+    row; :func:`pytest_sessionfinish` writes the staged rows out when
+    ``REPRO_BENCH_JSON_DIR`` is set."""
+    _BENCH_RECORDS.setdefault(bench, {})[key] = payload
+
+
+def _bench_name(request) -> str:
+    name = request.node.module.__name__.rpartition(".")[2]
+    return name[len("bench_"):] if name.startswith("bench_") else name
+
+
+def _write_bench_artifacts() -> None:
+    destination = os.environ.get(BENCH_JSON_ENV)
+    if not destination or not _BENCH_RECORDS:
+        return
+    directory = Path(destination)
+    directory.mkdir(parents=True, exist_ok=True)
+    for bench, rows in sorted(_BENCH_RECORDS.items()):
+        path = directory / f"BENCH_{bench}.json"
+        path.write_text(
+            json.dumps(rows, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+
+def assert_values_close(want, got, context: str = "") -> None:
+    """The shared approx-equal assertion for benchmark result checks:
+    exact on ints/bools, tolerance-based on floats and vectors (see
+    :func:`repro.lang.values.values_approx_equal`)."""
+    where = f" [{context}]" if context else ""
+    assert values_approx_equal(want, got), \
+        f"values diverge{where}: want {format_value(want)}, " \
+        f"got {format_value(got)}"
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -35,6 +90,7 @@ def pytest_addoption(parser):
 
 
 def pytest_sessionfinish(session, exitstatus):
+    _write_bench_artifacts()
     destination = session.config.getoption("--profile", default=None)
     if destination is None or not (_SUITES or _SERVICE_STATS):
         return
@@ -60,16 +116,40 @@ def _track(suite: FacetSuite) -> FacetSuite:
 
 
 @pytest.fixture
-def report(capsys):
-    """Print experiment rows to the real terminal."""
+def report(capsys, request):
+    """Print experiment rows to the real terminal (and stage them for
+    the ``BENCH_<name>.json`` artifact, so every benchmark emits at
+    least its human-readable rows machine-readably)."""
+    bench = _bench_name(request)
 
     def emit(*lines: str) -> None:
+        staged = _BENCH_RECORDS.setdefault(bench, {})
+        staged.setdefault("report_lines", []).extend(lines)
         with capsys.disabled():
             print()
             for line in lines:
                 print(line)
 
     return emit
+
+
+@pytest.fixture
+def bench_record(request):
+    """Stage structured rows for this module's ``BENCH_<name>.json``:
+    ``bench_record("row_key", metric=value, ...)``."""
+    bench = _bench_name(request)
+
+    def rec(key: str, **payload: object) -> None:
+        record_bench(bench, key, payload)
+
+    return rec
+
+
+@pytest.fixture
+def values_close():
+    """Fixture handle on :func:`assert_values_close` (benchmarks are
+    not a package, so fixtures are how they reach shared helpers)."""
+    return assert_values_close
 
 
 @pytest.fixture

@@ -1,0 +1,195 @@
+"""Shadow-verified execution: compiled and interpreted, side by side.
+
+``shadow`` is the backend you run when you want the compiled engine's
+answer but are not yet ready to trust it: every call runs the residual
+through *both* engines and any divergence raises
+:class:`ShadowMismatch` (a
+:class:`~repro.engine.errors.SpecializationError` — a divergence means
+the backend, not the subject program, is broken).  Comparisons are
+counted in :class:`~repro.observability.backend_stats.BackendStats`,
+which the ``--profile`` report surfaces as ``stats.backend``; the
+acceptance bar is ``mismatches == 0`` across the differential and
+golden suites.
+
+Agreement rules:
+
+* the interpreter runs *first*; if it exhausts its fuel the comparison
+  is inconclusive (the compiled engine has no step counter — running
+  it against a program the oracle could not finish risks divergence,
+  the operational reading of bottom) and the interpreter's
+  :class:`~repro.lang.errors.FuelExhausted` propagates;
+* errors agree when both engines raise the same taxonomy category
+  (:func:`repro.engine.errors.classify`) — message texts are allowed
+  to differ, classes are not;
+* values agree under :func:`repro.lang.values.values_approx_equal`
+  (both engines apply the identical primitive implementations, so
+  floats are in practice bit-equal; the tolerance only guards
+  platform-level libm drift);
+* functional values (the interpreter's closures vs the backend's
+  :class:`~repro.backend.runtime.CompiledClosure`) agree when both
+  sides are functional with the same arity — Figure 1 gives programs
+  no way to observe more of a function than applying it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.backend.emit import CompiledProgram, compile_program
+from repro.backend.runtime import CompiledClosure
+from repro.engine.errors import ReproError, SpecializationError, classify
+from repro.lang.errors import FuelExhausted
+from repro.lang.interp import DEFAULT_FUEL, Closure, FunRef, Interpreter
+from repro.lang.program import Program
+from repro.lang.values import Value, format_value, values_approx_equal
+from repro.observability.backend_stats import BackendStats
+
+#: Execution engines the CLI/service accept.
+BACKENDS = ("interp", "compiled", "shadow")
+
+
+class ShadowMismatch(SpecializationError):
+    """The compiled and interpreted engines disagreed on a residual."""
+
+    def __init__(self, goal: str, args: Sequence[Value],
+                 interp_outcome: str, compiled_outcome: str) -> None:
+        rendered = ", ".join(_render_arg(a) for a in args)
+        super().__init__(
+            f"backend: shadow divergence on {goal}({rendered}): "
+            f"interpreter {interp_outcome}, compiled {compiled_outcome}")
+        self.goal = goal
+        self.interp_outcome = interp_outcome
+        self.compiled_outcome = compiled_outcome
+
+
+def _render_arg(value: object) -> str:
+    try:
+        return format_value(value)
+    except ReproError:
+        return repr(value)
+
+
+def _is_functional(value: object) -> bool:
+    return isinstance(value, (Closure, FunRef, CompiledClosure))
+
+
+def _functional_arity(value: object, program: Program) -> int:
+    if isinstance(value, CompiledClosure):
+        return value.arity
+    if isinstance(value, Closure):
+        return len(value.params)
+    if isinstance(value, FunRef):
+        target = program.functions().get(value.name)
+        return target.arity if target is not None else -1
+    raise TypeError(f"not a functional value: {value!r}")
+
+
+def _agree(interp_value: object, compiled_value: object,
+           program: Program) -> bool:
+    if _is_functional(interp_value) or _is_functional(compiled_value):
+        return (_is_functional(interp_value)
+                and _is_functional(compiled_value)
+                and (_functional_arity(interp_value, program)
+                     == _functional_arity(compiled_value, program)))
+    return values_approx_equal(interp_value, compiled_value)
+
+
+def _describe(error: ReproError | None, value: object,
+              program: Program) -> str:
+    if error is not None:
+        return f"raised {type(error).__name__} ({classify(error)})"
+    if _is_functional(value):
+        arity = _functional_arity(value, program)
+        return f"returned a function of arity {arity}"
+    return f"returned {_render_arg(value)}"
+
+
+def shadow_run(program: Program, args: Sequence[Value], *,
+               compiled: CompiledProgram | None = None,
+               fuel: int = DEFAULT_FUEL,
+               stats: BackendStats | None = None) -> Value:
+    """Run ``program`` through both engines and compare.
+
+    Returns the (verified) value, re-raises the (verified) program
+    error, or raises :class:`ShadowMismatch` on divergence.
+    """
+    if stats is not None:
+        stats.shadow_runs += 1
+
+    interp_error: ReproError | None = None
+    interp_value: object = None
+    try:
+        interp_value = Interpreter(program, fuel=fuel).run(*args)
+    except FuelExhausted:
+        # The oracle could not finish: no verdict, and running the
+        # compiled engine (which has no fuel) could simply not return.
+        if stats is not None:
+            stats.shadow_inconclusive += 1
+        raise
+    except ReproError as exc:
+        interp_error = exc
+
+    if compiled is None:
+        compiled = compile_program(program)
+        if stats is not None:
+            stats.compiles += 1
+
+    compiled_error: ReproError | None = None
+    compiled_value: object = None
+    try:
+        compiled_value = compiled.run(*args)
+        if stats is not None:
+            stats.compiled_runs += 1
+    except FuelExhausted:
+        if stats is not None:
+            stats.shadow_inconclusive += 1
+        raise
+    except ReproError as exc:
+        compiled_error = exc
+
+    if interp_error is not None or compiled_error is not None:
+        agreed = (interp_error is not None
+                  and compiled_error is not None
+                  and classify(interp_error) == classify(compiled_error))
+    else:
+        agreed = _agree(interp_value, compiled_value, program)
+
+    if not agreed:
+        if stats is not None:
+            stats.mismatches += 1
+        raise ShadowMismatch(
+            program.main.name, args,
+            _describe(interp_error, interp_value, program),
+            _describe(compiled_error, compiled_value, program))
+
+    if compiled_error is not None:
+        raise compiled_error
+    return compiled_value
+
+
+def execute_program(program: Program, args: Sequence[Value], *,
+                    backend: str = "interp",
+                    compiled: CompiledProgram | None = None,
+                    fuel: int = DEFAULT_FUEL,
+                    stats: BackendStats | None = None) -> Value:
+    """Run a program's goal function through the chosen engine.
+
+    The one entry point the CLI paths share, so ``--backend`` means
+    the same thing everywhere.
+    """
+    if backend == "interp":
+        return Interpreter(program, fuel=fuel).run(*args)
+    if backend == "compiled":
+        if compiled is None:
+            compiled = compile_program(program)
+            if stats is not None:
+                stats.compiles += 1
+        value = compiled.run(*args)
+        if stats is not None:
+            stats.compiled_runs += 1
+        return value
+    if backend == "shadow":
+        return shadow_run(program, args, compiled=compiled, fuel=fuel,
+                          stats=stats)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -35,7 +35,7 @@ from repro.lang.ast import (
     App, Call, Const, Expr, FunDef, If, Lam, Let, Prim, Var,
     count_occurrences)
 from repro.lang.errors import EvalError, PEError
-from repro.lang.primitives import apply_primitive
+from repro.lang.primitives import apply_primitive, fold_would_blow_up
 from repro.lang.program import Program
 from repro.lang.values import is_value
 from repro.online.config import PEConfig, PEStats, UnfoldStrategy
@@ -195,9 +195,12 @@ class SimplePartialEvaluator:
         self.stats.facet_evaluations += 1
         self.stats.decisions += 1
         if all(isinstance(a, Const) for a in args):
+            values = [a.value for a in args]  # type: ignore[union-attr]
+            if fold_would_blow_up(op, values):
+                self.budget.charge_nodes()
+                return Prim(op, tuple(args))
             try:
-                value = apply_primitive(
-                    op, [a.value for a in args])  # type: ignore[union-attr]
+                value = apply_primitive(op, values)
             except EvalError:
                 self.budget.charge_nodes()
                 return Prim(op, tuple(args))

@@ -3,6 +3,10 @@
 Subcommands:
 
 * ``ppe run FILE ARGS...`` — evaluate a program on literal arguments;
+  ``--backend {interp,compiled,shadow}`` picks the engine (``shadow``
+  runs both and verifies they agree);
+* ``ppe compile FILE`` — lower a program to native Python through
+  :mod:`repro.backend` and print the emitted module;
 * ``ppe specialize FILE SPEC...`` — online PPE; each SPEC is a literal
   (static), ``dyn`` (dynamic), or ``facet=value`` pairs like
   ``size=3`` / ``sign=pos`` (dynamic with facet information);
@@ -33,6 +37,12 @@ Crossing a budget never fails the run: the engine widens at the
 offending call and reports the degradations on stderr.  For ``batch``
 and ``serve`` the flags are service-wide defaults; per-request
 ``config`` entries win.
+
+``batch`` and ``serve`` also accept ``--backend {interp,compiled}``:
+with ``compiled``, each successful residual additionally carries its
+compiled-backend artifact (a ``compiled`` key on the result), cached
+alongside the residual so compilation cost is amortized across
+identical requests.
 """
 
 from __future__ import annotations
@@ -42,6 +52,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.backend.verify import BACKENDS
 from repro.lang.parser import parse_program
 from repro.lang.interp import run_program
 from repro.lang.pretty import pretty_program
@@ -81,6 +92,19 @@ def main(argv: list[str] | None = None) -> int:
     run_cmd = sub.add_parser("run", help="evaluate a program")
     run_cmd.add_argument("file", type=Path)
     run_cmd.add_argument("args", nargs="*")
+    run_cmd.add_argument(
+        "--backend", choices=BACKENDS, default="interp",
+        help="execution engine: the tree-walking interpreter "
+             "(default), natively compiled Python, or 'shadow' "
+             "(both, verified against each other)")
+
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="lower a program to Python via the compiled backend")
+    compile_cmd.add_argument("file", type=Path)
+    compile_cmd.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="write the emitted Python to PATH (default stdout)")
 
     spec_cmds = []
     for name, help_text in (
@@ -144,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
                  "(0 disables; default 256)")
     for cmd in (batch_cmd, serve_cmd):
         _add_budget_flags(cmd)
+        cmd.add_argument(
+            "--backend", choices=("interp", "compiled"),
+            default="interp",
+            help="with 'compiled', successful residuals additionally "
+                 "carry their compiled-backend artifact (cached "
+                 "alongside the residual)")
     batch_cmd.add_argument(
         "--output", type=Path, default=None, metavar="PATH",
         help="write the JSON results array to PATH (default stdout)")
@@ -175,9 +205,33 @@ def main(argv: list[str] | None = None) -> int:
         program = parse_program(options.file.read_text())
 
     if options.command == "run":
-        result = run_program(program,
-                             *[_parse_value(a) for a in options.args])
+        arguments = [_parse_value(a) for a in options.args]
+        if options.backend == "interp":
+            result = run_program(program, *arguments)
+        else:
+            from repro.backend import execute_program
+            from repro.observability import BackendStats
+            backend_stats = BackendStats()
+            result = execute_program(program, arguments,
+                                     backend=options.backend,
+                                     stats=backend_stats)
+            if options.backend == "shadow":
+                print(f"; shadow: {backend_stats.shadow_runs} "
+                      f"comparison(s), "
+                      f"{backend_stats.mismatches} mismatch(es)",
+                      file=sys.stderr)
         print(result)
+        return 0
+
+    if options.command == "compile":
+        from repro.backend import compile_program
+        compiled = compile_program(program)
+        if options.output is not None:
+            options.output.write_text(compiled.python_source)
+        else:
+            print(compiled.python_source, end="")
+        print(f"; fingerprint: {compiled.fingerprint}",
+              file=sys.stderr)
         return 0
 
     suite = _default_suite()
@@ -274,10 +328,12 @@ def _run_batch(options: argparse.Namespace) -> int:
     with SpecializationService(
             workers=options.workers, cache_capacity=options.cache_size,
             default_deadline=options.deadline,
-            default_config=_budget_overrides(options)) as service:
+            default_config=_budget_overrides(options),
+            backend=options.backend) as service:
         with timer.phase("batch"):
             results = service.run_batch(requests)
         stats = service.stats
+        backend_stats = service.backend_stats
 
     payload = json.dumps([result.to_dict() for result in results],
                          indent=2, sort_keys=True)
@@ -293,7 +349,9 @@ def _run_batch(options: argparse.Namespace) -> int:
     if options.profile is not None:
         report = build_report(
             command=f"ppe batch {options.manifest}", timer=timer,
-            service_stats=stats)
+            service_stats=stats,
+            backend_stats=(backend_stats
+                           if options.backend == "compiled" else None))
         try:
             write_report(report, options.profile)
         except OSError as error:
@@ -308,7 +366,8 @@ def _run_serve(options: argparse.Namespace) -> int:
     with SpecializationService(
             workers=options.workers, cache_capacity=options.cache_size,
             default_deadline=options.deadline,
-            default_config=_budget_overrides(options)) as service:
+            default_config=_budget_overrides(options),
+            backend=options.backend) as service:
         code = serve(service, sys.stdin, sys.stdout)
     try:
         sys.stdout.flush()

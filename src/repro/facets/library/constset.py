@@ -30,7 +30,7 @@ from typing import Iterable
 
 from repro.lang.errors import EvalError
 from repro.lang.primitives import PrimSig, apply_primitive, \
-    primitives_for_carrier
+    fold_would_blow_up, primitives_for_carrier
 from repro.lang.values import INT, Value
 from repro.lattice.core import AbstractValue, Lattice
 from repro.lattice.pevalue import PEValue
@@ -154,6 +154,8 @@ class ConstSetFacet(Facet):
                 return self.domain.top
             results = []
             for combo in combos:
+                if fold_would_blow_up(prim, combo):
+                    return self.domain.top
                 try:
                     results.append(apply_primitive(prim, list(combo)))
                 except EvalError:
@@ -173,6 +175,8 @@ class ConstSetFacet(Facet):
                 return PEValue.top()
             answers = set()
             for combo in combos:
+                if fold_would_blow_up(prim, combo):
+                    return PEValue.top()
                 try:
                     answers.add(apply_primitive(prim, list(combo)))
                 except EvalError:

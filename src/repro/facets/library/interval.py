@@ -163,6 +163,20 @@ def _add(a: int | None, b: int | None) -> int | None:
     return None if a is None or b is None else a + b
 
 
+#: Product bounds past this bit length widen to ±∞ (``None``).  Under
+#: repeated squaring (``(* x x)`` in a specialized loop) the bound's
+#: *bit length* doubles on every multiplication, so after a few dozen
+#: PE steps a single ``x * y`` outgrows any time budget — and the step
+#: meter can only interrupt *between* facet operations, not inside
+#: one.  Widening is always sound for intervals; 512 bits is far above
+#: anything a workload computes deliberately.
+_WIDEN_BITS = 512
+
+
+def _widen_huge(bound: int) -> int | None:
+    return None if bound.bit_length() > _WIDEN_BITS else bound
+
+
 class IntervalFacet(Facet):
     """Range information for the ``int`` algebra."""
 
@@ -180,7 +194,8 @@ class IntervalFacet(Facet):
                     if x is None or y is None:
                         return FULL
                     corners.append(x * y)
-            return Interval(min(corners), max(corners))
+            return Interval(_widen_huge(min(corners)),
+                            _widen_huge(max(corners)))
 
         def add(a: Interval, b: Interval) -> AbstractValue:
             return Interval(_add(a.lo, b.lo), _add(a.hi, b.hi))

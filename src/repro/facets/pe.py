@@ -25,7 +25,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.lang.errors import EvalError
-from repro.lang.primitives import PrimSig, apply_primitive
+from repro.lang.primitives import PrimSig, apply_primitive, \
+    fold_would_blow_up
 from repro.lattice.pevalue import PE_LATTICE, PEValue
 
 
@@ -46,9 +47,11 @@ class PartialEvaluationFacet:
         if any(arg.is_bottom for arg in args):
             return PEValue.bottom()
         if all(arg.is_const for arg in args):
+            consts = [a.constant() for a in args]
+            if fold_would_blow_up(prim, consts):
+                return PEValue.top()
             try:
-                return PEValue.const(
-                    apply_primitive(prim, [a.constant() for a in args]))
+                return PEValue.const(apply_primitive(prim, consts))
             except EvalError:
                 return PEValue.top()
         return PEValue.top()

@@ -263,6 +263,30 @@ def apply_primitive(name: str, args: Sequence[Value]) -> Value:
     return prim.fn(*args)
 
 
+#: Constant folding refuses ``*`` once an operand crosses this bit
+#: length.  Multiplication doubles bit length, so a specialized
+#: squaring loop (``(* x x)`` with a static ``x``, unfolded a few
+#: dozen times) builds integers too large for a *single* ``x * y`` to
+#: finish within any budget — and the step meter can only interrupt
+#: between operations, never inside one.  512 bits (~10^154) is far
+#: beyond anything a workload computes deliberately.
+FOLD_MAGNITUDE_BITS = 512
+
+
+def fold_would_blow_up(name: str, args: Sequence[Value]) -> bool:
+    """True when folding ``name`` over constant ``args`` would grow
+    integer magnitudes without bound under repeated folding.  Folding
+    sites residualize the operation instead; run-time semantics are
+    unchanged — the residual still computes the exact value if
+    execution ever reaches it (mirroring how folds that *raise* are
+    kept residual rather than folded into an error)."""
+    if name != "*":
+        return False
+    return any(isinstance(arg, int) and not isinstance(arg, bool)
+               and arg.bit_length() > FOLD_MAGNITUDE_BITS
+               for arg in args)
+
+
 def primitives_for_carrier(carrier: str) -> list[tuple[str, PrimSig]]:
     """All (name, signature) instances whose algebra is ``carrier``."""
     result = []

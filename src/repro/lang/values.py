@@ -13,6 +13,7 @@ models reading from the "empty vector" ``MkVec`` creates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Union
 
@@ -118,6 +119,48 @@ def values_equal(left: Value, right: Value) -> bool:
     of the specializers conflate distinct constants.
     """
     return sort_of(left) == sort_of(right) and left == right
+
+
+#: Tolerances of :func:`values_approx_equal`.  Loose enough to absorb
+#: re-association introduced by specialization (constant folding can
+#: evaluate ``a + b + c`` in a different order than the residual does),
+#: tight enough that a genuinely wrong result never slips through.
+APPROX_REL_TOL = 1e-9
+APPROX_ABS_TOL = 1e-12
+
+
+def values_approx_equal(left: Value, right: Value,
+                        rel_tol: float = APPROX_REL_TOL,
+                        abs_tol: float = APPROX_ABS_TOL) -> bool:
+    """Like :func:`values_equal` but tolerant on floats.
+
+    Sorts must still match exactly (``1`` never equals ``1.0``); ints
+    and booleans compare exactly; floats compare with ``math.isclose``
+    (NaN equals NaN — two engines both producing NaN agree); vectors
+    compare elementwise with holes only equal to holes.  This is the
+    one approx-equal helper the differential tests and benchmarks
+    share, so every ``want == got`` on float-bearing results uses the
+    same tolerance.
+    """
+    if sort_of(left) != sort_of(right):
+        return False
+    if isinstance(left, Vector):
+        if len(left.items) != len(right.items):
+            return False
+        return all(
+            (a is None) == (b is None)
+            and (a is None or _floats_close(a, b, rel_tol, abs_tol))
+            for a, b in zip(left.items, right.items))
+    if isinstance(left, float):
+        return _floats_close(left, right, rel_tol, abs_tol)
+    return left == right
+
+
+def _floats_close(left: float, right: float,
+                  rel_tol: float, abs_tol: float) -> bool:
+    if math.isnan(left) or math.isnan(right):
+        return math.isnan(left) and math.isnan(right)
+    return math.isclose(left, right, rel_tol=rel_tol, abs_tol=abs_tol)
 
 
 def format_value(value: Value) -> str:

@@ -10,6 +10,8 @@ of :class:`repro.facets.vector.FacetSuite` save — measurable:
 * :class:`CacheStats` — hit/miss counters of the facet-suite caches;
 * :class:`ServiceStats` — batch-service counters (cross-request cache
   traffic, retries, timeouts, degradations) behind ``repro.service``;
+* :class:`BackendStats` — compiled-backend counters (compiles, shadow
+  comparisons, mismatches) behind ``repro.backend``;
 * :class:`PhaseTimer` — wall-clock accounting per phase (parse /
   analyze / specialize / simplify);
 * :func:`build_report` / :func:`write_report` — the JSON profile the
@@ -22,6 +24,7 @@ accounting (pinned by ``tests/observability/``).  Cache effectiveness
 is reported separately through :class:`CacheStats`.
 """
 
+from repro.observability.backend_stats import BackendStats
 from repro.observability.cache_stats import CacheStats
 from repro.observability.service_stats import ServiceStats
 from repro.observability.stats import PEStats
@@ -29,6 +32,6 @@ from repro.observability.timers import PhaseTimer
 from repro.observability.profile import build_report, write_report
 
 __all__ = [
-    "CacheStats", "PEStats", "PhaseTimer", "ServiceStats",
-    "build_report", "write_report",
+    "BackendStats", "CacheStats", "PEStats", "PhaseTimer",
+    "ServiceStats", "build_report", "write_report",
 ]

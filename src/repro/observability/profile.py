@@ -12,6 +12,7 @@ import json
 import sys
 from typing import Any, TextIO
 
+from repro.observability.backend_stats import BackendStats
 from repro.observability.cache_stats import CacheStats
 from repro.observability.service_stats import ServiceStats
 from repro.observability.stats import PEStats
@@ -26,6 +27,7 @@ def build_report(*, command: str | None = None,
                  stats: PEStats | None = None,
                  cache_stats: CacheStats | None = None,
                  service_stats: ServiceStats | None = None,
+                 backend_stats: BackendStats | None = None,
                  extra: dict[str, Any] | None = None) -> dict:
     """Assemble the JSON-ready profile document."""
     report: dict[str, Any] = {"version": REPORT_VERSION}
@@ -36,6 +38,8 @@ def build_report(*, command: str | None = None,
         report["total_seconds"] = round(timer.total(), 6)
     if stats is not None:
         report["stats"] = stats.as_dict()
+    if backend_stats is not None:
+        report.setdefault("stats", {})["backend"] = backend_stats.as_dict()
     if cache_stats is not None:
         report["caches"] = cache_stats.as_dict()
     if service_stats is not None:

@@ -34,7 +34,7 @@ from typing import Callable, Sequence
 from repro.lang.ast import (
     Call, Const, Expr, FunDef, If, Let, Prim, Var, count_occurrences)
 from repro.lang.errors import EvalError, PEError
-from repro.lang.primitives import apply_primitive
+from repro.lang.primitives import apply_primitive, fold_would_blow_up
 from repro.lang.program import Program
 from repro.lang.values import Value, is_value
 from repro.lattice.pevalue import PEValue
@@ -204,6 +204,9 @@ class GeneratingExtension:
                         return self._residual_prim_now(
                             op, residual, fn, ctx)
                     values.append(arg_expr.value)
+                if fold_would_blow_up(op, values):
+                    return self._residual_prim_now(op, residual, fn,
+                                                   ctx)
                 try:
                     value = apply_primitive(op, values)
                 except EvalError:

@@ -52,7 +52,7 @@ from repro.engine.trampoline import run_trampoline
 from repro.lang.ast import (
     Call, Const, Expr, FunDef, If, Let, Prim, Var, count_occurrences)
 from repro.lang.errors import EvalError, PEError
-from repro.lang.primitives import apply_primitive
+from repro.lang.primitives import apply_primitive, fold_would_blow_up
 from repro.lang.program import Program
 from repro.lang.values import Value, is_value
 from repro.lattice.pevalue import PEValue
@@ -226,10 +226,13 @@ class OfflineSpecializer:
 
         if action == FOLD:
             if all(isinstance(a, Const) for a in residual_args):
+                values = [
+                    a.value for a in residual_args]  # type: ignore[union-attr]
+                if fold_would_blow_up(expr.op, values):
+                    return self._residual_prim(expr.op, residual_args,
+                                               vectors, fn)
                 try:
-                    value = apply_primitive(
-                        expr.op,
-                        [a.value for a in residual_args])  # type: ignore[union-attr]
+                    value = apply_primitive(expr.op, values)
                 except EvalError:
                     return self._residual_prim(expr.op, residual_args,
                                                vectors, fn)

@@ -195,9 +195,15 @@ class SpecResult:
     stats: Mapping[str, Any] = field(default_factory=dict)
     #: Worker-side wall-clock seconds.
     seconds: float = 0.0
+    #: Compiled-backend artifact
+    #: (:meth:`repro.backend.emit.CompiledProgram.artifact`) when the
+    #: service runs with ``backend="compiled"``; ``None`` otherwise.
+    #: Rides the cross-request cache with the result, so compilation
+    #: cost is amortized across identical requests.
+    compiled: Mapping[str, Any] | None = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "id": self.id, "engine": self.engine,
             "residual": self.residual,
             "goal_params": list(self.goal_params),
@@ -206,6 +212,11 @@ class SpecResult:
             "stats": dict(self.stats),
             "seconds": round(self.seconds, 6),
         }
+        # Only present with the compiled backend, so interp-backend
+        # output stays byte-identical to the artifact-less format.
+        if self.compiled is not None:
+            payload["compiled"] = dict(self.compiled)
+        return payload
 
     def for_request(self, request: SpecRequest,
                     cached: bool = False) -> "SpecResult":

@@ -49,7 +49,14 @@ pool and no hard deadline kills (the cooperative engine budget still
 applies), same cache/retry/degrade accounting — the mode the
 determinism tests and the ``serve`` loop's tests use.
 
-Every step reports into :class:`~repro.observability.ServiceStats`.
+With ``backend="compiled"`` every successful residual is additionally
+lowered through :mod:`repro.backend` and its compiled artifact stored
+on the result (and therefore in the cross-request cache, amortizing
+compilation across identical requests); compilation is best-effort and
+never fails a request.
+
+Every step reports into :class:`~repro.observability.ServiceStats`;
+backend work into :class:`~repro.observability.BackendStats`.
 """
 
 from __future__ import annotations
@@ -64,6 +71,7 @@ from typing import Callable, Sequence
 from repro.baselines.simple_pe import DYN, specialize_simple
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
+from repro.observability.backend_stats import BackendStats
 from repro.observability.service_stats import ServiceStats
 from repro.online.config import PEConfig, UnfoldStrategy
 from repro.service.cache import ResidualCache
@@ -96,9 +104,14 @@ class SpecializationService:
                  default_deadline: float | None = None,
                  deadline_budget_fraction: float | None = 0.8,
                  default_config: dict | None = None,
+                 backend: str = "interp",
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if backend not in ("interp", "compiled"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'interp' or "
+                f"'compiled'")
         if max_attempts < 1:
             raise ValueError(
                 f"max_attempts must be >= 1, got {max_attempts}")
@@ -116,7 +129,12 @@ class SpecializationService:
         #: Service-wide PEConfig defaults (e.g. budget caps from the
         #: CLI); a request's own config always wins.
         self.default_config = dict(default_config or {})
+        #: ``interp`` (residuals as text only) or ``compiled``
+        #: (successful residuals additionally carry the compiled
+        #: artifact of :mod:`repro.backend`, cached alongside them).
+        self.backend = backend
         self.stats = ServiceStats()
+        self.backend_stats = BackendStats()
         self.cache = ResidualCache(cache_capacity, self.stats)
         self._sleep = sleep
         self._pool: ProcessPoolExecutor | None = None
@@ -138,6 +156,8 @@ class SpecializationService:
             hit = self.cache.get(key)
             if hit is not None:
                 self.stats.completed += 1
+                if hit.compiled is not None:
+                    self.backend_stats.artifact_reuses += 1
                 results[index] = hit.for_request(request, cached=True)
             else:
                 jobs.append(_Job(index, request, key))
@@ -224,6 +244,8 @@ class SpecializationService:
                 if hit is not None:
                     self.stats.cache_hits += 1
                     self.stats.completed += 1
+                    if hit.compiled is not None:
+                        self.backend_stats.artifact_reuses += 1
                     results[job.index] = hit.for_request(
                         job.request, cached=True)
                 else:
@@ -312,7 +334,8 @@ class SpecializationService:
             goal_params=tuple(outcome.get("goal_params", ())),
             engine=job.request.engine, id=job.request.id,
             attempts=job.attempts, stats=outcome.get("stats", {}),
-            seconds=outcome.get("seconds", 0.0))
+            seconds=outcome.get("seconds", 0.0),
+            compiled=self._compile_residual(outcome["residual"]))
         self.stats.completed += 1
         budget = (outcome.get("stats") or {}).get("budget") or {}
         if budget.get("degradations"):
@@ -325,6 +348,25 @@ class SpecializationService:
             return result
         self.cache.put(job.key, result)
         return result
+
+    def _compile_residual(self, residual: str) -> dict | None:
+        """With ``backend="compiled"``, the artifact stored alongside a
+        successful residual (and with it, in the cross-request cache).
+        Never fails the request: a residual the backend cannot compile
+        (e.g. nested past CPython's parser limits) just ships without
+        an artifact."""
+        if self.backend != "compiled":
+            return None
+        from repro.backend import compile_program
+        started = monotonic()
+        try:
+            artifact = compile_program(
+                parse_program(residual)).artifact()
+        except Exception:  # noqa: BLE001 — artifact is best-effort
+            return None
+        self.backend_stats.compiles += 1
+        self.backend_stats.compile_seconds += monotonic() - started
+        return artifact
 
     def _degrade(self, job: _Job, reason: str) -> SpecResult:
         """Graceful degradation: the trivially-residual program, or —

@@ -26,7 +26,7 @@ from repro.lang.ast import (
     App, Call, Const, Expr, If, Lam, Let, Prim, Var, count_occurrences,
     substitute)
 from repro.lang.errors import EvalError
-from repro.lang.primitives import apply_primitive
+from repro.lang.primitives import apply_primitive, fold_would_blow_up
 from repro.lang.program import Program
 from repro.lang.values import values_equal
 
@@ -119,9 +119,11 @@ def _const(expr: Expr, value) -> bool:
 def _rewrite_prim(expr: Prim, config: SimplifyConfig) -> Expr:
     args = expr.args
     if config.fold_constants and all(isinstance(a, Const) for a in args):
+        values = [a.value for a in args]  # type: ignore[union-attr]
+        if fold_would_blow_up(expr.op, values):
+            return expr
         try:
-            return Const(apply_primitive(
-                expr.op, [a.value for a in args]))  # type: ignore[union-attr]
+            return Const(apply_primitive(expr.op, values))
         except EvalError:
             return expr
 

@@ -1,0 +1,6 @@
+# Python residual emitted by repro.backend (PPE compiled backend).
+# goal: altsum/1
+
+
+def _f_altsum(_v_V):
+    return _p_add(_p_vref(_v_V, 4), _p_sub(_p_add(_p_vref(_v_V, 2), _p_sub(0.0, _p_vref(_v_V, 1))), _p_vref(_v_V, 3)))

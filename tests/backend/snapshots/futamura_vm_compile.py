@@ -1,0 +1,6 @@
+# Python residual emitted by repro.backend (PPE compiled backend).
+# goal: run/1
+
+
+def _f_run(_v_x):
+    return _p_mul(_p_add(_v_x, 10.0), 3.0)

@@ -1,0 +1,6 @@
+# Python residual emitted by repro.backend (PPE compiled backend).
+# goal: gcd/0
+
+
+def _f_gcd():
+    return 6

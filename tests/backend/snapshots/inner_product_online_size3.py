@@ -1,0 +1,6 @@
+# Python residual emitted by repro.backend (PPE compiled backend).
+# goal: iprod/2
+
+
+def _f_iprod(_v_A, _v_B):
+    return _p_add(_p_mul(_p_vref(_v_A, 3), _p_vref(_v_B, 3)), _p_add(_p_mul(_p_vref(_v_A, 2), _p_vref(_v_B, 2)), _p_mul(_p_vref(_v_A, 1), _p_vref(_v_B, 1))))

@@ -1,0 +1,14 @@
+# Python residual emitted by repro.backend (PPE compiled backend).
+# goal: power/1
+
+
+def _f_power(_v_x):
+    return _f_square_2(_p_mul(_v_x, _f_square_2(_f_square_1(_v_x))))
+
+
+def _f_square_1(_v_y):
+    return _p_mul(_v_y, _v_y)
+
+
+def _f_square_2(_v_y):
+    return _p_mul(_v_y, _v_y)

@@ -1,0 +1,24 @@
+# Python residual emitted by repro.backend (PPE compiled backend).
+# goal: normalize/2
+
+
+def _f_normalize(_v_x, _v_scale):
+    _t1 = _p_gt(_v_x, _v_scale)
+    if _t1 is True:
+        return _f_shrink_1(_p_sub(_v_x, _v_scale), _v_scale)
+    elif _t1 is False:
+        return _v_x
+    else:
+        _rt_bad_test(_t1)
+
+
+def _f_shrink_1(_v_x, _v_scale):
+    while True:
+        _t1 = _p_gt(_v_x, _v_scale)
+        if _t1 is True:
+            _v_x, _v_scale = _p_sub(_v_x, _v_scale), _v_scale
+            continue
+        elif _t1 is False:
+            return _v_x
+        else:
+            _rt_bad_test(_t1)

@@ -1,0 +1,148 @@
+"""Differential property: the compiled backend against the oracle.
+
+The acceptance bar for the backend is *zero shadow mismatches*: for
+random programs and random static/dynamic divisions,
+
+* the compiled source program agrees with the interpreted source
+  program (value or error, per :func:`repro.backend.verify.shadow_run`
+  — which raises :class:`ShadowMismatch` on any divergence), and
+* every engine's residual, compiled, agrees with the *interpreted
+  residual* and with the interpreted *source* — the three-way equality
+  the speedup claims rest on.
+
+Fuel exhaustion on the interpreter side is inconclusive (the compiled
+engine has no step counter), so those runs end without a verdict —
+exactly the shadow-mode contract.  Budgets scale with
+``REPRO_HYPOTHESIS_PROFILE`` like the rest of the hypothesis suites.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import scaled_examples
+
+from repro.backend import compile_program, shadow_run
+from repro.baselines.simple_pe import DYN, specialize_simple
+from repro.engine.errors import ReproError
+from repro.facets import FacetSuite, ParityFacet, SignFacet
+from repro.lang.errors import FuelExhausted, PEError
+from repro.lang.interp import run_program
+from repro.lang.values import INT, values_approx_equal
+from repro.online import PEConfig, specialize_online
+from repro.workloads.generator import GenConfig, generate_program
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+ARGS = st.integers(min_value=-6, max_value=8)
+MASKS = st.integers(min_value=0, max_value=15)
+GEN = GenConfig(functions=3, max_depth=3)
+PE_CONFIG = PEConfig(unfold_fuel=12, max_variants=4, fuel=2_000_000)
+FUEL = 2_000_000
+
+
+def _tolerated(error: PEError) -> bool:
+    return ("exceeded" in str(error)
+            or "generalized division" in str(error))
+
+
+def _split(pool, mask, arity):
+    args = pool[:arity]
+    dynamic_positions = {i for i in range(arity) if mask & (1 << i)}
+    dynamic_args = [v for i, v in enumerate(args)
+                    if i in dynamic_positions]
+    return args, dynamic_positions, dynamic_args
+
+
+class TestCompiledSourceAgainstInterpreter:
+    @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
+    @settings(max_examples=scaled_examples(60), deadline=None)
+    def test_shadow_run_never_diverges(self, seed, pool):
+        program = generate_program(seed, GEN)
+        args = pool[:program.main.arity]
+        try:
+            # ShadowMismatch is a SpecializationError, not a LangError,
+            # so a divergence escapes this except and fails the test.
+            shadow_run(program, args, fuel=FUEL)
+        except FuelExhausted:
+            return  # inconclusive: the oracle could not finish
+        except PEError as error:
+            assert _tolerated(error), error
+        except ReproError as error:
+            from repro.engine.errors import ProgramError
+            assert isinstance(error, ProgramError), error
+
+
+class TestCompiledResidualAgainstSource:
+    @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4), MASKS)
+    @settings(max_examples=scaled_examples(40), deadline=None)
+    def test_compiled_residuals_agree_with_source(self, seed, pool,
+                                                  mask):
+        program = generate_program(seed, GEN)
+        args, dynamic_positions, dynamic_args = _split(
+            pool, mask, program.main.arity)
+        try:
+            expected = run_program(program, *args, fuel=FUEL)
+        except FuelExhausted:
+            return
+        except ReproError:
+            return  # the source itself faults; parity is covered above
+
+        suite = FacetSuite([SignFacet(), ParityFacet()])
+        simple_division = [
+            DYN if i in dynamic_positions else value
+            for i, value in enumerate(args)]
+        online_inputs = [
+            suite.input(INT) if i in dynamic_positions else value
+            for i, value in enumerate(args)]
+
+        residuals = {}
+        try:
+            residuals["simple"] = specialize_simple(
+                program, simple_division, PE_CONFIG).program
+            residuals["online"] = specialize_online(
+                program, online_inputs, suite, PE_CONFIG).program
+        except PEError as error:
+            assert _tolerated(error), error
+            return
+
+        for engine, residual in residuals.items():
+            try:
+                # Interpreted residual vs compiled residual, verified
+                # in one step by the shadow runner.
+                got = shadow_run(residual, dynamic_args, fuel=FUEL)
+            except FuelExhausted:
+                continue
+            assert values_approx_equal(got, expected), \
+                f"compiled {engine} residual disagrees with the source"
+
+
+class TestArtifactDifferential:
+    @given(SEEDS, st.lists(ARGS, min_size=4, max_size=4))
+    @settings(max_examples=scaled_examples(20), deadline=None)
+    def test_artifact_round_trip_preserves_semantics(self, seed, pool):
+        from repro.backend import compile_artifact
+        program = generate_program(seed, GEN)
+        args = pool[:program.main.arity]
+        try:
+            # Termination oracle first: the compiled engine has no
+            # fuel, so only run it on programs the interpreter can
+            # finish (tail loops would otherwise spin forever).
+            run_program(program, *args, fuel=FUEL)
+        except FuelExhausted:
+            return
+        except ReproError:
+            pass
+
+        def outcome(thunk):
+            try:
+                return ("value", thunk())
+            except FuelExhausted:
+                return ("fuel",)
+            except ReproError as exc:
+                return ("error", type(exc).__name__, str(exc))
+
+        direct = outcome(lambda: compile_program(program).run(*args))
+        rebuilt = outcome(lambda: compile_artifact(
+            compile_program(program).artifact()).run(*args))
+        assert direct == rebuilt

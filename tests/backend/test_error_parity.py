@@ -1,0 +1,138 @@
+"""Error parity between the interpreter and the compiled backend.
+
+The compiled backend claims to implement *exactly* the standard
+semantics of Figure 1, and errors are part of the semantics: a program
+that divides by zero, applies a closure at the wrong arity or reads an
+unbound variable must fail with the same
+:class:`~repro.engine.errors.ReproError` subclass from both engines.
+These tests pin the exception class *and* the message text — the
+messages are produced by the shared primitive table and the runtime
+bridge, so drift in either is a bug.
+
+The unbound-variable / unknown-function / wrong-arity-call programs
+cannot be written as source text (the parser rejects them statically),
+so those are built directly from AST nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import compile_program
+from repro.engine.errors import ReproError, classify
+from repro.lang.ast import Call, Const, FunDef, Var
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.lang.program import Program
+from repro.lang.values import Vector
+
+
+def _outcome(thunk):
+    try:
+        return ("value", thunk())
+    except ReproError as exc:
+        return ("error", type(exc), str(exc), classify(exc))
+
+
+def assert_parity(program: Program, args: tuple) -> None:
+    interp = _outcome(lambda: Interpreter(program).run(*args))
+    compiled = _outcome(lambda: compile_program(program).run(*args))
+    assert interp == compiled, (
+        f"engines diverge on {program.main.name}{args!r}:\n"
+        f"  interp:   {interp}\n  compiled: {compiled}")
+    assert interp[0] == "error", \
+        f"expected a program error, got {interp!r}"
+
+
+class TestPrimitiveFaults:
+    def test_division_by_zero(self):
+        program = parse_program("(define (f x) (/ x 0))")
+        assert_parity(program, (1,))
+
+    def test_float_division_by_zero(self):
+        program = parse_program("(define (f x) (/ x 0.0))")
+        assert_parity(program, (2.5,))
+
+    def test_vector_index_out_of_range(self):
+        program = parse_program("(define (f v) (vref v 5))")
+        assert_parity(program, (Vector((1, 2, 3)),))
+
+    def test_non_boolean_if_test(self):
+        program = parse_program("(define (f x) (if x 1 2))")
+        assert_parity(program, (1,))
+
+
+class TestApplicationFaults:
+    def test_closure_applied_at_wrong_arity(self):
+        program = parse_program(
+            "(define (f x) (let ((g (lambda (a b) a))) (g x)))")
+        assert_parity(program, (7,))
+
+    def test_applying_a_non_function(self):
+        program = parse_program("(define (f x) (x 1))")
+        assert_parity(program, (3,))
+
+    def test_funref_applied_at_wrong_arity(self):
+        program = parse_program("""
+            (define (f x) (let ((g h)) (g x x)))
+            (define (h y) y)
+        """)
+        assert_parity(program, (4,))
+
+
+class TestUnboundAndUnknown:
+    """Statically-invalid shapes the parser refuses, built as ASTs."""
+
+    def test_unbound_variable(self):
+        program = Program.of([FunDef("f", ("x",), Var("y"))])
+        assert_parity(program, (1,))
+
+    def test_call_to_unknown_function(self):
+        program = Program.of([
+            FunDef("f", ("x",), Call("g", (Var("x"),)))])
+        assert_parity(program, (1,))
+
+    def test_call_at_wrong_arity(self):
+        program = Program.of([
+            FunDef("f", ("x",), Call("h", (Var("x"), Var("x")))),
+            FunDef("h", ("a",), Var("a")),
+        ])
+        assert_parity(program, (1,))
+
+    def test_arguments_evaluated_before_arity_check(self):
+        # The interpreter evaluates call arguments before checking the
+        # callee's arity, so a faulting argument wins; lowering must
+        # preserve that order.
+        program = Program.of([
+            FunDef("f", ("x",),
+                   Call("h", (Call("g", (Var("x"),)), Const(1)))),
+            FunDef("h", ("a",), Var("a")),
+        ])
+        assert_parity(program, (1,))
+
+
+class TestEntryPointFaults:
+    def test_goal_called_at_wrong_arity(self):
+        program = parse_program("(define (f x y) (+ x y))")
+        interp = _outcome(lambda: Interpreter(program).run(1))
+        compiled = _outcome(lambda: compile_program(program).run(1))
+        assert interp == compiled
+        assert interp[0] == "error"
+
+    def test_unknown_entry_point(self):
+        program = parse_program("(define (f x) x)")
+        interp = _outcome(lambda: Interpreter(program).call("g", [1]))
+        compiled = _outcome(
+            lambda: compile_program(program).call("g", [1]))
+        assert interp == compiled
+        assert interp[0] == "error"
+
+
+@pytest.mark.parametrize("source, args", [
+    ("(define (f x) (+ x true))", (1,)),
+    ("(define (f x) (vref x 1))", (5,)),
+    ("(define (f x) (vsize x))", (5,)),
+    ("(define (f x) (vref x 0)) ", (Vector((1.0, 2.0)),)),
+])
+def test_assorted_primitive_type_errors(source, args):
+    assert_parity(parse_program(source), args)

@@ -1,0 +1,92 @@
+"""Golden snapshots of the Python the backend emits.
+
+The lowering tests check *behaviour*; these pin the *text* so codegen
+changes are reviewed as diffs, exactly like the residual snapshots in
+``tests/golden``.  The cases are a subset of the residual golden
+cases — we specialize the same workloads through the service worker,
+then lower the residual and snapshot the emitted module.
+
+Regenerate with ``pytest --update-golden`` (the shared option from the
+root conftest).  The hypothesis differential suite, not these
+snapshots, is what guarantees the emitted code *means* the same thing;
+a snapshot diff is a prompt for review, not a verdict.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.backend import compile_program, lower_program
+from repro.lang.parser import parse_program
+from repro.service.worker import execute_request
+
+from tests.golden.test_golden_residuals import CASES
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+
+#: Residual-golden cases worth pinning at the Python level: they cover
+#: straight-line arithmetic, pruned branches, loops from tail
+#: recursion, a trampolined residual and higher-order closures.
+EMITTED_CASE_NAMES = (
+    "quickstart_power_n10",
+    "inner_product_online_size3",
+    "sign_pipeline_pos",
+    "futamura_vm_compile",
+    "gcd_fully_static",
+    "binary_search_size7",
+    "ho_pipeline_size3",
+    "alternating_sum_size4",
+)
+
+EMITTED_CASES = [case for case in CASES
+                 if case.name in EMITTED_CASE_NAMES]
+
+
+def test_emitted_case_names_resolve():
+    assert len(EMITTED_CASES) == len(EMITTED_CASE_NAMES)
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+@pytest.mark.parametrize("case", EMITTED_CASES,
+                         ids=lambda case: case.name)
+def test_emitted_python_matches_snapshot(case, update_golden):
+    outcome = execute_request(case.payload())
+    assert not outcome.get("failed"), outcome.get("error")
+    residual = parse_program(outcome["residual"])
+    text = lower_program(residual).source
+    if not text.endswith("\n"):
+        text += "\n"
+    path = SNAPSHOT_DIR / f"{case.name}.py"
+    if update_golden:
+        SNAPSHOT_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    assert path.exists(), \
+        f"missing snapshot {path.name}; run pytest --update-golden"
+    expected = path.read_text(encoding="utf-8")
+    assert text == expected, \
+        f"emitted Python for {case.name} drifted from its snapshot"
+
+
+@pytest.mark.parametrize("case", EMITTED_CASES,
+                         ids=lambda case: case.name)
+def test_emitted_python_compiles(case):
+    """Every snapshot case must also survive the full compile path —
+    a snapshot of code that no longer executes would be worse than no
+    snapshot."""
+    outcome = execute_request(case.payload())
+    assert not outcome.get("failed"), outcome.get("error")
+    unit = compile_program(parse_program(outcome["residual"]))
+    assert unit.fingerprint
+
+
+def test_no_orphan_snapshots():
+    known = {f"{name}.py" for name in EMITTED_CASE_NAMES}
+    on_disk = {path.name for path in SNAPSHOT_DIR.glob("*.py")}
+    assert on_disk <= known, f"orphans: {sorted(on_disk - known)}"

@@ -1,0 +1,133 @@
+"""Shadow-verified execution: agreement, divergence, bookkeeping.
+
+``shadow_run`` is the trust-building mode of the backend — every call
+is double-run through both engines.  These tests pin the three
+outcomes (verified value, verified error, :class:`ShadowMismatch`) and
+the ``stats.backend`` counters each one feeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import (
+    ShadowMismatch, compile_program, execute_program, shadow_run)
+from repro.backend.runtime import CompiledClosure
+from repro.lang.errors import EvalError, FuelExhausted
+from repro.lang.parser import parse_program
+from repro.observability import BackendStats
+
+GCD = "(define (gcd a b) (if (= b 0) a (gcd b (mod a b))))"
+DIV = "(define (f x) (/ 1.0 x))"
+SPIN = "(define (f n) (if (= n 0) 0 (f (- n 1))))"
+LAM = "(define (f x) (lambda (a b) (+ a (* b x))))"
+
+
+class TestAgreement:
+    def test_returns_the_verified_value(self):
+        program = parse_program(GCD)
+        stats = BackendStats()
+        assert shadow_run(program, (252, 105), stats=stats) == 21
+        assert stats.shadow_runs == 1
+        assert stats.compiled_runs == 1
+        assert stats.compiles == 1
+        assert stats.mismatches == 0
+        assert stats.shadow_inconclusive == 0
+
+    def test_reuses_a_precompiled_unit(self):
+        program = parse_program(GCD)
+        unit = compile_program(program)
+        stats = BackendStats()
+        for args in ((48, 18), (1071, 462), (7, 13)):
+            shadow_run(program, args, compiled=unit, stats=stats)
+        assert stats.shadow_runs == 3
+        assert stats.compiles == 0  # never compiled inside shadow_run
+
+    def test_agreeing_errors_reraise_the_compiled_error(self):
+        program = parse_program(DIV)
+        stats = BackendStats()
+        with pytest.raises(EvalError, match="division by zero"):
+            shadow_run(program, (0.0,), stats=stats)
+        assert stats.mismatches == 0
+
+    def test_functional_results_agree_on_arity(self):
+        program = parse_program(LAM)
+        stats = BackendStats()
+        out = shadow_run(program, (2,), stats=stats)
+        assert isinstance(out, CompiledClosure)
+        assert out.arity == 2
+        assert stats.mismatches == 0
+
+
+class TestDivergence:
+    def test_doctored_compiled_program_raises_mismatch(self):
+        program = parse_program(GCD)
+        wrong = compile_program(parse_program(
+            "(define (gcd a b) (+ a b))"))
+        stats = BackendStats()
+        with pytest.raises(ShadowMismatch) as excinfo:
+            shadow_run(program, (252, 105), compiled=wrong, stats=stats)
+        assert stats.mismatches == 1
+        assert "gcd(252, 105)" in str(excinfo.value)
+
+    def test_value_vs_error_is_a_mismatch(self):
+        program = parse_program(DIV)
+        wrong = compile_program(parse_program("(define (f x) 0.0)"))
+        stats = BackendStats()
+        with pytest.raises(ShadowMismatch):
+            shadow_run(program, (0.0,), compiled=wrong, stats=stats)
+        assert stats.mismatches == 1
+
+    def test_functional_arity_disagreement_is_a_mismatch(self):
+        program = parse_program(LAM)
+        wrong = compile_program(parse_program(
+            "(define (f x) (lambda (a) a))"))
+        with pytest.raises(ShadowMismatch):
+            shadow_run(program, (2,), compiled=wrong)
+
+    def test_mismatch_is_a_specialization_error(self):
+        # A divergence blames the backend, not the subject program.
+        from repro.engine.errors import SpecializationError, classify
+        program = parse_program(GCD)
+        wrong = compile_program(parse_program(
+            "(define (gcd a b) (+ a b))"))
+        with pytest.raises(SpecializationError) as excinfo:
+            shadow_run(program, (252, 105), compiled=wrong)
+        assert classify(excinfo.value) == "specialization"
+
+
+class TestInconclusive:
+    def test_fuel_exhaustion_is_inconclusive_not_a_verdict(self):
+        program = parse_program(SPIN)
+        stats = BackendStats()
+        with pytest.raises(FuelExhausted):
+            shadow_run(program, (10_000,), fuel=100, stats=stats)
+        assert stats.shadow_inconclusive == 1
+        assert stats.mismatches == 0
+        # The compiled engine (no fuel) must never have run.
+        assert stats.compiled_runs == 0
+
+
+class TestExecuteProgram:
+    def test_backend_dispatch_agrees(self):
+        program = parse_program(GCD)
+        outs = {backend: execute_program(program, (252, 105),
+                                         backend=backend)
+                for backend in ("interp", "compiled", "shadow")}
+        assert set(outs.values()) == {21}
+
+    def test_unknown_backend_rejected(self):
+        program = parse_program(GCD)
+        with pytest.raises(ValueError, match="unknown backend"):
+            execute_program(program, (1, 2), backend="jit")
+
+    def test_stats_flow_through(self):
+        program = parse_program(GCD)
+        stats = BackendStats()
+        execute_program(program, (48, 18), backend="compiled",
+                        stats=stats)
+        assert stats.compiles == 1 and stats.compiled_runs == 1
+        execute_program(program, (48, 18), backend="shadow",
+                        stats=stats)
+        assert stats.shadow_runs == 1
+        assert stats.as_dict()["mismatches"] == 0

@@ -100,3 +100,16 @@ def vec3b():
 def parse(src: str):
     """Terse helper used across suites."""
     return parse_program(src)
+
+
+def assert_values_close(want, got, context: str = "") -> None:
+    """The shared approx-equal assertion for engine-output checks:
+    exact on ints/bools, tolerance-based on floats and vectors via
+    :func:`repro.lang.values.values_approx_equal`.  Differential
+    suites use this instead of ``==`` so a residual that reassociates
+    float arithmetic is not reported as a semantics bug."""
+    from repro.lang.values import format_value, values_approx_equal
+    where = f" [{context}]" if context else ""
+    assert values_approx_equal(want, got), \
+        f"values diverge{where}: want {format_value(want)}, " \
+        f"got {format_value(got)}"

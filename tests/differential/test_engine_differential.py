@@ -29,7 +29,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from tests.conftest import scaled_examples
+from tests.conftest import assert_values_close, scaled_examples
 
 from repro.baselines.simple_pe import DYN, specialize_simple
 from repro.facets import FacetSuite, IntervalFacet, ParityFacet, SignFacet
@@ -38,7 +38,7 @@ from repro.lang.errors import PEError
 from repro.lang.interp import Interpreter, run_program
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
-from repro.lang.values import INT, values_equal
+from repro.lang.values import INT
 from repro.online import PEConfig, specialize_online
 from repro.offline.specializer import specialize_offline
 from repro.service import SpecRequest, SpecializationService
@@ -130,8 +130,9 @@ class TestEngineDifferential:
 
         for engine, residual in residuals.items():
             got = Interpreter(residual, fuel=FUEL).run(*dynamic_args)
-            assert values_equal(got, expected), \
-                f"{engine} residual disagrees with the source program"
+            assert_values_close(
+                expected, got,
+                context=f"{engine} residual vs the source program")
 
 
 def _offline_inputs(suite, args, dynamic_positions):
@@ -189,8 +190,9 @@ class TestServiceDifferential:
                 continue
             residual = parse_program(result.residual)
             got = Interpreter(residual, fuel=FUEL).run(*dynamic_args)
-            assert values_equal(got, expected), \
-                f"service/{result.engine} disagrees with the source"
+            assert_values_close(
+                expected, got,
+                context=f"service/{result.engine} vs the source")
 
 
 class TestFallbackDifferential:
@@ -208,4 +210,4 @@ class TestFallbackDifferential:
         assert len(goal_params) == program.main.arity
         residual = parse_program(text)
         got = Interpreter(residual, fuel=FUEL).run(*args)
-        assert values_equal(got, expected)
+        assert_values_close(expected, got, context="fallback residual")

@@ -89,3 +89,64 @@ class TestWorkloads:
         out = capsys.readouterr().out
         assert "inner_product" in out
         assert "higher-order" in out
+
+
+class TestBackends:
+    def test_every_backend_prints_the_same_answer(self, capsys,
+                                                  program_file):
+        outputs = {}
+        for backend in ("interp", "compiled", "shadow"):
+            code = main(["run", str(program_file),
+                         "#(1 2 3)", "#(4 5 6)",
+                         "--backend", backend])
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["interp"] == outputs["compiled"] \
+            == outputs["shadow"] == "32.0\n"
+
+    def test_shadow_reports_comparisons_on_stderr(self, capsys,
+                                                  abs_file):
+        main(["run", str(abs_file), "-7", "--backend", "shadow"])
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "7"
+        assert "1 comparison(s), 0 mismatch(es)" in captured.err
+
+    def test_compile_emits_python(self, capsys, program_file):
+        code = main(["compile", str(program_file)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "def _f_iprod" in captured.out
+        assert "; fingerprint: " in captured.err
+
+    def test_compile_to_file(self, capsys, tmp_path, abs_file):
+        out_path = tmp_path / "abs.py"
+        assert main(["compile", str(abs_file),
+                     "--output", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "def _f_f" in out_path.read_text()
+
+    def test_batch_compiled_backend_attaches_artifacts(
+            self, capsys, tmp_path, abs_file):
+        import json
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps([
+            {"file": "abs.ppe", "specs": ["sign=pos"], "id": "pos"},
+        ]))
+        (tmp_path / "abs.ppe").write_text(abs_file.read_text())
+        assert main(["batch", str(manifest), "--workers", "0",
+                     "--backend", "compiled"]) == 0
+        results = json.loads(capsys.readouterr().out)
+        assert results[0]["compiled"]["fingerprint"]
+
+    def test_batch_interp_backend_output_has_no_compiled_key(
+            self, capsys, tmp_path, abs_file):
+        import json
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps([
+            {"file": "abs.ppe", "specs": ["sign=pos"], "id": "pos"},
+        ]))
+        (tmp_path / "abs.ppe").write_text(abs_file.read_text())
+        assert main(["batch", str(manifest), "--workers", "0"]) == 0
+        results = json.loads(capsys.readouterr().out)
+        assert "compiled" not in results[0]

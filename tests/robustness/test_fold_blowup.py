@@ -1,0 +1,74 @@
+"""Folding must not build integers no budget can multiply.
+
+Multiplication doubles bit length, so a specialized squaring chain on
+a static value grows a constant whose *next* fold is a single
+``x * y`` too large to finish — and budgets only interrupt between
+operations.  ``fold_would_blow_up`` makes every folding site
+residualize such products instead (run-time semantics unchanged), and
+the interval facet widens oversized product bounds to ±∞.  Found by
+the differential harness (a generated squaring loop hung one service
+request for hours); these tests pin the guard.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.facets import FacetSuite, IntervalFacet, ParityFacet, SignFacet
+from repro.facets.library.interval import FULL, Interval
+from repro.lang.ast import Const, Prim, walk
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.primitives import FOLD_MAGNITUDE_BITS, fold_would_blow_up
+from repro.lang.values import INT
+from repro.online import PEConfig, specialize_online
+
+BIG = 2 ** 600  # comfortably past FOLD_MAGNITUDE_BITS
+
+
+class TestPredicate:
+    def test_oversized_product_refused(self):
+        assert fold_would_blow_up("*", [BIG, 3])
+        assert fold_would_blow_up("*", [3, -BIG])
+
+    def test_small_products_and_other_ops_fold(self):
+        assert not fold_would_blow_up("*", [2 ** FOLD_MAGNITUDE_BITS - 1,
+                                            2 ** FOLD_MAGNITUDE_BITS - 1])
+        assert not fold_would_blow_up("+", [BIG, BIG])
+        assert not fold_would_blow_up("*", [True, True])
+        assert not fold_would_blow_up("*", [1.5, 2.5])
+
+    def test_interval_products_widen(self):
+        facet = IntervalFacet()
+        products = facet.closed_ops["*"]
+        assert products(Interval(BIG, BIG), Interval(BIG, BIG)) == FULL
+        assert products(Interval(2, 3), Interval(4, 5)) == Interval(8, 15)
+
+
+class TestEngineKeepsOversizedProductsResidual:
+    def test_squaring_chain_stays_residual_and_correct(self):
+        # Four foldable squarings of 2^600: unguarded PE would build a
+        # 9600-bit constant (and a squaring *loop* would never return).
+        source = f"(define (f x) (* (* (* (* {BIG} {BIG}) 1) 1) 1))"
+        program = parse_program(source)
+        suite = FacetSuite([SignFacet(), ParityFacet(), IntervalFacet()])
+
+        started = time.perf_counter()
+        result = specialize_online(
+            program, [suite.unknown(INT)], suite, PEConfig())
+        elapsed = time.perf_counter() - started
+
+        assert elapsed < 5.0
+        residual_products = [n for n in walk(result.program.main.body)
+                             if isinstance(n, Prim) and n.op == "*"]
+        assert residual_products, \
+            "the oversized product must stay residual, not fold"
+        big_consts = [n for n in walk(result.program.main.body)
+                      if isinstance(n, Const) and isinstance(n.value, int)
+                      and not isinstance(n.value, bool)
+                      and n.value.bit_length() > 2 * FOLD_MAGNITUDE_BITS]
+        assert not big_consts, \
+            "folding must never build constants past the magnitude cap"
+        # Run-time semantics unchanged: the residual still computes
+        # the exact product.
+        assert run_program(result.program, 0) == BIG * BIG
