@@ -18,7 +18,11 @@ Subcommands:
   requests through :mod:`repro.service` (worker pool, deadlines,
   cross-request cache, graceful degradation);
 * ``ppe serve`` — long-running stdin/stdout JSONL loop over the same
-  service, for driving from other processes.
+  service, for driving from other processes;
+* ``ppe store {stats,gc,verify}`` — administer the persistent
+  artifact store (:mod:`repro.store`): print its snapshot, enforce a
+  byte cap, or checksum every row (``verify`` exits 1 when it
+  quarantined corrupt entries — the scriptable health check).
 
 Facets available from the command line: ``sign``, ``parity``,
 ``interval`` (``interval=lo:hi``), ``size``.
@@ -43,6 +47,12 @@ with ``compiled``, each successful residual additionally carries its
 compiled-backend artifact (a ``compiled`` key on the result), cached
 alongside the residual so compilation cost is amortized across
 identical requests.
+
+``batch`` and ``serve`` accept ``--store-path PATH`` (and optionally
+``--store-max-bytes N``) to mount the persistent artifact store as a
+second cache tier below the in-memory LRU: results survive restarts,
+and an identical manifest re-run against a warm store performs zero
+specializations.
 """
 
 from __future__ import annotations
@@ -174,6 +184,37 @@ def main(argv: list[str] | None = None) -> int:
             help="with 'compiled', successful residuals additionally "
                  "carry their compiled-backend artifact (cached "
                  "alongside the residual)")
+        cmd.add_argument(
+            "--store-path", type=Path, default=None, metavar="PATH",
+            help="mount the persistent artifact store at PATH as a "
+                 "second cache tier (shared across workers and "
+                 "restarts; created if missing)")
+        cmd.add_argument(
+            "--store-max-bytes", type=int, default=None, metavar="N",
+            help="byte cap for the persistent store; past it the "
+                 "least-recently-used entries are evicted "
+                 "(default: unbounded)")
+    store_cmd = sub.add_parser(
+        "store",
+        help="administer the persistent artifact store")
+    store_sub = store_cmd.add_subparsers(dest="store_command",
+                                         required=True)
+    for name, help_text in (
+            ("stats", "print the store snapshot as JSON"),
+            ("gc", "evict least-recently-used entries past the cap"),
+            ("verify", "checksum every row, quarantining corrupt "
+                       "ones; exits 1 if any were corrupt")):
+        cmd = store_sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "--store-path", type=Path, required=True, metavar="PATH",
+            help="path of the store database")
+        if name == "gc":
+            cmd.add_argument(
+                "--store-max-bytes", type=int, default=None,
+                metavar="N",
+                help="byte cap to enforce (omitting it makes gc a "
+                     "report-only no-op)")
+
     batch_cmd.add_argument(
         "--output", type=Path, default=None, metavar="PATH",
         help="write the JSON results array to PATH (default stdout)")
@@ -197,6 +238,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if options.command == "serve":
         return _run_serve(options)
+
+    if options.command == "store":
+        return _run_store(options)
 
     profile_to = getattr(options, "profile", None)
     timer = PhaseTimer()
@@ -312,6 +356,34 @@ def _warn_degradations(stats) -> None:
               f"specialized", file=sys.stderr)
 
 
+def _run_store(options: argparse.Namespace) -> int:
+    """``ppe store {stats,gc,verify}``.  ``stats`` and ``gc`` exit 0
+    (their output is the report); ``verify`` exits 1 when it found —
+    and quarantined — corrupt entries, so scripts can alarm on it."""
+    from repro.store import ArtifactStore
+
+    try:
+        store = ArtifactStore(options.store_path)
+    except OSError as error:
+        raise SystemExit(f"ppe: cannot open store: {error}")
+    with store:
+        if options.store_command == "stats":
+            payload = store.snapshot()
+            payload["corrupt_quarantined"] = store.stats.store_corrupt
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if options.store_command == "gc":
+            outcome = store.gc(options.store_max_bytes)
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+            return 0
+        outcome = store.verify()
+        # File-level corruption counts too: a damaged database is
+        # quarantined at open, before verify can walk any row.
+        outcome["corrupt"] = store.stats.store_corrupt
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+        return 1 if outcome["corrupt"] else 0
+
+
 def _run_batch(options: argparse.Namespace) -> int:
     from repro.service import SpecializationService, load_manifest
 
@@ -329,7 +401,9 @@ def _run_batch(options: argparse.Namespace) -> int:
             workers=options.workers, cache_capacity=options.cache_size,
             default_deadline=options.deadline,
             default_config=_budget_overrides(options),
-            backend=options.backend) as service:
+            backend=options.backend,
+            store_path=options.store_path,
+            store_max_bytes=options.store_max_bytes) as service:
         with timer.phase("batch"):
             results = service.run_batch(requests)
         stats = service.stats
@@ -367,7 +441,9 @@ def _run_serve(options: argparse.Namespace) -> int:
             workers=options.workers, cache_capacity=options.cache_size,
             default_deadline=options.deadline,
             default_config=_budget_overrides(options),
-            backend=options.backend) as service:
+            backend=options.backend,
+            store_path=options.store_path,
+            store_max_bytes=options.store_max_bytes) as service:
         code = serve(service, sys.stdin, sys.stdout)
     try:
         sys.stdout.flush()

@@ -35,10 +35,29 @@ class ServiceStats:
     #: ``degraded``.
     engine_degradations: int = 0
 
-    #: Cross-request residual-cache traffic.
+    #: Cross-request residual-cache traffic (the in-memory tier).
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+
+    #: Persistent artifact-store traffic (the disk tier below the LRU;
+    #: :class:`repro.store.ArtifactStore`).  A store hit is always
+    #: preceded by an in-memory ``cache_miss`` — the tiers are
+    #: accounted separately.
+    store_hits: int = 0
+    store_misses: int = 0
+    #: Payloads committed to disk (write-behind on completion).
+    store_writes: int = 0
+    #: Rows deleted to keep the store under its byte cap.
+    store_evictions: int = 0
+    #: Corruption events absorbed: rows failing their checksum (each
+    #: quarantined and served as a miss) and database files SQLite
+    #: refused (quarantined wholesale).  Never surfaced as exceptions.
+    store_corrupt: int = 0
+    #: Transient store failures swallowed (lock contention past the
+    #: retry budget, I/O errors); the operation degraded to a miss or
+    #: a dropped write.
+    store_errors: int = 0
 
     #: Worker-process deaths observed (one per affected in-flight
     #: request: a single crash can break every future of its pool).
@@ -68,6 +87,13 @@ class ServiceStats:
         return self.cache_hits / total if total else 0.0
 
     @property
+    def store_hit_rate(self) -> float:
+        """Hit rate of the persistent store tier; 0.0 before any
+        lookup."""
+        total = self.store_hits + self.store_misses
+        return self.store_hits / total if total else 0.0
+
+    @property
     def degraded_rate(self) -> float:
         answered = self.completed + self.degraded
         return self.degraded / answered if answered else 0.0
@@ -81,6 +107,12 @@ class ServiceStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
+        self.store_hits += other.store_hits
+        self.store_misses += other.store_misses
+        self.store_writes += other.store_writes
+        self.store_evictions += other.store_evictions
+        self.store_corrupt += other.store_corrupt
+        self.store_errors += other.store_errors
         self.worker_crashes += other.worker_crashes
         self.retries += other.retries
         self.timeouts += other.timeouts
@@ -103,6 +135,13 @@ class ServiceStats:
                       "misses": self.cache_misses,
                       "evictions": self.cache_evictions,
                       "rate": round(self.cache_hit_rate, 4)},
+            "store": {"hits": self.store_hits,
+                      "misses": self.store_misses,
+                      "writes": self.store_writes,
+                      "evictions": self.store_evictions,
+                      "corrupt": self.store_corrupt,
+                      "errors": self.store_errors,
+                      "rate": round(self.store_hit_rate, 4)},
             "worker_crashes": self.worker_crashes,
             "retries": self.retries,
             "timeouts": self.timeouts,

@@ -13,7 +13,9 @@ is the serving layer the ROADMAP's production north star asks for:
   exponential backoff, and graceful degradation (callers get a
   ``degraded=True`` fallback residual, never an exception);
 * :class:`ResidualCache` (:mod:`repro.service.cache`) — the bounded
-  cross-request LRU above PR 1's in-suite caches;
+  cross-request LRU above PR 1's in-suite caches; with a
+  ``store_path`` the service mounts :class:`repro.store.ArtifactStore`
+  below it as a persistent, restart-surviving second tier;
 * :func:`execute_request` (:mod:`repro.service.worker`) — the worker
   entry point, also usable directly for sequential reference runs (the
   byte-identical determinism test does exactly that);

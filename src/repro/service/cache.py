@@ -45,7 +45,14 @@ class ResidualCache:
         return key in self._entries
 
     def get(self, key: str) -> Optional[SpecResult]:
-        """Look up a fingerprint, refreshing its recency on a hit."""
+        """Look up a fingerprint, refreshing its recency on a hit.
+
+        ``capacity=0`` short-circuits before touching the stats: a
+        disabled cache reports no traffic at all, so the benchmark
+        configurations that turn it off do not pay (or pollute the
+        hit-rate with) a counter bump per request."""
+        if self.capacity == 0:
+            return None
         entry = self._entries.get(key)
         if entry is None:
             self.stats.cache_misses += 1

@@ -218,6 +218,42 @@ class SpecResult:
             payload["compiled"] = dict(self.compiled)
         return payload
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpecResult":
+        """Rehydrate a :meth:`to_dict` document — the persistent
+        artifact store's read path.  Strict about the one field the
+        service cannot do without (``residual``), lenient about the
+        bookkeeping, so a payload written by an older build still
+        loads.  Raises :class:`ValueError` on anything else; the store
+        tier treats that as a miss."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"result must be an object, got {data!r}")
+        residual = data.get("residual")
+        if not isinstance(residual, str):
+            raise ValueError("result payload has no residual text")
+        goal_params = data.get("goal_params", ())
+        if not isinstance(goal_params, Sequence) \
+                or isinstance(goal_params, str):
+            raise ValueError("goal_params must be a list")
+        compiled = data.get("compiled")
+        if compiled is not None and not isinstance(compiled, Mapping):
+            raise ValueError("compiled artifact must be an object")
+        stats = data.get("stats") or {}
+        if not isinstance(stats, Mapping):
+            raise ValueError("stats must be an object")
+        return cls(
+            residual=residual,
+            goal_params=tuple(str(p) for p in goal_params),
+            engine=str(data.get("engine", "online")),
+            id=data.get("id"),
+            degraded=bool(data.get("degraded", False)),
+            reason=data.get("reason"),
+            cached=bool(data.get("cached", False)),
+            attempts=int(data.get("attempts", 1)),
+            stats=dict(stats),
+            seconds=float(data.get("seconds", 0.0)),
+            compiled=dict(compiled) if compiled is not None else None)
+
     def for_request(self, request: SpecRequest,
                     cached: bool = False) -> "SpecResult":
         """Rebind a (possibly cached) result to a concrete request."""

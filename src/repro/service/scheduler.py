@@ -55,6 +55,18 @@ on the result (and therefore in the cross-request cache, amortizing
 compilation across identical requests); compilation is best-effort and
 never fails a request.
 
+With ``store_path`` set, a persistent artifact store
+(:class:`repro.store.ArtifactStore`, SQLite/WAL) mounts as a **second
+cache tier below the in-memory LRU**: lookups read through (memory
+first, then disk, promoting disk hits into memory), successful results
+are written behind to disk, and the store file is shared across worker
+processes and service restarts — the warm-start story.  Store hits are
+``cached=True`` results like LRU hits; store problems (lock contention,
+corrupt rows, a damaged file) degrade to misses and are counted in
+``ServiceStats`` (``store_*``), never raised.  The same exclusions
+apply as for the LRU: degraded and in-engine-degraded results are
+never persisted.
+
 Every step reports into :class:`~repro.observability.ServiceStats`;
 backend work into :class:`~repro.observability.BackendStats`.
 """
@@ -65,6 +77,7 @@ import time
 from concurrent.futures import (
     ProcessPoolExecutor, TimeoutError as FutureTimeout)
 from dataclasses import dataclass
+from pathlib import Path
 from time import monotonic
 from typing import Callable, Sequence
 
@@ -105,6 +118,8 @@ class SpecializationService:
                  deadline_budget_fraction: float | None = 0.8,
                  default_config: dict | None = None,
                  backend: str = "interp",
+                 store_path: str | Path | None = None,
+                 store_max_bytes: int | None = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -136,6 +151,14 @@ class SpecializationService:
         self.stats = ServiceStats()
         self.backend_stats = BackendStats()
         self.cache = ResidualCache(cache_capacity, self.stats)
+        #: The persistent tier (``None`` when no ``store_path``); its
+        #: counters land in the same ServiceStats as the LRU's.
+        self.store = None
+        if store_path is not None:
+            from repro.store import ArtifactStore
+            self.store = ArtifactStore(store_path,
+                                       max_bytes=store_max_bytes,
+                                       stats=self.stats)
         self._sleep = sleep
         self._pool: ProcessPoolExecutor | None = None
 
@@ -154,6 +177,8 @@ class SpecializationService:
             self.stats.submitted += 1
             key = request.fingerprint()
             hit = self.cache.get(key)
+            if hit is None:
+                hit = self._store_lookup(key)
             if hit is not None:
                 self.stats.completed += 1
                 if hit.compiled is not None:
@@ -173,6 +198,8 @@ class SpecializationService:
         return self.run_batch([request])[0]
 
     def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
         # Every future is reaped before run_batch returns, so the pool
         # is idle here and waiting is cheap; wait=False would leave the
         # executor for the interpreter's atexit hook to find half
@@ -188,6 +215,32 @@ class SpecializationService:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- the persistent tier -------------------------------------------
+    def _store_lookup(self, key: str) -> SpecResult | None:
+        """Read-through to the disk tier; a hit is promoted into the
+        in-memory LRU so the next identical request never touches
+        disk.  Any payload the current build cannot rehydrate counts
+        as corrupt and misses."""
+        if self.store is None:
+            return None
+        payload = self.store.get(key)
+        if payload is None:
+            return None
+        try:
+            result = SpecResult.from_dict(payload)
+        except ValueError:
+            self.stats.store_corrupt += 1
+            self.store.delete(key)
+            return None
+        self.cache.put(key, result)
+        return result
+
+    def _store_put(self, key: str, result: SpecResult) -> None:
+        """Write-behind on completion; best effort (a failed write is
+        counted by the store, never surfaced)."""
+        if self.store is not None and not result.degraded:
+            self.store.put(key, result.to_dict())
 
     # -- payload shaping -----------------------------------------------
     def _deadline_of(self, job: _Job) -> float | None:
@@ -347,6 +400,7 @@ class SpecializationService:
             self.stats.engine_degradations += 1
             return result
         self.cache.put(job.key, result)
+        self._store_put(job.key, result)
         return result
 
     def _compile_residual(self, residual: str) -> dict | None:

@@ -1,0 +1,146 @@
+"""Schema and SQL of the persistent artifact store.
+
+One module holds every piece of SQL so :mod:`repro.store.store` is pure
+control flow.  The layout:
+
+* ``artifacts`` — the content-addressed table.  ``key`` is the
+  request fingerprint (:meth:`repro.service.results.SpecRequest.fingerprint`),
+  ``payload`` the JSON-serialized result, ``checksum`` a SHA-256 over
+  ``key NUL payload`` verified on every read (binding the key in, so a
+  cross-row payload swap is as detectable as in-place damage), ``size_bytes`` the payload's
+  UTF-8 length (what the byte cap meters), and ``seq`` a store-global
+  monotonic counter bumped on every write *and* every hit — eviction
+  orders by ``seq``, which is exact LRU without depending on wall-clock
+  resolution.  ``last_access``/``hits`` are reporting-only.
+* ``quarantine`` — rows that failed their checksum or would not decode.
+  They are moved here (best effort) rather than deleted so a corruption
+  incident stays inspectable; nothing ever reads them back.
+* ``meta`` — the schema version, checked on open so a future layout
+  change can migrate or refuse cleanly instead of misreading rows.
+
+Pragmas: WAL journaling gives multi-process readers-don't-block-writers
+semantics and crash atomicity; ``synchronous=NORMAL`` is the standard
+WAL pairing (an OS crash may lose the last transactions but cannot
+corrupt committed state); ``busy_timeout`` makes concurrent writers
+queue instead of raising ``database is locked``.
+"""
+
+from __future__ import annotations
+
+#: Bumped on any layout change; a store with a different version is
+#: treated as foreign and rebuilt (the payloads are a cache — losing
+#: them costs recomputation, not correctness).
+SCHEMA_VERSION = 1
+
+CREATE_TABLES = (
+    """
+    CREATE TABLE IF NOT EXISTS artifacts (
+        key         TEXT PRIMARY KEY,
+        payload     TEXT NOT NULL,
+        checksum    TEXT NOT NULL,
+        size_bytes  INTEGER NOT NULL,
+        seq         INTEGER NOT NULL,
+        created_at  REAL NOT NULL,
+        last_access REAL NOT NULL,
+        hits        INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS artifacts_by_seq ON artifacts (seq)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS quarantine (
+        key            TEXT,
+        payload        TEXT,
+        checksum       TEXT,
+        reason         TEXT,
+        quarantined_at REAL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+)
+
+SET_VERSION = """
+    INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)
+"""
+
+GET_VERSION = """
+    SELECT value FROM meta WHERE key = 'schema_version'
+"""
+
+#: ``seq`` source: max over both the live table and a high-water mark
+#: kept in ``meta`` would be overkill — evicted rows may reuse numbers,
+#: which is harmless because only the *relative* order of live rows
+#: matters for LRU.
+NEXT_SEQ = """
+    SELECT COALESCE(MAX(seq), 0) + 1 FROM artifacts
+"""
+
+UPSERT = """
+    INSERT INTO artifacts
+        (key, payload, checksum, size_bytes, seq, created_at,
+         last_access, hits)
+    VALUES (?, ?, ?, ?, ?, ?, ?, 0)
+    ON CONFLICT (key) DO UPDATE SET
+        payload = excluded.payload,
+        checksum = excluded.checksum,
+        size_bytes = excluded.size_bytes,
+        seq = excluded.seq,
+        last_access = excluded.last_access
+"""
+
+SELECT_ROW = """
+    SELECT payload, checksum FROM artifacts WHERE key = ?
+"""
+
+TOUCH = """
+    UPDATE artifacts
+    SET seq = (SELECT COALESCE(MAX(seq), 0) + 1 FROM artifacts),
+        last_access = ?, hits = hits + 1
+    WHERE key = ?
+"""
+
+DELETE = """
+    DELETE FROM artifacts WHERE key = ?
+"""
+
+QUARANTINE_ROW = """
+    INSERT INTO quarantine (key, payload, checksum, reason,
+                            quarantined_at)
+    VALUES (?, ?, ?, ?, ?)
+"""
+
+TOTAL_BYTES = """
+    SELECT COALESCE(SUM(size_bytes), 0) FROM artifacts
+"""
+
+COUNT_ROWS = """
+    SELECT COUNT(*) FROM artifacts
+"""
+
+COUNT_QUARANTINED = """
+    SELECT COUNT(*) FROM quarantine
+"""
+
+#: Oldest-first by the monotonic access sequence: exact LRU.
+LRU_ROWS = """
+    SELECT key, size_bytes FROM artifacts ORDER BY seq ASC
+"""
+
+ALL_ROWS = """
+    SELECT key, payload, checksum FROM artifacts ORDER BY key
+"""
+
+ALL_KEYS = """
+    SELECT key FROM artifacts ORDER BY seq ASC
+"""
+
+PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+)

@@ -51,12 +51,34 @@ def test_as_dict_shape():
     snapshot = ServiceStats(submitted=1).as_dict()
     assert set(snapshot) == {
         "submitted", "completed", "degraded", "degraded_rate", "cache",
-        "worker_crashes", "retries", "timeouts", "errors",
+        "store", "worker_crashes", "retries", "timeouts", "errors",
         "errors_by_category", "pool_restarts", "backoff_seconds",
         "budget"}
     assert set(snapshot["cache"]) == {"hits", "misses", "evictions",
                                       "rate"}
+    assert set(snapshot["store"]) == {"hits", "misses", "writes",
+                                      "evictions", "corrupt",
+                                      "errors", "rate"}
     assert set(snapshot["budget"]) == {"engine_degradations"}
+
+
+def test_store_hit_rate():
+    stats = ServiceStats(store_hits=3, store_misses=1)
+    assert stats.store_hit_rate == 0.75
+    assert ServiceStats().store_hit_rate == 0.0
+
+
+def test_merge_accumulates_store_counters():
+    left = ServiceStats(store_hits=1, store_writes=2, store_corrupt=1)
+    right = ServiceStats(store_hits=2, store_misses=3,
+                         store_evictions=4, store_errors=1)
+    left.merge(right)
+    assert left.store_hits == 3
+    assert left.store_misses == 3
+    assert left.store_writes == 2
+    assert left.store_evictions == 4
+    assert left.store_corrupt == 1
+    assert left.store_errors == 1
 
 
 def test_merge_accumulates_budget_and_categories():

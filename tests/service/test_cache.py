@@ -48,6 +48,21 @@ class TestLRU:
         assert len(cache) == 0
         assert cache.get("a") is None
 
+    def test_capacity_zero_skips_stats_entirely(self):
+        """A disabled cache short-circuits before the counters: no
+        miss churn per lookup, so the raw-throughput benchmark
+        configuration reports no cache traffic at all."""
+        stats = ServiceStats()
+        cache = ResidualCache(capacity=0, stats=stats)
+        for index in range(50):
+            assert cache.get(f"k{index}") is None
+        cache.put("a", result("a"))
+        assert cache.get("a") is None
+        assert stats.cache_misses == 0
+        assert stats.cache_hits == 0
+        assert stats.cache_evictions == 0
+        assert stats.cache_hit_rate == 0.0
+
     def test_degraded_results_are_never_cached(self):
         cache = ResidualCache(capacity=4)
         degraded = SpecResult(residual=SRC, degraded=True,
@@ -102,6 +117,41 @@ class TestFingerprint:
         b = SpecRequest.create(
             source=SRC, config={"max_variants": 3, "unfold_fuel": 9})
         assert a.fingerprint() == b.fingerprint()
+
+
+class TestResultRoundTrip:
+    """``SpecResult.to_dict`` → ``from_dict`` is the persistent
+    store's wire format; it must be a fixed point."""
+
+    def test_full_round_trip(self):
+        original = SpecResult(
+            residual="(define (f n) (* n 2))", goal_params=("n",),
+            engine="offline", id="r1", attempts=2,
+            stats={"facet_evaluations": 5}, seconds=0.125,
+            compiled={"fingerprint": "abc", "python": "pass",
+                      "goal": "f", "entries": {"f": ["_f", 1]}})
+        rebuilt = SpecResult.from_dict(original.to_dict())
+        assert rebuilt == original
+        assert rebuilt.to_dict() == original.to_dict()
+
+    def test_defaults_fill_missing_bookkeeping(self):
+        rebuilt = SpecResult.from_dict({"residual": "(define (f) 1)"})
+        assert rebuilt.residual == "(define (f) 1)"
+        assert rebuilt.goal_params == ()
+        assert rebuilt.attempts == 1
+        assert rebuilt.compiled is None
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {},
+        {"residual": 7},
+        {"residual": "r", "goal_params": "xy"},
+        {"residual": "r", "compiled": "zip"},
+        {"residual": "r", "stats": [1, 2]},
+    ])
+    def test_malformed_payloads_raise_value_error(self, payload):
+        with pytest.raises(ValueError):
+            SpecResult.from_dict(payload)
 
 
 class TestRequestValidation:

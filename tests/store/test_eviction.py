@@ -1,0 +1,202 @@
+"""Eviction under the byte cap, and the ``ppe store`` CLI
+(stats / gc / verify) with pinned exit codes."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.store import ArtifactStore, encode_payload
+
+
+def sized_payload(tag: str, size: int) -> dict:
+    """A payload whose canonical encoding is exactly ``size`` bytes."""
+    skeleton = encode_payload({"tag": tag, "pad": ""})
+    pad = size - len(skeleton.encode("utf-8"))
+    assert pad >= 0, f"size {size} too small for the skeleton"
+    return {"tag": tag, "pad": "x" * pad}
+
+
+def test_sized_payload_is_exact():
+    payload = sized_payload("a", 100)
+    assert len(encode_payload(payload).encode("utf-8")) == 100
+
+
+class TestEviction:
+    def test_size_stays_under_cap(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db", max_bytes=350)
+        for index in range(10):
+            store.put(f"k{index}", sized_payload(f"k{index}", 100))
+            assert store.total_bytes() <= 350
+        assert len(store) == 3
+        assert store.stats.store_evictions == 7
+
+    def test_lru_order_respected(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db", max_bytes=350)
+        for tag in ("a", "b", "c"):
+            store.put(tag, sized_payload(tag, 100))
+        store.get("a")              # refresh: b is now the LRU entry
+        store.put("d", sized_payload("d", 100))
+        assert "a" in store
+        assert "b" not in store
+        assert "c" in store
+        assert "d" in store
+
+    def test_touch_on_hit_protects_hot_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db", max_bytes=250)
+        store.put("hot", sized_payload("hot", 100))
+        for index in range(6):
+            store.get("hot")
+            store.put(f"cold{index}",
+                      sized_payload(f"cold{index}", 100))
+        assert "hot" in store
+        assert store.get("hot") == sized_payload("hot", 100)
+
+    def test_one_write_can_evict_several(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db", max_bytes=400)
+        for tag in ("a", "b", "c", "d"):
+            store.put(tag, sized_payload(tag, 100))
+        store.put("big", sized_payload("big", 350))
+        assert store.total_bytes() <= 400
+        assert "big" in store
+        assert store.stats.store_evictions >= 3
+
+    def test_eviction_survives_reopen(self, tmp_path):
+        """LRU order is persistent state, not process memory."""
+        path = tmp_path / "s.db"
+        with ArtifactStore(path, max_bytes=350) as store:
+            for tag in ("a", "b", "c"):
+                store.put(tag, sized_payload(tag, 100))
+            store.get("a")
+        with ArtifactStore(path, max_bytes=350) as reopened:
+            reopened.put("d", sized_payload("d", 100))
+            assert "b" not in reopened
+            assert "a" in reopened
+
+    def test_uncapped_store_never_evicts(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db")
+        for index in range(20):
+            store.put(f"k{index}", sized_payload(f"k{index}", 100))
+        assert len(store) == 20
+        assert store.stats.store_evictions == 0
+
+    def test_gc_enforces_a_new_cap(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db")
+        for index in range(5):
+            store.put(f"k{index}", sized_payload(f"k{index}", 100))
+        outcome = store.gc(max_bytes=250)
+        assert outcome["evicted"] == 3
+        assert outcome["bytes_after"] <= 250
+        assert outcome["freed_bytes"] == 300
+        assert store.total_bytes() <= 250
+
+    def test_gc_without_cap_reports_only(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db")
+        store.put("k", sized_payload("k", 100))
+        outcome = store.gc()
+        assert outcome["evicted"] == 0
+        assert outcome["entries"] == 1
+
+
+class TestStoreCLI:
+    def _seed(self, path, entries=3):
+        with ArtifactStore(path) as store:
+            for index in range(entries):
+                store.put(f"k{index}",
+                          sized_payload(f"k{index}", 100))
+
+    def test_stats_exits_zero_and_prints_json(self, tmp_path, capsys):
+        path = tmp_path / "s.db"
+        self._seed(path)
+        code = main(["store", "stats", "--store-path", str(path)])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["entries"] == 3
+        assert snapshot["bytes"] == 300
+        assert snapshot["quarantined"] == 0
+
+    def test_gc_exits_zero_and_enforces_cap(self, tmp_path, capsys):
+        path = tmp_path / "s.db"
+        self._seed(path, entries=5)
+        code = main(["store", "gc", "--store-path", str(path),
+                     "--store-max-bytes", "250"])
+        assert code == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["evicted"] == 3
+        assert outcome["bytes_after"] <= 250
+        with ArtifactStore(path) as store:
+            assert store.total_bytes() <= 250
+
+    def test_verify_clean_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "s.db"
+        self._seed(path)
+        code = main(["store", "verify", "--store-path", str(path)])
+        assert code == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome == {"checked": 3, "corrupt": 0}
+
+    def test_verify_corrupt_exits_one_then_zero(self, tmp_path,
+                                                capsys):
+        """First verify finds and quarantines the bad row (exit 1);
+        the second finds a clean store again (exit 0)."""
+        path = tmp_path / "s.db"
+        self._seed(path)
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE artifacts SET checksum='bad' WHERE key='k1'")
+        conn.commit()
+        conn.close()
+        assert main(["store", "verify",
+                     "--store-path", str(path)]) == 1
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["corrupt"] == 1
+        assert main(["store", "verify",
+                     "--store-path", str(path)]) == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome == {"checked": 2, "corrupt": 0}
+
+    def test_verify_unreadable_file_exits_one(self, tmp_path, capsys):
+        """File-level damage (quarantined at open) also fails the
+        health check."""
+        path = tmp_path / "s.db"
+        self._seed(path)
+        with open(path, "r+b") as handle:
+            handle.write(b"not a sqlite file, not even close!!")
+        assert main(["store", "verify",
+                     "--store-path", str(path)]) == 1
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["corrupt"] == 1
+
+    def test_batch_cli_store_warm_restart(self, tmp_path, capsys):
+        """The CLI surface end to end: two ``ppe batch`` runs sharing
+        ``--store-path`` produce identical results, the second from
+        the store."""
+        from repro.workloads import WORKLOADS
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({"requests": [
+            {"id": "g", "source": WORKLOADS["gcd"].source,
+             "specs": ["48", "18"]}]}))
+        store_path = tmp_path / "store.db"
+        profile = tmp_path / "profile.json"
+
+        assert main(["batch", str(manifest), "--workers", "0",
+                     "--store-path", str(store_path)]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["batch", str(manifest), "--workers", "0",
+                     "--store-path", str(store_path),
+                     "--profile", str(profile)]) == 0
+        warm = json.loads(capsys.readouterr().out)
+
+        assert [r["residual"] for r in warm] \
+            == [r["residual"] for r in cold]
+        assert warm[0]["cached"] is True
+        report = json.loads(profile.read_text())
+        assert report["service"]["store"]["hits"] == 1
+        assert report["service"]["store"]["corrupt"] == 0
+
+    def test_missing_store_path_flag_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["store", "stats"])

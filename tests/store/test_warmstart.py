@@ -1,0 +1,161 @@
+"""Restart warm-start: a batch re-run against a warm store performs
+zero specializations and reproduces the cold run byte for byte."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import SpecializationService, SpecRequest
+from repro.workloads import WORKLOADS
+
+
+def requests() -> list[SpecRequest]:
+    return [
+        SpecRequest.create(source=WORKLOADS["gcd"].source,
+                           specs=["48", "18"], id="gcd"),
+        SpecRequest.create(source=WORKLOADS["power"].source,
+                           specs=["dyn", "5"], id="power"),
+        SpecRequest.create(source=WORKLOADS["power"].source,
+                           specs=["dyn", "7"], engine="offline",
+                           id="power-off"),
+        SpecRequest.create(source=WORKLOADS["inner_product"].source,
+                           specs=["size=3", "dyn"], id="iprod"),
+    ]
+
+
+def forbid_specialization(monkeypatch):
+    """After this, any attempt to actually run a specialization fails
+    the test — the warm path must be pure store/cache hits."""
+    def boom(payload):
+        raise AssertionError(
+            f"specialization executed on the warm path for "
+            f"id={payload.get('id')!r}")
+    monkeypatch.setattr("repro.service.scheduler.execute_request",
+                        boom)
+
+
+class TestWarmRestart:
+    def test_zero_specializations_and_identical_residuals(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "store.db"
+        batch = requests()
+        with SpecializationService(workers=0,
+                                   store_path=path) as cold_service:
+            cold = cold_service.run_batch(batch)
+            assert not any(result.degraded for result in cold)
+            assert cold_service.stats.store_writes == len(batch)
+
+        # "Kill" the service (close() above) and start a fresh one on
+        # the same store file: the restart.
+        forbid_specialization(monkeypatch)
+        with SpecializationService(workers=0,
+                                   store_path=path) as warm_service:
+            warm = warm_service.run_batch(batch)
+            stats = warm_service.stats
+
+        assert [r.residual for r in warm] \
+            == [r.residual for r in cold]
+        assert [r.goal_params for r in warm] \
+            == [r.goal_params for r in cold]
+        assert all(result.cached for result in warm)
+        assert stats.store_hits == len(batch)
+        assert stats.degraded == 0
+        assert stats.completed == len(batch)
+
+    def test_warm_hits_promote_into_memory_tier(self, tmp_path,
+                                                monkeypatch):
+        path = tmp_path / "store.db"
+        [request] = requests()[:1]
+        with SpecializationService(workers=0, store_path=path) as s:
+            s.run_one(request)
+        forbid_specialization(monkeypatch)
+        with SpecializationService(workers=0, store_path=path) as s:
+            s.run_one(request)      # disk hit, promoted
+            s.run_one(request)      # must now be a memory hit
+            assert s.stats.store_hits == 1
+            assert s.stats.cache_hits == 1
+
+    def test_pooled_restart_is_warm_too(self, tmp_path):
+        """The store is read in the scheduler process, so pool workers
+        never even start on a warm manifest."""
+        path = tmp_path / "store.db"
+        batch = requests()
+        with SpecializationService(workers=0, store_path=path) as s:
+            cold = s.run_batch(batch)
+        with SpecializationService(workers=2, store_path=path) as s:
+            warm = s.run_batch(batch)
+            assert s.stats.store_hits == len(batch)
+            assert s._pool is None, \
+                "a worker pool was spun up for an all-warm batch"
+        assert [r.residual for r in warm] \
+            == [r.residual for r in cold]
+
+    def test_degraded_results_are_not_persisted(self, tmp_path):
+        request = SpecRequest.create(source="(define (f x",  # no parse
+                                     specs=["dyn"], id="bad")
+        path = tmp_path / "store.db"
+        with SpecializationService(workers=0, store_path=path) as s:
+            result = s.run_one(request)
+            assert result.degraded
+            assert s.stats.store_writes == 0
+        with SpecializationService(workers=0, store_path=path) as s:
+            assert s.store is not None and len(s.store) == 0
+
+    def test_engine_degraded_results_are_not_persisted(self, tmp_path):
+        """In-engine budget degradations are timing-dependent; they
+        stay out of the persistent tier exactly as they stay out of
+        the LRU."""
+        source = WORKLOADS["power"].source
+        request = SpecRequest.create(
+            source=source, specs=["dyn", "30"],
+            config={"max_unfold_depth": 2}, id="tight")
+        path = tmp_path / "store.db"
+        with SpecializationService(workers=0, store_path=path) as s:
+            result = s.run_one(request)
+            assert not result.degraded
+            if s.stats.engine_degradations:
+                assert s.stats.store_writes == 0
+            else:  # pragma: no cover — budget did not bite
+                pytest.skip("budget did not trigger a degradation")
+
+    def test_unreadable_store_payload_is_a_miss_not_a_crash(
+            self, tmp_path):
+        """A store payload the current build cannot rehydrate (schema
+        drift, hand-edited row) falls back to specializing."""
+        import sqlite3
+        path = tmp_path / "store.db"
+        [request] = requests()[:1]
+        with SpecializationService(workers=0, store_path=path) as s:
+            cold = s.run_one(request)
+        # Replace the payload with valid-JSON-but-not-a-result and a
+        # matching checksum: the store layer accepts it, the service
+        # layer must reject it as corrupt.
+        from repro.store import row_checksum
+        key = request.fingerprint()
+        text = json.dumps({"not": "a result"})
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE artifacts SET payload=?, checksum=?",
+                     (text, row_checksum(key, text)))
+        conn.commit()
+        conn.close()
+        with SpecializationService(workers=0, store_path=path) as s:
+            warm = s.run_one(request)
+            assert s.stats.store_corrupt == 1
+            assert not warm.degraded
+        assert warm.residual == cold.residual
+
+    def test_compiled_artifacts_survive_the_restart(self, tmp_path):
+        path = tmp_path / "store.db"
+        [request] = requests()[:1]
+        with SpecializationService(workers=0, store_path=path,
+                                   backend="compiled") as s:
+            cold = s.run_one(request)
+            assert cold.compiled is not None
+        with SpecializationService(workers=0, store_path=path,
+                                   backend="compiled") as s:
+            warm = s.run_one(request)
+            assert warm.compiled == cold.compiled
+            assert s.backend_stats.compiles == 0
+            assert s.backend_stats.artifact_reuses == 1
