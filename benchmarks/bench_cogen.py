@@ -3,13 +3,18 @@
 The offline strategy's end-game is self-application: specializing the
 specializer over a program yields that program's *generating extension*.
 ``repro.offline.cogen`` builds the artifact directly by staging the
-annotated program; this bench measures the three-way ladder the
-Futamura story predicts:
+annotated program; this bench measures the ladder the Futamura story
+predicts:
 
-    online specializer  >  offline specializer  >  generating extension
+    online  >  offline  >  generating extension  >  fused (emitted)
 
 in per-specialization cost (the analysis and the staging are one-time,
-amortized).  Residuals are identical across all three (asserted).
+amortized).  Residuals are identical across all tiers (asserted).
+``benchmarks/bench_genext_ladder.py`` asserts the strict ordering over
+a multi-workload corpus; this file keeps the per-tier
+``pytest-benchmark`` timing detail on the paper's inner-product
+example.  With ``REPRO_BENCH_JSON_DIR`` set, each tier's timing lands
+in ``BENCH_cogen.json``.
 """
 
 import pytest
@@ -17,6 +22,7 @@ import pytest
 from repro.facets import FacetSuite, VectorSizeFacet
 from repro.facets.abstract import AbstractSuite
 from repro.facets.abstract.size import STATIC_SIZE
+from repro.genext import emit_genext, load_genext
 from repro.lang.values import VECTOR
 from repro.lattice.bt import BT
 from repro.offline.analysis import analyze
@@ -40,19 +46,33 @@ def setup():
     return program, suite, analysis, inputs
 
 
-def test_online_baseline(benchmark, setup):
+def _record_timing(bench_record, key, benchmark, **extra) -> None:
+    """Stage this tier's pytest-benchmark timing for
+    ``BENCH_cogen.json`` (stats are absent under
+    ``--benchmark-disable``; the row still records its extras)."""
+    stats = getattr(benchmark, "stats", None)
+    payload = dict(extra)
+    if stats is not None:
+        payload["median_ms"] = round(stats.stats.median * 1e3, 4)
+        payload["min_ms"] = round(stats.stats.min * 1e3, 4)
+    bench_record(key, **payload)
+
+
+def test_online_baseline(benchmark, bench_record, setup):
     program, suite, _analysis, inputs = setup
     benchmark(lambda: OnlineSpecializer(program, suite).specialize(
         inputs))
+    _record_timing(bench_record, "online", benchmark)
 
 
-def test_offline_specializer(benchmark, setup):
+def test_offline_specializer(benchmark, bench_record, setup):
     program, suite, analysis, inputs = setup
     benchmark(lambda: OfflineSpecializer(analysis, suite).specialize(
         inputs))
+    _record_timing(bench_record, "offline", benchmark)
 
 
-def test_generating_extension(benchmark, report, setup):
+def test_generating_extension(benchmark, report, bench_record, setup):
     program, suite, analysis, inputs = setup
     genext = make_generating_extension(analysis, suite)
 
@@ -66,9 +86,31 @@ def test_generating_extension(benchmark, report, setup):
            f"specializers; facet evaluations "
            f"{result.stats.facet_evaluations} (same as offline: "
            f"{offline.stats.facet_evaluations})")
+    _record_timing(bench_record, "cogen", benchmark,
+                   facet_evaluations=result.stats.facet_evaluations)
 
 
-def test_staging_cost(benchmark, report, setup):
+def test_fused_genext(benchmark, report, bench_record, setup):
+    """The emitted-module tier: the same generating extension fused
+    with the backend into standalone Python (:mod:`repro.genext`),
+    specializing from spec strings with no annotated-AST dispatch."""
+    program, suite, analysis, inputs = setup
+    source = WORKLOADS["inner_product"].source
+    specs = [f"size={SIZE}"] * 2
+    module = load_genext(
+        emit_genext(source, specs, suite=FacetSuite([VectorSizeFacet()]))
+        .python_source)
+
+    result = benchmark(module.specialize_specs, specs)
+
+    offline = OfflineSpecializer(analysis, suite).specialize(inputs)
+    assert result.program == offline.program
+    report("fused genext: residual identical to the offline "
+           "specializer's")
+    _record_timing(bench_record, "fused", benchmark)
+
+
+def test_staging_cost(benchmark, report, bench_record, setup):
     """The one-time compilation is cheap relative to one
     specialization — staging amortizes immediately."""
     program, suite, analysis, _inputs = setup
@@ -78,3 +120,4 @@ def test_staging_cost(benchmark, report, setup):
     assert genext is not None
     report("staging (compiling the annotated program to closures) is "
            "a one-time cost; see the timing table")
+    _record_timing(bench_record, "staging", benchmark)

@@ -1,0 +1,286 @@
+"""The amortization ladder: fused < cogen < offline < online.
+
+Two claims back the ``genext`` engine (EXPERIMENTS.md "fused
+generating extensions"):
+
+1. **Per-specialization cost is strictly ordered** across the four
+   tiers on a multi-workload corpus.  Each tier prices what a service
+   actually pays per request once the per-*program* work has been
+   amortized:
+
+   * ``online``  — parse the program, build a suite, specialize from
+     scratch (no amortizable artifact exists);
+   * ``offline`` — the binding-time analysis is warm, every request
+     still walks the annotated AST through the interpretive
+     specializer;
+   * ``cogen``   — the generating extension is warm as in-memory
+     closures (:class:`repro.offline.cogen.GeneratingExtension`);
+   * ``fused``   — the generating extension was *emitted* as a Python
+     module (:mod:`repro.genext`) and is warm as loaded code: pure
+     decision procedures, no AST dispatch on the hot path.
+
+   The three amortized tiers share one generalized analysis, so their
+   residuals must be **byte-identical** — asserted per spec vector —
+   and the fused residuals are shadow-verified (compiled vs interpreter)
+   on sample dynamic arguments.
+
+2. **Service amortization**: on a skewed multi-spec stream against one
+   source, engine ``genext`` (one emitted module serves the whole
+   generalized-pattern class) sustains at least twice the warm
+   throughput of engine ``offline`` (which re-analyzes every distinct
+   exact pattern), with the reuse visible as ``genext_hits`` in
+   :class:`~repro.observability.ServiceStats`.
+
+Timing is manual ``perf_counter`` (best-of-rounds per spec vector)
+rather than ``pytest-benchmark`` because the ordering assertions need
+all four tiers measured inside one test.  ``REPRO_BENCH_JSON_DIR`` routes the
+rows to ``BENCH_genext_ladder.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Sequence
+
+from repro.backend.verify import execute_program
+from repro.facets.abstract.vector import AbstractSuite
+from repro.genext import emit_genext, load_genext
+from repro.genext.emit import default_suite, generalized_pattern
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.values import Vector
+from repro.observability import BackendStats
+from repro.offline.analysis import analyze
+from repro.offline.cogen import GeneratingExtension
+from repro.offline.specializer import OfflineSpecializer
+from repro.online.specializer import specialize_online
+from repro.service.results import SpecRequest
+from repro.service.scheduler import SpecializationService
+from repro.service.specs import parse_specs
+from repro.service.worker import default_suite as service_suite
+from repro.workloads import WORKLOADS
+
+#: Measured rounds over each workload's spec variants (after 2 warmup
+#: rounds).  The per-tier statistic is the mean over variants of each
+#: variant's *minimum* across rounds — the best observed cost of a
+#: deterministic computation, robust against scheduler noise where a
+#: median over mixed-size variants is not.
+ROUNDS = 7
+
+TIERS = ("online", "offline", "cogen", "fused")
+
+
+@dataclass(frozen=True)
+class Case:
+    """One corpus workload: spec variants within a single generalized
+    pattern class, plus sample dynamic args for shadow verification."""
+
+    workload: str
+    variants: tuple[tuple[str, ...], ...]
+    #: Maps a spec vector to sample arguments for the residual goal
+    #: (the dynamic parameters, in goal order).
+    sample_args: Callable[[tuple[str, ...]], tuple]
+
+
+def _size_of(spec: str) -> int:
+    return int(spec.split("=", 1)[1])
+
+
+CASES = (
+    # Recursive exponentiation-by-squaring; the exponent literal is
+    # static, the base dynamic.
+    Case("power",
+         tuple(("dyn", str(n)) for n in (5, 7, 9, 11)),
+         lambda specs: (3,)),
+    # Size-specialized loops: the vectors stay dynamic, only the size
+    # facet is pinned, so the residual goal keeps all its parameters.
+    Case("inner_product",
+         tuple((f"size={n}",) * 2 for n in (8, 16, 24)),
+         lambda specs: (Vector.of(range(1, _size_of(specs[0]) + 1)),
+                        Vector.of(range(2, _size_of(specs[0]) + 2)))),
+    Case("poly_eval",
+         tuple((f"size={n}", "dyn") for n in (3, 5, 7)),
+         lambda specs: (Vector.of(range(1, _size_of(specs[0]) + 1)),
+                        2.0)),
+    Case("binary_search",
+         tuple((f"size={n}", "dyn") for n in (7, 15, 31)),
+         lambda specs: (Vector.of(range(1, _size_of(specs[0]) + 1)),
+                        float(min(7, _size_of(specs[0]))))),
+    # Fully static: the residual goal is a constant, no dynamic args.
+    Case("gcd",
+         (("48", "18"), ("270", "192"), ("1071", "462")),
+         lambda specs: ()),
+)
+
+
+def _best_ms(fn: Callable[[tuple[str, ...]], object],
+             variants: Sequence[tuple[str, ...]]) -> float:
+    """Mean over variants of the per-variant minimum across rounds,
+    in milliseconds (see the ``ROUNDS`` comment)."""
+    for _ in range(2):
+        for specs in variants:
+            fn(specs)
+    best = [float("inf")] * len(variants)
+    for _ in range(ROUNDS):
+        for index, specs in enumerate(variants):
+            start = perf_counter()
+            fn(specs)
+            best[index] = min(best[index],
+                              (perf_counter() - start) * 1e3)
+    return statistics.fmean(best)
+
+
+def _build_tiers(source: str, first: tuple[str, ...]):
+    """Warm per-program state: one generalized analysis shared by the
+    offline/cogen tiers and one emitted module for the fused tier, so
+    all three produce byte-identical residuals."""
+    program = parse_program(source)
+    suite = default_suite()
+    abstract = AbstractSuite(suite)
+    pattern, _, _ = generalized_pattern(suite, abstract, list(first))
+    analysis = analyze(program, list(pattern), abstract)
+    extension = GeneratingExtension(analysis, suite)
+    module = load_genext(emit_genext(source, list(first)).python_source)
+
+    def online(specs):
+        fresh_program = parse_program(source)
+        fresh_suite = service_suite()
+        inputs = parse_specs(fresh_suite, list(specs))
+        return specialize_online(fresh_program, inputs, fresh_suite)
+
+    def offline(specs):
+        inputs = parse_specs(suite, list(specs))
+        return OfflineSpecializer(analysis, suite).specialize(inputs)
+
+    def cogen(specs):
+        return extension.specialize(parse_specs(suite, list(specs)))
+
+    def fused(specs):
+        return module.specialize_specs(list(specs))
+
+    return {"online": online, "offline": offline,
+            "cogen": cogen, "fused": fused}
+
+
+def test_genext_ladder(report, bench_record):
+    """Corpus-aggregate per-specialization cost is strictly ordered
+    fused < cogen < offline < online, with byte-identical residuals
+    across the amortized tiers and shadow-verified fused output."""
+    aggregate = dict.fromkeys(TIERS, 0.0)
+    report(f"{'workload':14} " +
+           " ".join(f"{tier:>9}" for tier in TIERS) + "  (ms/spec)")
+    for case in CASES:
+        source = WORKLOADS[case.workload].source
+        tiers = _build_tiers(source, case.variants[0])
+
+        shadow = BackendStats()
+        for specs in case.variants:
+            baseline = pretty_program(tiers["offline"](specs).program)
+            for tier in ("cogen", "fused"):
+                text = pretty_program(tiers[tier](specs).program)
+                assert text == baseline, \
+                    f"{case.workload} {specs}: {tier} residual diverges"
+            residual = tiers["fused"](specs).program
+            execute_program(residual, case.sample_args(specs),
+                            backend="shadow", stats=shadow)
+        assert shadow.mismatches == 0
+
+        row = {tier: _best_ms(tiers[tier], case.variants)
+               for tier in TIERS}
+        for tier in TIERS:
+            aggregate[tier] += row[tier]
+        report(f"{case.workload:14} " +
+               " ".join(f"{row[tier]:9.3f}" for tier in TIERS))
+        bench_record(case.workload, variants=len(case.variants),
+                     shadow_runs=shadow.shadow_runs,
+                     **{f"{tier}_ms": round(row[tier], 4)
+                        for tier in TIERS})
+
+    report(f"{'AGGREGATE':14} " +
+           " ".join(f"{aggregate[tier]:9.3f}" for tier in TIERS))
+    bench_record("aggregate",
+                 **{f"{tier}_ms": round(aggregate[tier], 4)
+                    for tier in TIERS})
+    assert aggregate["fused"] < aggregate["cogen"] \
+        < aggregate["offline"] < aggregate["online"], aggregate
+
+
+def _skewed_stream(head: tuple[str, ...],
+                   tail: Sequence[tuple[str, ...]],
+                   length: int) -> list[tuple[str, ...]]:
+    """Deterministic skew: the head spec every other slot, distinct
+    tail specs filling the rest."""
+    stream, pending = [], iter(tail)
+    for slot in range(length):
+        stream.append(head if slot % 2 == 0 else next(pending, head))
+    return stream
+
+
+def test_service_amortization(report, bench_record,
+                              track_service_stats):
+    """Warm same-source multi-spec throughput: engine ``genext`` beats
+    engine ``offline`` by >= 2x on a skewed stream of *literal* specs
+    (distinct exponents), because one emitted module covers the whole
+    generalized-pattern class while offline re-analyzes each distinct
+    exact pattern."""
+    source = WORKLOADS["power"].source
+    head = ("dyn", "10")
+    length = 60
+    # One stream per measurement pass, each with a *fresh* tail of
+    # exponents the service has never seen: the amortization claim is
+    # about previously-unseen members of a known pattern class, and a
+    # repeated tail would let offline's analysis memo absorb it.
+    streams = [
+        _skewed_stream(head, [("dyn", str(n))
+                              for n in range(3 + 100 * p,
+                                             33 + 100 * p)], length)
+        for p in range(3)]
+
+    # Warm the per-worker tiers on the head spec only: the genext
+    # module for the pattern class exists, offline has analyzed just
+    # the head — the realistic "service has seen this program" state.
+    for engine in ("offline", "genext"):
+        SpecializationService(workers=0).run_one(
+            SpecRequest.create(source, head, engine=engine))
+
+    elapsed = {}
+    for engine in ("offline", "genext"):
+        # Best of three passes, each through a fresh service (cold
+        # LRU, warm worker tiers): one slow pass on a noisy box must
+        # not decide the throughput claim.
+        for stream in streams:
+            service = SpecializationService(workers=0)
+            requests = [SpecRequest.create(source, specs,
+                                           engine=engine)
+                        for specs in stream]
+            start = perf_counter()
+            results = service.run_batch(requests)
+            seconds = perf_counter() - start
+            elapsed[engine] = min(elapsed.get(engine, seconds),
+                                  seconds)
+            assert all(not result.degraded for result in results)
+        track_service_stats(service.stats)
+        if engine == "genext":
+            snapshot = service.stats.as_dict()
+            assert snapshot["genext"]["hits"] == length
+            assert snapshot["genext"]["emits"] == 0
+        else:
+            assert service.stats.analysis_memo_misses >= 25
+
+    ratio = elapsed["offline"] / elapsed["genext"]
+    throughput = {engine: length / seconds
+                  for engine, seconds in elapsed.items()}
+    report(f"skewed stream ({length} requests, one source): "
+           f"offline {throughput['offline']:.0f} req/s, "
+           f"genext {throughput['genext']:.0f} req/s "
+           f"({ratio:.2f}x)")
+    bench_record("service_amortization",
+                 requests=length,
+                 offline_seconds=round(elapsed["offline"], 4),
+                 genext_seconds=round(elapsed["genext"], 4),
+                 offline_rps=round(throughput["offline"], 1),
+                 genext_rps=round(throughput["genext"], 1),
+                 speedup=round(ratio, 2))
+    assert ratio >= 2.0, elapsed

@@ -13,6 +13,13 @@ Subcommands:
 * ``ppe analyze FILE SPEC...`` — facet analysis; SPECs as above but
   literals mean Static, and the Figure 9 table is printed;
 * ``ppe offline FILE SPEC...`` — analysis + offline specialization;
+* ``ppe cogen emit FILE SPEC...`` — emit the program's generating
+  extension as a standalone Python module (``--output PATH``; the
+  module's ``specialize(inputs)`` replays the analysis' decisions with
+  no re-parsing or re-analysis — see :mod:`repro.genext`);
+* ``ppe cogen run FILE SPEC...`` — emit the genext in memory and
+  specialize through it (the fused path the service's ``genext``
+  engine serves);
 * ``ppe workloads`` — list the shipped program corpus;
 * ``ppe batch MANIFEST`` — serve a JSON manifest of specialization
   requests through :mod:`repro.service` (worker pool, deadlines,
@@ -41,6 +48,12 @@ Crossing a budget never fails the run: the engine widens at the
 offending call and reports the degradations on stderr.  For ``batch``
 and ``serve`` the flags are service-wide defaults; per-request
 ``config`` entries win.
+
+``batch`` and ``serve`` accept ``--engine
+{online,offline,genext,simple}``: the engine for requests that do not
+name one themselves (``genext`` serves from per-program emitted
+generating extensions, amortized across spec vectors via the worker
+cache and the store's ``genext`` artifact kind).
 
 ``batch`` and ``serve`` also accept ``--backend {interp,compiled}``:
 with ``compiled``, each successful residual additionally carries its
@@ -74,6 +87,7 @@ from repro.online.specializer import specialize_online
 from repro.offline.analysis import analyze
 from repro.offline.report import facet_table
 from repro.offline.specializer import OfflineSpecializer
+from repro.service.results import ENGINES
 from repro.service.specs import SpecError, parse_spec, parse_value
 from repro.service.worker import default_suite as _default_suite
 
@@ -156,6 +170,24 @@ def main(argv: list[str] | None = None) -> int:
     for cmd in spec_cmds:
         _add_budget_flags(cmd)
 
+    cogen_cmd = sub.add_parser(
+        "cogen",
+        help="emitted generating extensions (the fused cogen path)")
+    cogen_sub = cogen_cmd.add_subparsers(dest="cogen_command",
+                                         required=True)
+    cogen_emit = cogen_sub.add_parser(
+        "emit",
+        help="emit the program's generating extension as Python")
+    cogen_emit.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="write the emitted module to PATH (default stdout)")
+    cogen_run = cogen_sub.add_parser(
+        "run",
+        help="emit the genext in memory and specialize through it")
+    for cmd in (cogen_emit, cogen_run):
+        cmd.add_argument("file", type=Path)
+        cmd.add_argument("specs", nargs="*")
+
     sub.add_parser("workloads", help="list the shipped corpus")
 
     batch_cmd = sub.add_parser(
@@ -178,6 +210,11 @@ def main(argv: list[str] | None = None) -> int:
                  "(0 disables; default 256)")
     for cmd in (batch_cmd, serve_cmd):
         _add_budget_flags(cmd)
+        cmd.add_argument(
+            "--engine", choices=ENGINES, default="online",
+            help="engine for requests that name none themselves "
+                 "('genext' serves from per-program emitted "
+                 "generating extensions; default 'online')")
         cmd.add_argument(
             "--backend", choices=("interp", "compiled"),
             default="interp",
@@ -232,6 +269,9 @@ def main(argv: list[str] | None = None) -> int:
             marker = " [higher-order]" if workload.higher_order else ""
             print(f"{workload.name:18} {workload.description}{marker}")
         return 0
+
+    if options.command == "cogen":
+        return _run_cogen(options)
 
     if options.command == "batch":
         return _run_batch(options)
@@ -356,6 +396,40 @@ def _warn_degradations(stats) -> None:
               f"specialized", file=sys.stderr)
 
 
+def _run_cogen(options: argparse.Namespace) -> int:
+    """``ppe cogen {emit,run}``: the fused generating-extension path
+    from the command line."""
+    from repro.lang.errors import PEError
+    from repro.genext import emit_genext, load_genext
+
+    try:
+        source = options.file.read_text()
+    except OSError as error:
+        raise SystemExit(f"ppe: cannot read program: {error}")
+    try:
+        emitted = emit_genext(source, list(options.specs))
+    except (PEError, SpecError, ValueError) as error:
+        raise SystemExit(f"ppe: {error}")
+    if options.cogen_command == "emit":
+        if options.output is not None:
+            options.output.write_text(emitted.python_source)
+        else:
+            print(emitted.python_source, end="")
+        print(f"; store key: {emitted.store_key}", file=sys.stderr)
+        print(f"; pattern: {emitted.pattern_fingerprint}",
+              file=sys.stderr)
+        return 0
+    module = load_genext(emitted.python_source)
+    try:
+        result = module.specialize_specs(list(options.specs))
+    except (PEError, SpecError) as error:
+        raise SystemExit(f"ppe: {error}")
+    print(pretty_program(result.program), end="")
+    print(f"; facet evaluations: {result.stats.facet_evaluations}",
+          file=sys.stderr)
+    return 0
+
+
 def _run_store(options: argparse.Namespace) -> int:
     """``ppe store {stats,gc,verify}``.  ``stats`` and ``gc`` exit 0
     (their output is the report); ``verify`` exits 1 when it found —
@@ -393,7 +467,8 @@ def _run_batch(options: argparse.Namespace) -> int:
     except OSError as error:
         raise SystemExit(f"ppe: cannot read manifest: {error}")
     try:
-        requests = load_manifest(text, options.manifest.parent)
+        requests = load_manifest(text, options.manifest.parent,
+                                 default_engine=options.engine)
     except (ValueError, OSError) as error:
         raise SystemExit(f"ppe: bad manifest: {error}")
 
@@ -444,7 +519,8 @@ def _run_serve(options: argparse.Namespace) -> int:
             backend=options.backend,
             store_path=options.store_path,
             store_max_bytes=options.store_max_bytes) as service:
-        code = serve(service, sys.stdin, sys.stdout)
+        code = serve(service, sys.stdin, sys.stdout,
+                     default_engine=options.engine)
     try:
         sys.stdout.flush()
     except BrokenPipeError:

@@ -1,0 +1,521 @@
+"""Runtime library of *emitted* generating extensions.
+
+An emitted genext module (see :mod:`repro.genext.emit`) is flat Python:
+one function per subject-program function whose body is the sequence of
+specialization decisions the facet analysis licensed, with every
+annotation lookup, environment dictionary and closure-tree dispatch of
+:class:`repro.offline.cogen.GeneratingExtension` compiled away.  What
+cannot be decided at emission time — folding a primitive whose
+arguments turn out residual, the unfold-or-specialize choice at a call,
+the facet join at a dynamic conditional — is delegated to the helpers
+in this module, which mirror the cogen closures *operation by
+operation* so the residual programs (names, gensym order, statistics)
+stay byte-identical to both :class:`~repro.offline.cogen.
+GeneratingExtension` and :class:`~repro.offline.specializer.
+OfflineSpecializer`.
+
+The module-level protocol: the emitted module builds a
+:class:`GenextRuntime` from its baked manifest (facet-suite layout,
+engine config, generalized input pattern, per-function needed-facet
+sets and parameter occurrence counts) plus its emitted decision
+functions, and re-exports :meth:`GenextRuntime.specialize`.  Importing
+a genext performs **no parsing and no facet analysis** of the subject
+program — that is the amortization the service's ``genext`` engine
+buys: analysis cost is paid once per ``(source, config)``, not per
+spec vector.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.lang.ast import (
+    Call, Const, Expr, FunDef, If, Let, Prim, Var, count_occurrences)
+from repro.lang.errors import EvalError, PEError
+from repro.lang.primitives import apply_primitive, fold_would_blow_up
+from repro.lang.program import Program
+from repro.lang.values import Value, Vector, is_value
+from repro.lattice.pevalue import PEValue
+from repro.facets import (
+    ConstSetFacet, FacetSuite, FacetVector, IntervalFacet, ParityFacet,
+    SignFacet, VectorSizeFacet)
+from repro.facets.abstract.vector import AbstractSuite, AbstractVector
+from repro.offline.cogen import GenExtResult
+from repro.online.cache import SpecCache, dynamic_positions, make_key
+from repro.online.config import PEConfig, PEStats, UnfoldStrategy
+from repro.transform.cleanup import canonical_names, drop_unreachable
+from repro.transform.simplify import definitely_total, simplify_program
+
+#: Mirrors :data:`repro.offline.cogen._RECURSION_LIMIT`.
+_RECURSION_LIMIT = 100_000
+
+#: Bumped when the emitted-module protocol changes; a persisted genext
+#: with a different version fails to bind and is re-emitted.
+GENEXT_PROTOCOL = 1
+
+#: Non-finite float literals, referenced by name from emitted modules.
+_inf = float("inf")
+_nan = float("nan")
+
+
+def _vec(items: Sequence[float | None]) -> Vector:
+    """Vector literals in emitted const cells (holes stay ``None``)."""
+    return Vector(tuple(items))
+
+
+# -- suite reconstruction --------------------------------------------------
+
+def facet_name_of(facet: object) -> str:
+    """The wire name of a shipped facet; :class:`PEError` for facets
+    the emitted-module manifest cannot describe."""
+    if isinstance(facet, ConstSetFacet):
+        from repro.facets.library.constset import DEFAULT_LIMIT
+        limit = facet.domain.limit
+        return ("constset" if limit == DEFAULT_LIMIT
+                else f"constset<={limit}")
+    name = getattr(facet, "name", None)
+    if name is None or facet_from_name(str(name), probe=True) is None:
+        raise PEError(
+            f"cannot emit a generating extension over facet "
+            f"{facet!r}: only the shipped facets "
+            f"(sign/parity/interval/size/constset) have a stable "
+            f"wire name")
+    return str(name)
+
+
+def facet_from_name(name: str, probe: bool = False):
+    """Rebuild a shipped facet from its wire name (``None`` when
+    probing an unknown name)."""
+    if name == "sign":
+        return SignFacet()
+    if name == "parity":
+        return ParityFacet()
+    if name == "interval":
+        return IntervalFacet()
+    if name == "size":
+        return VectorSizeFacet()
+    if name == "constset":
+        return ConstSetFacet()
+    if name.startswith("constset<="):
+        try:
+            return ConstSetFacet(int(name[len("constset<="):]))
+        except ValueError:
+            pass
+    if probe:
+        return None
+    raise PEError(f"unknown facet name {name!r} in genext manifest")
+
+
+def suite_from_names(names: Sequence[str]) -> FacetSuite:
+    return FacetSuite([facet_from_name(name) for name in names])
+
+
+def pattern_vector(descriptor: Mapping[str, Any],
+                   online: FacetSuite,
+                   abstract: AbstractSuite) -> AbstractVector:
+    """One analyzed input from its manifest descriptor (see
+    :func:`repro.genext.emit.generalized_pattern`)."""
+    kind = descriptor.get("kind")
+    if kind == "dyn":
+        return abstract.dynamic(None)
+    if kind == "static":
+        return abstract.static(descriptor.get("sort"))
+    if kind == "spec":
+        from repro.service.specs import parse_spec
+        vector = parse_spec(online, str(descriptor["text"]))
+        if is_value(vector):
+            return abstract.static(descriptor.get("sort"))
+        return abstract.abstract_of_online(vector)
+    raise PEError(f"unknown pattern descriptor {descriptor!r}")
+
+
+# -- per-specialization state ----------------------------------------------
+
+@dataclass
+class Ctx:
+    """Per-specialization mutable state; mirrors
+    :class:`repro.offline.cogen._Ctx` field for field so gensym
+    numbering — and with it residual text — is identical."""
+
+    cache: SpecCache
+    stats: PEStats
+    depth: int = 0
+    gensym: int = 0
+
+    def fresh(self, base: str) -> str:
+        self.gensym += 1
+        return f"{base}!{self.gensym}"
+
+
+class FunctionProfile:
+    """Everything the runtime knows about one subject function: its
+    emitted decision body, the analysis' needed-facet set (as
+    precomputed per-sort restriction masks) and baked parameter
+    occurrence counts (what cogen recomputes by AST walk per unfold)."""
+
+    __slots__ = ("name", "params", "arity", "needed", "occurrences",
+                 "body", "rt", "_masks")
+
+    def __init__(self, rt: "GenextRuntime", name: str,
+                 params: Sequence[str], needed: Sequence[str],
+                 occurrences: Mapping[str, int]) -> None:
+        self.rt = rt
+        self.name = name
+        self.params = tuple(params)
+        self.arity = len(self.params)
+        self.needed = frozenset(needed)
+        self.occurrences = dict(occurrences)
+        self.body: Callable[..., tuple[Expr, FacetVector]] | None = None
+        self._masks: dict[str | None, tuple[bool, ...] | None] = {}
+
+    def restrict(self, vector: FacetVector) -> FacetVector:
+        """``GeneratingExtension._restrict`` with the per-sort
+        needed-mask precomputed once instead of two set probes per
+        facet per call."""
+        sort = vector.sort
+        try:
+            mask = self._masks[sort]
+        except KeyError:
+            facets = self.rt.online.facets_for(sort)
+            keep = tuple(facet.name in self.needed for facet in facets)
+            mask = None if all(keep) else keep
+            self._masks[sort] = mask
+        if mask is None:
+            return vector
+        suite = self.rt.online
+        facets = suite.facets_for(sort)
+        user = tuple(
+            component if kept else facet.domain.top
+            for kept, facet, component
+            in zip(mask, facets, vector.user))
+        return suite.make_vector(sort, vector.pe, user)
+
+
+class GenextRuntime:
+    """The bound state of one emitted genext module."""
+
+    def __init__(self, manifest: Mapping[str, Any],
+                 functions: Mapping[str, Callable]) -> None:
+        if manifest.get("protocol") != GENEXT_PROTOCOL:
+            raise PEError(
+                f"genext protocol {manifest.get('protocol')!r} != "
+                f"{GENEXT_PROTOCOL}; re-emit the module")
+        self.manifest = dict(manifest)
+        self.online = suite_from_names(manifest["facets"])
+        self.abstract = AbstractSuite(self.online)
+        from repro.service.results import _decode_config_value
+        self.config = PEConfig(**{
+            name: _decode_config_value(name, value)
+            for name, value in dict(manifest.get("config") or {}).items()})
+        self.pattern = tuple(
+            pattern_vector(d, self.online, self.abstract)
+            for d in manifest["pattern"])
+        self._facets = {facet.name: facet
+                        for facet in self.online.facets}
+        self.profiles: dict[str, FunctionProfile] = {}
+        self._order: list[str] = []
+        for entry in manifest["functions"]:
+            profile = FunctionProfile(
+                self, entry["name"], entry["params"],
+                entry.get("needed", ()), entry.get("occurrences", {}))
+            profile.body = functions[entry["name"]]
+            self.profiles[entry["name"]] = profile
+            self._order.append(entry["name"])
+        self.main = self.profiles[manifest["main"]]
+
+    # -- module-level cells -------------------------------------------
+    def profile(self, name: str) -> FunctionProfile:
+        return self.profiles[name]
+
+    def facet(self, name: str | None):
+        if name is None:
+            return None
+        return self._facets.get(name)
+
+    def const_pair(self, fn: str, value: Value) \
+            -> tuple[Expr, FacetVector]:
+        """A baked constant cell: the pair cogen computes once at
+        closure-compilation time."""
+        profile = self.profiles[fn]
+        return (Const(value),
+                profile.restrict(self.online.const_vector(value)))
+
+    # -- driving -------------------------------------------------------
+    def specialize(self, inputs: Sequence[FacetVector | Value]) \
+            -> GenExtResult:
+        """Mirror of :meth:`GeneratingExtension.specialize`."""
+        main = self.main
+        if len(inputs) != main.arity:
+            raise PEError(
+                f"{main.name}: expected {main.arity} inputs, "
+                f"got {len(inputs)}")
+        suite = self.online
+        vectors = [suite.const_vector(value) if is_value(value)
+                   else value for value in inputs]
+        self._check_pattern(vectors)
+        pairs: list[tuple[Expr, FacetVector]] = []
+        goal_params = []
+        for param, vector in zip(main.params, vectors):
+            vector = main.restrict(vector)
+            if vector.pe.is_const:
+                pairs.append((Const(vector.pe.constant()), vector))
+            else:
+                pairs.append((Var(param), vector))
+                goal_params.append(param)
+        ctx = Ctx(SpecCache(reserved_names=list(self._order)),
+                  PEStats())
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
+        try:
+            body, _ = main.body(ctx, *pairs)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        goal = FunDef(main.name, tuple(goal_params), body)
+        raw = Program((goal, *ctx.cache.residual_defs()))
+        cleaned = raw
+        if self.config.simplify:
+            cleaned = simplify_program(cleaned)
+        if self.config.tidy:
+            cleaned = canonical_names(drop_unreachable(cleaned))
+        return GenExtResult(cleaned, raw, ctx.stats,
+                            tuple(goal_params))
+
+    def specialize_specs(self, specs: Sequence[str]) -> GenExtResult:
+        """Convenience: parse spec strings against the baked suite."""
+        from repro.service.specs import parse_specs
+        return self.specialize(parse_specs(self.online, specs))
+
+    def specialize_compiled(self,
+                            inputs: Sequence[FacetVector | Value]):
+        """The fused hot path: residual AST straight into the compiled
+        backend, skipping the pretty-print → re-parse round trip the
+        service scheduler pays for other engines.  Returns
+        ``(result, compiled)``."""
+        from repro.backend import compile_program
+        result = self.specialize(inputs)
+        return result, compile_program(result.program)
+
+    def _check_pattern(self, vectors: Sequence[FacetVector]) -> None:
+        if self.config.lenient:
+            return
+        abstract = [self.abstract.abstract_of_online(v)
+                    for v in vectors]
+        for i, (given, analyzed) in enumerate(
+                zip(abstract, self.pattern)):
+            if not self.abstract.leq(given, analyzed):
+                raise PEError(
+                    f"input {i} ({given}) does not match the analyzed "
+                    f"pattern ({analyzed}); rerun the facet analysis "
+                    f"for this division")
+
+    def _informative(self, vector: FacetVector) -> bool:
+        if vector.pe.is_const:
+            return True
+        facets = self.online.facets_for(vector.sort)
+        return any(not facet.domain.leq(facet.domain.top, component)
+                   for facet, component in zip(facets, vector.user))
+
+
+# -- decision helpers called from emitted code -----------------------------
+
+def unbound(name: str) -> tuple[Expr, FacetVector]:
+    """A variable the subject program references but never binds; the
+    cogen closure would raise the same ``KeyError`` from its env."""
+    raise KeyError(name)
+
+
+def fold(pf: FunctionProfile, ctx: Ctx, op: str,
+         pairs: Sequence[tuple[Expr, FacetVector]]) \
+        -> tuple[Expr, FacetVector]:
+    """A FOLD-annotated primitive (cogen's ``fold`` closure)."""
+    values = []
+    for arg_expr, _ in pairs:
+        if not isinstance(arg_expr, Const):
+            # Bottom caveat: a static subexpression errored and was
+            # residualized upstream.
+            return residual_prim(pf, ctx, op, pairs)
+        values.append(arg_expr.value)
+    if fold_would_blow_up(op, values):
+        return residual_prim(pf, ctx, op, pairs)
+    try:
+        value = apply_primitive(op, values)
+    except EvalError:
+        return residual_prim(pf, ctx, op, pairs)
+    ctx.stats.facet_evaluations += 1
+    ctx.stats.record_fold("pe")
+    return (Const(value), pf.restrict(pf.rt.online.const_vector(value)))
+
+
+def trigger(pf: FunctionProfile, ctx: Ctx, op: str,
+            pairs: Sequence[tuple[Expr, FacetVector]], facet) \
+        -> tuple[Expr, FacetVector]:
+    """A TRIGGER-annotated primitive: the analysis promised ``facet``'s
+    open operator yields the constant."""
+    suite = pf.rt.online
+    vectors = [pair[1] for pair in pairs]
+    outcome = None
+    if facet is not None:
+        sig = suite.resolve_sig(op, vectors)
+        if sig is not None:
+            projected = suite.project_args(facet, sig, vectors)
+            ctx.stats.facet_evaluations += 1
+            outcome = facet.apply_open(op, sig, projected)
+    if outcome is not None and outcome.is_const:
+        ctx.stats.record_fold(facet.name)
+        value = outcome.constant()
+        return (Const(value),
+                pf.restrict(suite.const_vector(value)))
+    # Bottom caveat (see fold).
+    return residual_prim(pf, ctx, op, pairs)
+
+
+def residual_prim(pf: FunctionProfile, ctx: Ctx, op: str,
+                  pairs: Sequence[tuple[Expr, FacetVector]]) \
+        -> tuple[Expr, FacetVector]:
+    """Cogen's ``_residual_prim_now``: keep the primitive residual,
+    pushing closed facet operators through the needed components."""
+    suite = pf.rt.online
+    vectors = [pair[1] for pair in pairs]
+    args = tuple(pair[0] for pair in pairs)
+    sig = suite.resolve_sig(op, vectors)
+    residual_expr = Prim(op, args)
+    if sig is None:
+        return residual_expr, suite.unknown(None)
+    if any(suite.is_bottom(v) for v in vectors):
+        return residual_expr, suite.bottom(sig.result_sort)
+    if sig.is_closed:
+        needed = pf.needed
+        components = []
+        for facet in suite.facets_for(sig.carrier):
+            if facet.name in needed:
+                projected = suite.project_args(facet, sig, vectors)
+                ctx.stats.facet_evaluations += 1
+                components.append(
+                    facet.apply_closed(op, sig, projected))
+            else:
+                components.append(facet.domain.top)
+        vector = suite.smash(suite.make_vector(
+            sig.result_sort, PEValue.top(), tuple(components)))
+        return residual_expr, vector
+    return residual_expr, suite.unknown(sig.result_sort)
+
+
+def build_if(pf: FunctionProfile, test_expr: Expr, then_pair,
+             else_pair) -> tuple[Expr, FacetVector]:
+    then_expr, then_vector = then_pair
+    else_expr, else_vector = else_pair
+    return (If(test_expr, then_expr, else_expr),
+            pf.rt.online.join(then_vector, else_vector))
+
+
+def let_exit(fresh: str, bound_expr: Expr, pair) \
+        -> tuple[Expr, FacetVector]:
+    """Close a residual ``let`` (cogen's ``staged_let`` exit): drop the
+    binding when the body never uses it and evaluating it cannot be
+    observed."""
+    body_expr, body_vector = pair
+    if count_occurrences(body_expr, fresh) == 0 \
+            and definitely_total(bound_expr):
+        return pair
+    return Let(fresh, bound_expr, body_expr), body_vector
+
+
+def residual_call(pf: FunctionProfile, ctx: Ctx,
+                  pairs: Sequence[tuple[Expr, FacetVector]]) \
+        -> tuple[Expr, FacetVector]:
+    """Cogen's ``staged_call``: the unfold-or-specialize decision,
+    taken against the *callee's* profile."""
+    restrict = pf.restrict
+    vectors = [restrict(pair[1]) for pair in pairs]
+    args = [pair[0] for pair in pairs]
+    ctx.stats.decisions += 1
+    rt = pf.rt
+    config = rt.config
+    unfold = False
+    if config.unfold_strategy is not UnfoldStrategy.NEVER \
+            and ctx.depth < config.unfold_fuel:
+        if config.unfold_strategy is UnfoldStrategy.ALWAYS:
+            unfold = True
+        else:
+            unfold = any(rt._informative(v) for v in vectors)
+    if unfold:
+        ctx.stats.unfoldings += 1
+        return _unfold(pf, args, vectors, ctx)
+    return _specialize_call(pf, args, vectors, ctx)
+
+
+def _unfold(pf: FunctionProfile, args, vectors, ctx: Ctx) \
+        -> tuple[Expr, FacetVector]:
+    pairs: list[tuple[Expr, FacetVector]] = []
+    lets: list[tuple[str, Expr]] = []
+    occurrences = pf.occurrences
+    for param, arg_expr, vector in zip(pf.params, args, vectors):
+        trivial = isinstance(arg_expr, (Const, Var))
+        if trivial or occurrences.get(param, 0) <= 1:
+            pairs.append((arg_expr, vector))
+        else:
+            fresh = ctx.fresh(param)
+            lets.append((fresh, arg_expr))
+            pairs.append((Var(fresh), vector))
+    ctx.depth += 1
+    try:
+        body_expr, body_vector = pf.body(ctx, *pairs)
+    finally:
+        ctx.depth -= 1
+    for fresh, bound in reversed(lets):
+        if count_occurrences(body_expr, fresh) == 0 \
+                and definitely_total(bound):
+            continue
+        body_expr = Let(fresh, bound, body_expr)
+    return body_expr, body_vector
+
+
+def _specialize_call(pf: FunctionProfile, args, vectors, ctx: Ctx) \
+        -> tuple[Expr, FacetVector]:
+    rt = pf.rt
+    suite = rt.online
+    config = rt.config
+    variants = ctx.cache.variants_of(pf.name)
+    rung = 0
+    if variants >= 2 * config.max_variants:
+        if not config.lenient:
+            raise PEError(
+                f"{pf.name}: too many specialization "
+                f"variants; re-analyze with a generalized "
+                f"division or set PEConfig(lenient=True)")
+        rung = 2
+        ctx.stats.generalizations += 1
+        vectors = [suite.unknown(v.sort) for v in vectors]
+    elif variants >= config.max_variants:
+        rung = 1
+        ctx.stats.generalizations += 1
+        vectors = [suite.unknown(v.sort) if not v.pe.is_const
+                   else v for v in vectors]
+    key = make_key(suite, pf.name, vectors, rung)
+    positions = dynamic_positions(vectors, rung)
+    entry = ctx.cache.lookup(key)
+    if entry is None:
+        entry = ctx.cache.register(
+            key, pf.name, positions,
+            tuple(pf.params[i] for i in positions))
+        ctx.stats.specializations += 1
+        pairs: list[tuple[Expr, FacetVector]] = []
+        for i, (param, vector) in enumerate(zip(pf.params, vectors)):
+            if i in positions:
+                pairs.append((Var(param), vector))
+            else:
+                pairs.append((Const(vector.pe.constant()), vector))
+        saved_depth = ctx.depth
+        ctx.depth = 0
+        try:
+            body_expr, _ = pf.body(ctx, *pairs)
+        finally:
+            ctx.depth = saved_depth
+        ctx.cache.finish(
+            entry, FunDef(entry.name, entry.params, body_expr))
+    else:
+        ctx.stats.cache_hits += 1
+    call_args = tuple(args[i] for i in entry.dynamic_positions)
+    return Call(entry.name, call_args), suite.unknown(None)

@@ -59,6 +59,24 @@ class ServiceStats:
     #: a dropped write.
     store_errors: int = 0
 
+    #: ``genext``-engine tier traffic, reported back by workers (the
+    #: tiers themselves live in worker processes).  A request served
+    #: from a worker's in-memory module cache counts one
+    #: ``genext_hits``; one loaded from the persistent store's
+    #: ``genext`` row counts ``genext_store_hits``; a fresh emission
+    #: counts ``genext_emits`` (plus ``genext_store_writes`` when the
+    #: bundle was persisted).
+    genext_hits: int = 0
+    genext_store_hits: int = 0
+    genext_store_writes: int = 0
+    genext_emits: int = 0
+
+    #: ``offline``-engine per-worker analysis-memo traffic: a hit
+    #: means the request reused a cached facet analysis (same program,
+    #: same abstract input pattern) instead of re-analyzing.
+    analysis_memo_hits: int = 0
+    analysis_memo_misses: int = 0
+
     #: Worker-process deaths observed (one per affected in-flight
     #: request: a single crash can break every future of its pool).
     worker_crashes: int = 0
@@ -113,6 +131,12 @@ class ServiceStats:
         self.store_evictions += other.store_evictions
         self.store_corrupt += other.store_corrupt
         self.store_errors += other.store_errors
+        self.genext_hits += other.genext_hits
+        self.genext_store_hits += other.genext_store_hits
+        self.genext_store_writes += other.genext_store_writes
+        self.genext_emits += other.genext_emits
+        self.analysis_memo_hits += other.analysis_memo_hits
+        self.analysis_memo_misses += other.analysis_memo_misses
         self.worker_crashes += other.worker_crashes
         self.retries += other.retries
         self.timeouts += other.timeouts
@@ -142,6 +166,12 @@ class ServiceStats:
                       "corrupt": self.store_corrupt,
                       "errors": self.store_errors,
                       "rate": round(self.store_hit_rate, 4)},
+            "genext": {"hits": self.genext_hits,
+                       "store_hits": self.genext_store_hits,
+                       "store_writes": self.genext_store_writes,
+                       "emits": self.genext_emits},
+            "analysis_memo": {"hits": self.analysis_memo_hits,
+                              "misses": self.analysis_memo_misses},
             "worker_crashes": self.worker_crashes,
             "retries": self.retries,
             "timeouts": self.timeouts,

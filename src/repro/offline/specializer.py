@@ -100,6 +100,13 @@ class OfflineSpecializer:
         self._gensym = 0
         #: facet-name -> Facet, for trigger dispatch.
         self._facets = {facet.name: facet for facet in suite.facets}
+        #: ``(needed, sort) -> None | (keep flags)``: ``None`` means
+        #: every facet of the sort is needed (restrict is identity).
+        self._restrict_masks: dict[tuple, object] = {}
+        #: ``(needed, carrier) -> ((facet, needed?), ...)``: the
+        #: closed-op plan of :meth:`_residual_prim` (un-needed slots
+        #: take the facet's top without a set probe).
+        self._closed_plans: dict[tuple, tuple] = {}
 
     # -- entry point ---------------------------------------------------------
     def specialize(self, inputs: Sequence[FacetVector | Value]) \
@@ -176,12 +183,20 @@ class OfflineSpecializer:
                   needed: frozenset[str]) -> FacetVector:
         """Drop (top out) components of facets the function does not
         need, so the run does no work to maintain them."""
-        facets = self.suite.facets_for(vector.sort)
-        if all(facet.name in needed for facet in facets):
+        key = (needed, vector.sort)
+        try:
+            mask = self._restrict_masks[key]
+        except KeyError:
+            facets = self.suite.facets_for(vector.sort)
+            keep = tuple(facet.name in needed for facet in facets)
+            mask = None if all(keep) else keep
+            self._restrict_masks[key] = mask
+        if mask is None:
             return vector
-        user = tuple(component if facet.name in needed
-                     else facet.domain.top
-                     for facet, component in zip(facets, vector.user))
+        facets = self.suite.facets_for(vector.sort)
+        user = tuple(component if kept else facet.domain.top
+                     for kept, facet, component
+                     in zip(mask, facets, vector.user))
         return self.suite.make_vector(vector.sort, vector.pe, user)
 
     def _const_vector(self, value: Value,
@@ -189,6 +204,23 @@ class OfflineSpecializer:
         return self._restrict(self.suite.const_vector(value), needed)
 
     # -- the specialization walk -------------------------------------------------
+    def _leaf(self, expr: Expr, env: Mapping[str, _Binding],
+              fn: str) -> tuple[Expr, FacetVector] | None:
+        """Evaluate a leaf node without a trampoline round trip (the
+        same work — including the fuel tick — as :meth:`_pe`'s leaf
+        cases); ``None`` for non-leaves."""
+        if isinstance(expr, Var):
+            self._tick()
+            binding = env.get(expr.name)
+            if binding is None:
+                raise PEError(f"unbound variable {expr.name!r}")
+            return binding.expr, binding.vector
+        if isinstance(expr, Const):
+            self._tick()
+            return expr, self._const_vector(expr.value,
+                                            self._needed(fn))
+        return None
+
     def _pe(self, expr: Expr, env: Mapping[str, _Binding], fn: str,
             depth: int):
         self._tick()
@@ -217,7 +249,9 @@ class OfflineSpecializer:
         residual_args = []
         vectors = []
         for arg in expr.args:
-            arg_expr, arg_vector = yield self._pe(arg, env, fn, depth)
+            pair = self._leaf(arg, env, fn)
+            arg_expr, arg_vector = pair if pair is not None \
+                else (yield self._pe(arg, env, fn, depth))
             residual_args.append(arg_expr)
             vectors.append(arg_vector)
         annotation = self.analysis.annotation_of(expr)
@@ -285,9 +319,17 @@ class OfflineSpecializer:
         if any(self.suite.is_bottom(v) for v in vectors):
             return residual, self.suite.bottom(sig.result_sort)
         if sig.is_closed:
+            plan_key = (needed, sig.carrier)
+            try:
+                plan = self._closed_plans[plan_key]
+            except KeyError:
+                plan = tuple(
+                    (facet, facet.name in needed)
+                    for facet in self.suite.facets_for(sig.carrier))
+                self._closed_plans[plan_key] = plan
             components = []
-            for facet in self.suite.facets_for(sig.carrier):
-                if facet.name in needed:
+            for facet, is_needed in plan:
+                if is_needed:
                     projected = self.suite.project_args(
                         facet, sig, vectors)
                     self.stats.facet_evaluations += 1
@@ -305,36 +347,48 @@ class OfflineSpecializer:
         annotation = self.analysis.annotation_of(expr)
         static_test = isinstance(annotation, IfAnnotation) \
             and annotation.test_bt.is_static
-        test_expr, _ = yield self._pe(expr.test, env, fn, depth)
+        pair = self._leaf(expr.test, env, fn)
+        test_expr, _ = pair if pair is not None \
+            else (yield self._pe(expr.test, env, fn, depth))
         if static_test:
             if isinstance(test_expr, Const) \
                     and isinstance(test_expr.value, bool):
                 self.stats.if_reductions += 1
                 branch = expr.then if test_expr.value else expr.else_
+                pair = self._leaf(branch, env, fn)
+                if pair is not None:
+                    return pair
                 return (yield self._pe(branch, env, fn, depth))
             # Bottom caveat again: the static test errored upstream and
             # was residualized; keep the conditional residual.
-        then_expr, then_vector = yield self._pe(expr.then, env, fn,
-                                                depth)
-        else_expr, else_vector = yield self._pe(expr.else_, env, fn,
-                                                depth)
+        pair = self._leaf(expr.then, env, fn)
+        then_expr, then_vector = pair if pair is not None \
+            else (yield self._pe(expr.then, env, fn, depth))
+        pair = self._leaf(expr.else_, env, fn)
+        else_expr, else_vector = pair if pair is not None \
+            else (yield self._pe(expr.else_, env, fn, depth))
         joined = self.suite.join(then_vector, else_vector)
         self.budget.charge_nodes()
         return If(test_expr, then_expr, else_expr), joined
 
     def _pe_let(self, expr: Let, env: Mapping[str, _Binding], fn: str,
                 depth: int):
-        bound_expr, bound_vector = yield self._pe(expr.bound, env, fn,
-                                                  depth)
+        pair = self._leaf(expr.bound, env, fn)
+        bound_expr, bound_vector = pair if pair is not None \
+            else (yield self._pe(expr.bound, env, fn, depth))
         if isinstance(bound_expr, (Const, Var)):
             inner = dict(env)
             inner[expr.name] = _Binding(bound_expr, bound_vector)
+            pair = self._leaf(expr.body, inner, fn)
+            if pair is not None:
+                return pair
             return (yield self._pe(expr.body, inner, fn, depth))
         fresh = self._fresh(expr.name)
         inner = dict(env)
         inner[expr.name] = _Binding(Var(fresh), bound_vector)
-        body_expr, body_vector = yield self._pe(expr.body, inner, fn,
-                                                depth)
+        pair = self._leaf(expr.body, inner, fn)
+        body_expr, body_vector = pair if pair is not None \
+            else (yield self._pe(expr.body, inner, fn, depth))
         if count_occurrences(body_expr, fresh) == 0 \
                 and definitely_total(bound_expr):
             return body_expr, body_vector
@@ -351,7 +405,9 @@ class OfflineSpecializer:
         residual_args = []
         vectors = []
         for arg in expr.args:
-            arg_expr, arg_vector = yield self._pe(arg, env, fn, depth)
+            pair = self._leaf(arg, env, fn)
+            arg_expr, arg_vector = pair if pair is not None \
+                else (yield self._pe(arg, env, fn, depth))
             residual_args.append(arg_expr)
             # The callee only tracks its needed facets.
             vectors.append(self._restrict(arg_vector, callee_needed))
@@ -404,8 +460,9 @@ class OfflineSpecializer:
                 fresh = self._fresh(param)
                 lets.append((fresh, arg_expr))
                 env[param] = _Binding(Var(fresh), vector)
-        body_expr, body_vector = yield self._pe(fundef.body, env,
-                                                fundef.name, depth)
+        pair = self._leaf(fundef.body, env, fundef.name)
+        body_expr, body_vector = pair if pair is not None \
+            else (yield self._pe(fundef.body, env, fundef.name, depth))
         for fresh, bound in reversed(lets):
             if count_occurrences(body_expr, fresh) == 0 \
                     and definitely_total(bound):
@@ -464,8 +521,10 @@ class OfflineSpecializer:
                 else:
                     env[param] = _Binding(
                         Const(vector.pe.constant()), vector)
-            body_expr, _ = yield self._pe(fundef.body, env, fundef.name,
-                                          depth=0)
+            pair = self._leaf(fundef.body, env, fundef.name)
+            body_expr, _ = pair if pair is not None \
+                else (yield self._pe(fundef.body, env, fundef.name,
+                                     depth=0))
             self.cache.finish(
                 entry, FunDef(entry.name, entry.params, body_expr))
         else:

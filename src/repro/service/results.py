@@ -2,7 +2,7 @@
 
 A :class:`SpecRequest` is everything one specialization needs, as plain
 data: program source, engine choice (``online`` / ``offline`` /
-``simple``), the input division as spec strings (see
+``genext`` / ``simple``), the input division as spec strings (see
 :mod:`repro.service.specs`) and :class:`~repro.online.config.PEConfig`
 overrides.  Plain data on purpose — requests cross process boundaries
 (the worker pool) and wire formats (the ``batch`` manifest, the
@@ -32,7 +32,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.online.config import PEConfig, UnfoldStrategy
 
-ENGINES = ("online", "offline", "simple")
+ENGINES = ("online", "offline", "genext", "simple")
 
 #: PEConfig fields a request may override, with their wire decoders.
 _CONFIG_FIELDS = {f.name for f in fields(PEConfig)}
@@ -64,7 +64,7 @@ class SpecRequest:
     source: str
     #: Input specs, one per goal parameter (``repro.service.specs``).
     specs: tuple[str, ...] = ()
-    #: ``online`` | ``offline`` | ``simple``.
+    #: ``online`` | ``offline`` | ``genext`` | ``simple``.
     engine: str = "online"
     #: PEConfig overrides as a sorted, hashable item tuple.
     config: tuple[tuple[str, Any], ...] = ()
@@ -106,9 +106,12 @@ class SpecRequest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any],
-                  base_dir: Path | None = None) -> "SpecRequest":
+                  base_dir: Path | None = None,
+                  default_engine: str = "online") -> "SpecRequest":
         """Decode a manifest/JSONL entry.  ``source`` may be given
-        inline or as a ``file`` path (resolved against ``base_dir``)."""
+        inline or as a ``file`` path (resolved against ``base_dir``);
+        entries that name no engine get ``default_engine`` (the CLI's
+        ``--engine`` flag)."""
         if not isinstance(data, Mapping):
             raise ValueError(f"request must be an object, got {data!r}")
         known = {"source", "file", "specs", "engine", "config", "id",
@@ -132,7 +135,7 @@ class SpecRequest:
             specs = specs.split()
         return cls.create(
             source=source, specs=specs,
-            engine=data.get("engine", "online"),
+            engine=data.get("engine", default_engine),
             config=data.get("config"), id=data.get("id"),
             deadline=data.get("deadline"), fault=data.get("fault"))
 
@@ -260,10 +263,11 @@ class SpecResult:
         return replace(self, id=request.id, cached=cached)
 
 
-def load_manifest(text: str,
-                  base_dir: Path | None = None) -> list[SpecRequest]:
+def load_manifest(text: str, base_dir: Path | None = None,
+                  default_engine: str = "online") -> list[SpecRequest]:
     """Decode a ``ppe batch`` manifest: a JSON array of request
-    objects, or an object with a ``requests`` array."""
+    objects, or an object with a ``requests`` array.  Entries that
+    name no engine get ``default_engine``."""
     try:
         data = json.loads(text)
     except json.JSONDecodeError as error:
@@ -274,4 +278,5 @@ def load_manifest(text: str,
     if not isinstance(data, list):
         raise ValueError("manifest must be a JSON array of requests "
                          "or an object with a 'requests' array")
-    return [SpecRequest.from_dict(entry, base_dir) for entry in data]
+    return [SpecRequest.from_dict(entry, base_dir, default_engine)
+            for entry in data]

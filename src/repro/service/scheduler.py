@@ -254,6 +254,13 @@ class SpecializationService:
         payload = job.request.to_payload()
         for name, value in self.default_config.items():
             payload["config"].setdefault(name, value)
+        # The genext engine wants the persistent store (for emitted
+        # genext bundles) and the backend choice (to compile residuals
+        # worker-side, straight off the AST) in the worker process.
+        if self.store is not None:
+            payload["store_path"] = str(self.store.path)
+        if self.backend == "compiled":
+            payload["backend"] = "compiled"
         deadline = self._deadline_of(job)
         if deadline is not None \
                 and self.deadline_budget_fraction is not None:
@@ -375,6 +382,7 @@ class SpecializationService:
                    self.backoff_base * (2 ** (job.attempts - 1)))
 
     def _absorb(self, job: _Job, outcome: dict) -> SpecResult:
+        self._absorb_tiers(outcome)
         if outcome.get("failed"):
             self.stats.errors += 1
             category = outcome.get("category")
@@ -382,13 +390,20 @@ class SpecializationService:
                 self.stats.errors_by_category[category] = \
                     self.stats.errors_by_category.get(category, 0) + 1
             return self._degrade(job, outcome.get("error", "failed"))
+        compiled = outcome.get("compiled")
+        if compiled is not None:
+            # The worker compiled the residual itself (the genext
+            # engine's fused path); don't re-do it here.
+            self.backend_stats.compiles += 1
+        else:
+            compiled = self._compile_residual(outcome["residual"])
         result = SpecResult(
             residual=outcome["residual"],
             goal_params=tuple(outcome.get("goal_params", ())),
             engine=job.request.engine, id=job.request.id,
             attempts=job.attempts, stats=outcome.get("stats", {}),
             seconds=outcome.get("seconds", 0.0),
-            compiled=self._compile_residual(outcome["residual"]))
+            compiled=compiled)
         self.stats.completed += 1
         budget = (outcome.get("stats") or {}).get("budget") or {}
         if budget.get("degradations"):
@@ -402,6 +417,22 @@ class SpecializationService:
         self.cache.put(job.key, result)
         self._store_put(job.key, result)
         return result
+
+    def _absorb_tiers(self, outcome: dict) -> None:
+        """Fold a worker's per-request amortization-tier counters
+        (genext cache/store/emit, offline analysis memo) into the
+        service-wide stats."""
+        tiers = outcome.get("tiers") or {}
+        self.stats.genext_hits += tiers.get("genext_hits", 0)
+        self.stats.genext_store_hits += \
+            tiers.get("genext_store_hits", 0)
+        self.stats.genext_store_writes += \
+            tiers.get("genext_store_writes", 0)
+        self.stats.genext_emits += tiers.get("genext_emits", 0)
+        self.stats.analysis_memo_hits += \
+            tiers.get("analysis_memo_hits", 0)
+        self.stats.analysis_memo_misses += \
+            tiers.get("analysis_memo_misses", 0)
 
     def _compile_residual(self, residual: str) -> dict | None:
         """With ``backend="compiled"``, the artifact stored alongside a

@@ -35,18 +35,20 @@ def _emit(stream_out: IO[str], payload: dict) -> None:
 
 
 def serve(service: SpecializationService, stream_in: IO[str],
-          stream_out: IO[str]) -> int:
+          stream_out: IO[str],
+          default_engine: str = "online") -> int:
     """Pump the JSONL loop until shutdown, EOF, or the consumer
-    closing the output stream.  Returns 0."""
+    closing the output stream.  Requests that name no engine get
+    ``default_engine`` (the CLI's ``--engine`` flag).  Returns 0."""
     try:
-        _pump(service, stream_in, stream_out)
+        _pump(service, stream_in, stream_out, default_engine)
     except BrokenPipeError:
         pass
     return 0
 
 
 def _pump(service: SpecializationService, stream_in: IO[str],
-          stream_out: IO[str]) -> None:
+          stream_out: IO[str], default_engine: str) -> None:
     for line in stream_in:
         line = line.strip()
         if not line:
@@ -74,7 +76,8 @@ def _pump(service: SpecializationService, stream_in: IO[str],
                                "error": f"unknown op {op!r}"})
             continue
         try:
-            request = SpecRequest.from_dict(data)
+            request = SpecRequest.from_dict(
+                data, default_engine=default_engine)
         except (ValueError, OSError) as error:
             _emit(stream_out, {"ok": False, "error": str(error),
                                "id": data.get("id")})

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import OrderedDict
 from time import perf_counter
 from typing import Any, Mapping
 
@@ -29,6 +30,7 @@ from repro.facets import (
     FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
+from repro.lang.values import is_value
 from repro.offline.specializer import specialize_offline
 from repro.online.config import PEConfig
 from repro.online.specializer import specialize_online
@@ -46,6 +48,47 @@ def default_suite() -> FacetSuite:
     """Every shipped facet — the suite the CLI and the service use."""
     return FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
                        VectorSizeFacet()])
+
+
+# -- per-process amortization tiers ----------------------------------------
+#
+# Worker processes are long-lived (one pool outlasts many requests), so
+# the per-program artifacts below amortize across requests without any
+# cross-process coordination.  Each request reports what it used in an
+# ``outcome["tiers"]`` mapping; the scheduler folds those into
+# ``ServiceStats``.
+
+#: Loaded genext modules, ``(store_key, pattern_fp)`` -> module, LRU.
+_GENEXT_CACHE_CAP = 32
+_genext_cache: OrderedDict = OrderedDict()
+
+#: Offline facet analyses, ``(source, abstract pattern)`` ->
+#: ``(suite, analysis)``, LRU.  The suite is cached *with* the
+#: analysis so the facet-operation memos it accumulated stay warm.
+_ANALYSIS_MEMO_CAP = 128
+_analysis_memo: OrderedDict = OrderedDict()
+
+#: Artifact-store handles by path (the store reopens itself after a
+#: fork, so one handle per path is safe in pool workers).
+_stores: dict = {}
+
+#: The suite pair used only to *fingerprint* genext requests (pure
+#: reads; built once per process).
+_fp_suites = None
+
+
+def _store_for(path: str):
+    """Best effort: a store that cannot open is no store (the genext
+    engine then runs emit-per-miss, which is still correct)."""
+    store = _stores.get(path)
+    if store is None and path not in _stores:
+        from repro.store import ArtifactStore
+        try:
+            store = ArtifactStore(path)
+        except Exception:  # noqa: BLE001 — store trouble != request failure
+            store = None
+        _stores[path] = store
+    return store
 
 
 # -- fault injection -------------------------------------------------------
@@ -94,7 +137,7 @@ def execute_request(payload: Mapping[str, Any]) -> dict:
         fault = payload.get("fault")
         if fault:
             _crashy(fault, inline=bool(payload.get("inline")))
-        residual, goal_params, stats = _specialize(payload)
+        residual, goal_params, stats, extra = _specialize(payload)
     except WorkerCrash:
         raise
     except Exception as error:  # noqa: BLE001 — the seam to the caller
@@ -106,7 +149,7 @@ def execute_request(payload: Mapping[str, Any]) -> dict:
             "engine": payload.get("engine", "online"),
             "seconds": perf_counter() - started,
         }
-    return {
+    outcome = {
         "id": payload.get("id"),
         "engine": payload.get("engine", "online"),
         "residual": residual,
@@ -114,30 +157,166 @@ def execute_request(payload: Mapping[str, Any]) -> dict:
         "stats": stats,
         "seconds": perf_counter() - started,
     }
+    outcome.update(extra)
+    return outcome
 
 
 def _specialize(payload: Mapping[str, Any]) \
-        -> tuple[str, tuple[str, ...], dict]:
-    program = parse_program(payload["source"])
-    specs = payload.get("specs", ())
+        -> tuple[str, tuple[str, ...], dict, dict]:
+    source = payload["source"]
+    specs = list(payload.get("specs", ()))
     config = _decode_config(payload.get("config") or {})
     engine = payload.get("engine", "online")
+    extra: dict[str, Any] = {}
     if engine == "simple":
+        program = parse_program(source)
         division = simple_division(specs)
         result = specialize_simple(program, division, config)
     elif engine == "online":
+        program = parse_program(source)
         suite = default_suite()
         inputs = parse_specs(suite, specs)
         result = specialize_online(program, inputs, suite, config)
     elif engine == "offline":
-        suite = default_suite()
-        inputs = parse_specs(suite, specs)
-        result = specialize_offline(program, inputs, suite,
-                                    config=config)
+        tiers: dict[str, int] = {}
+        suite, inputs, analysis = _offline_prepare(source, specs,
+                                                   tiers)
+        result = specialize_offline(analysis.program, inputs, suite,
+                                    analysis=analysis, config=config)
+        extra["tiers"] = tiers
+    elif engine == "genext":
+        return _specialize_genext(payload, source, specs)
     else:
         raise ValueError(f"unknown engine {engine!r}")
     return (pretty_program(result.program), result.goal_params,
-            result.stats.as_dict())
+            result.stats.as_dict(), extra)
+
+
+def _offline_prepare(source: str, specs: list[str],
+                     tiers: dict) -> tuple:
+    """The per-worker analysis memo of the ``offline`` engine.
+
+    The facet analysis only depends on the program and the *abstract*
+    input pattern, so it is keyed on exactly that — two requests whose
+    literal inputs abstract identically (same sign/parity/interval
+    image) share one analysis.  The suite is cached alongside so its
+    facet-operation memos stay warm across requests.
+    """
+    from repro.facets.abstract.vector import AbstractSuite
+    suite = default_suite()
+    inputs = parse_specs(suite, specs)
+    abstract_suite = AbstractSuite(suite)
+    pattern = tuple(
+        abstract_suite.abstract_of_online(
+            suite.const_vector(v) if is_value(v) else v)
+        for v in inputs)
+    key = (source, pattern)
+    entry = _analysis_memo.get(key)
+    if entry is not None:
+        _analysis_memo.move_to_end(key)
+        tiers["analysis_memo_hits"] = 1
+        suite, analysis = entry
+        # Re-parse against the cached suite so the input vectors carry
+        # that suite's (memo-warm) facet components.
+        return suite, parse_specs(suite, specs), analysis
+    tiers["analysis_memo_misses"] = 1
+    from repro.offline.analysis import analyze
+    program = parse_program(source)
+    analysis = analyze(program, list(pattern), abstract_suite)
+    _analysis_memo[key] = (suite, analysis)
+    while len(_analysis_memo) > _ANALYSIS_MEMO_CAP:
+        _analysis_memo.popitem(last=False)
+    return suite, inputs, analysis
+
+
+def _specialize_genext(payload: Mapping[str, Any], source: str,
+                       specs: list[str]) \
+        -> tuple[str, tuple[str, ...], dict, dict]:
+    """The ``genext`` engine: serve from an emitted generating
+    extension, amortized per ``(source, config)`` across three tiers —
+    per-process module cache, persistent store row, fresh emission."""
+    tiers: dict[str, int] = {}
+    wire_config = dict(payload.get("config") or {})
+    module = _genext_module(source, specs, wire_config,
+                            payload.get("store_path"), tiers)
+    extra: dict[str, Any] = {"tiers": tiers}
+    if payload.get("backend") == "compiled":
+        # The fused hot path: the residual AST goes straight into the
+        # compiled backend — no pretty-print → re-parse round trip.
+        inputs = parse_specs(module.runtime.online, specs)
+        result, compiled = module.specialize_compiled(inputs)
+        extra["compiled"] = compiled.artifact()
+    else:
+        result = module.specialize_specs(specs)
+    return (pretty_program(result.program), result.goal_params,
+            result.stats.as_dict(), extra)
+
+
+def _genext_module(source: str, specs: list[str], wire_config: dict,
+                   store_path: str | None, tiers: dict):
+    """Resolve the emitted genext module for one request.
+
+    Tier order: per-process LRU (``genext_hits``) → persistent store
+    row (``genext_store_hits``; a row whose Python will not load is
+    deleted and treated as a miss) → emit from scratch
+    (``genext_emits``), write-behind merged into the store row
+    (``genext_store_writes``).
+    """
+    global _fp_suites
+    import hashlib
+    from repro.genext import (
+        emit_genext, facet_name_of, genext_store_key, load_genext)
+    from repro.genext.emit import generalized_pattern
+    if _fp_suites is None:
+        from repro.facets.abstract.vector import AbstractSuite
+        suite = default_suite()
+        _fp_suites = (suite, AbstractSuite(suite),
+                      tuple(facet_name_of(f) for f in suite.facets))
+    fp_suite, fp_abstract, facet_names = _fp_suites
+    _, _, pattern_fp = generalized_pattern(fp_suite, fp_abstract,
+                                           specs)
+    source_sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    store_key = genext_store_key(source_sha, wire_config, facet_names)
+    cache_key = (store_key, pattern_fp)
+    module = _genext_cache.get(cache_key)
+    if module is not None:
+        _genext_cache.move_to_end(cache_key)
+        tiers["genext_hits"] = 1
+        return module
+    store = _store_for(store_path) if store_path else None
+    if store is not None:
+        row = store.get(store_key)
+        if row is not None:
+            text = ((row.get("patterns") or {})
+                    .get(pattern_fp) or {}).get("python")
+            if isinstance(text, str):
+                try:
+                    module = load_genext(text)
+                except Exception:  # noqa: BLE001 — bad row == miss
+                    # Checksums cannot catch *semantic* damage (a row
+                    # written by an incompatible build); drop it so
+                    # the re-emit below replaces it.
+                    store.delete(store_key)
+                    module = None
+                else:
+                    tiers["genext_store_hits"] = 1
+    if module is None:
+        emitted = emit_genext(source, specs, config=wire_config)
+        tiers["genext_emits"] = 1
+        module = load_genext(emitted.python_source)
+        if store is not None:
+            from repro.genext import GENEXT_PROTOCOL
+            row = store.get(store_key)
+            patterns = dict((row or {}).get("patterns") or {})
+            patterns[pattern_fp] = {"python": emitted.python_source}
+            bundle = {"kind": "genext", "version": GENEXT_PROTOCOL,
+                      "patterns": patterns}
+            if store.put(store_key, bundle, kind="genext"):
+                tiers["genext_store_writes"] = 1
+    _genext_cache[cache_key] = module
+    while len(_genext_cache) > _GENEXT_CACHE_CAP:
+        _genext_cache.popitem(last=False)
+    return module
 
 
 def _decode_config(overrides: Mapping[str, Any]) -> PEConfig:

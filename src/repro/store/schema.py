@@ -29,8 +29,16 @@ from __future__ import annotations
 
 #: Bumped on any layout change; a store with a different version is
 #: treated as foreign and rebuilt (the payloads are a cache — losing
-#: them costs recomputation, not correctness).
-SCHEMA_VERSION = 1
+#: them costs recomputation, not correctness).  v2 added the ``kind``
+#: column distinguishing result rows from emitted generating
+#: extensions (``genext``); v1 stores are quarantined and rebuilt.
+SCHEMA_VERSION = 2
+
+#: The artifact kinds the store recognizes.  ``result`` rows hold one
+#: specialization result keyed by request fingerprint; ``genext`` rows
+#: hold a program's emitted generating-extension bundle keyed by
+#: ``(source, config)`` with the specs *excluded*.
+KINDS = ("result", "genext")
 
 CREATE_TABLES = (
     """
@@ -38,6 +46,7 @@ CREATE_TABLES = (
         key         TEXT PRIMARY KEY,
         payload     TEXT NOT NULL,
         checksum    TEXT NOT NULL,
+        kind        TEXT NOT NULL DEFAULT 'result',
         size_bytes  INTEGER NOT NULL,
         seq         INTEGER NOT NULL,
         created_at  REAL NOT NULL,
@@ -83,12 +92,13 @@ NEXT_SEQ = """
 
 UPSERT = """
     INSERT INTO artifacts
-        (key, payload, checksum, size_bytes, seq, created_at,
+        (key, payload, checksum, kind, size_bytes, seq, created_at,
          last_access, hits)
-    VALUES (?, ?, ?, ?, ?, ?, ?, 0)
+    VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0)
     ON CONFLICT (key) DO UPDATE SET
         payload = excluded.payload,
         checksum = excluded.checksum,
+        kind = excluded.kind,
         size_bytes = excluded.size_bytes,
         seq = excluded.seq,
         last_access = excluded.last_access
@@ -121,6 +131,10 @@ TOTAL_BYTES = """
 
 COUNT_ROWS = """
     SELECT COUNT(*) FROM artifacts
+"""
+
+COUNT_BY_KIND = """
+    SELECT kind, COUNT(*) FROM artifacts GROUP BY kind
 """
 
 COUNT_QUARANTINED = """

@@ -267,18 +267,24 @@ class ArtifactStore:
             self._rollback()
 
     # -- writes --------------------------------------------------------
-    def put(self, key: str, payload: Mapping[str, Any]) -> bool:
+    def put(self, key: str, payload: Mapping[str, Any],
+            kind: str = "result") -> bool:
         """Upsert a payload atomically, evicting LRU rows past the
         byte cap in the same transaction.  ``False`` (never an
         exception) when the write could not be committed or the
-        payload alone exceeds the cap."""
+        payload alone exceeds the cap.  ``kind`` labels the row for
+        reporting (``result`` or ``genext``); reads are kind-blind."""
+        if kind not in schema.KINDS:
+            raise ValueError(
+                f"unknown artifact kind {kind!r}; expected one of "
+                f"{schema.KINDS}")
         payload_text = encode_payload(payload)
         size = len(payload_text.encode("utf-8"))
         if self.max_bytes is not None and size > self.max_bytes:
             return False
         for attempt in range(_WRITE_RETRIES + 1):
             try:
-                self._put_once(key, payload_text, size)
+                self._put_once(key, payload_text, size, kind)
             except sqlite3.DatabaseError as error:
                 self._rollback()
                 if _is_locked(error):
@@ -298,7 +304,7 @@ class ArtifactStore:
         return False
 
     def _put_once(self, key: str, payload_text: str,
-                  size: int) -> None:
+                  size: int, kind: str) -> None:
         conn = self._connection()
         conn.execute("BEGIN IMMEDIATE")
         seq = conn.execute(schema.NEXT_SEQ).fetchone()[0]
@@ -306,7 +312,7 @@ class ArtifactStore:
         conn.execute(schema.UPSERT,
                      (key, payload_text,
                       row_checksum(key, payload_text),
-                      size, seq, now, now))
+                      kind, size, seq, now, now))
         self._evict_over_cap(conn, keep=key)
         conn.execute("COMMIT")
 
@@ -458,6 +464,15 @@ class ArtifactStore:
             return default
         return default if row is None else row[0]
 
+    def kinds(self) -> dict[str, int]:
+        """Live row counts per artifact kind (absent kinds omitted)."""
+        try:
+            rows = self._connection().execute(
+                schema.COUNT_BY_KIND).fetchall()
+        except sqlite3.Error:
+            return {}
+        return {kind: count for kind, count in rows}
+
     def snapshot(self) -> dict:
         """JSON-ready description for ``ppe store stats``."""
         return {
@@ -466,6 +481,7 @@ class ArtifactStore:
             "bytes": self.total_bytes(),
             "max_bytes": self.max_bytes,
             "quarantined": self.quarantined(),
+            "kinds": self.kinds(),
         }
 
 

@@ -1,0 +1,32 @@
+"""Fixtures for the fused generating-extension suite.
+
+The worker keeps process-global amortization tiers (the genext module
+cache, the offline analysis memo, open store handles).  Every test in
+this package starts and ends with them empty, so tier-hit assertions
+are about *this* test's traffic, not a neighbour's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import worker
+
+
+def _reset_worker_tiers() -> None:
+    for store in worker._stores.values():
+        if store is not None:
+            try:
+                store.close()
+            except Exception:
+                pass
+    worker._stores.clear()
+    worker._genext_cache.clear()
+    worker._analysis_memo.clear()
+
+
+@pytest.fixture(autouse=True)
+def clean_worker_tiers():
+    _reset_worker_tiers()
+    yield
+    _reset_worker_tiers()

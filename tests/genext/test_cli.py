@@ -1,0 +1,91 @@
+"""CLI surface of the fused genext: ``ppe cogen`` and ``--engine``.
+
+``ppe cogen emit`` writes the standalone module (the artifact a build
+system would check in or ship), ``ppe cogen run`` emits + loads +
+specializes in one step, and ``--engine genext`` routes batch work
+through the amortization tiers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.genext import load_genext
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture
+def power_file(tmp_path):
+    path = tmp_path / "power.ppe"
+    path.write_text(WORKLOADS["power"].source)
+    return path
+
+
+class TestCogenRun:
+    def test_prints_residual(self, capsys, power_file):
+        assert main(["cogen", "run", str(power_file),
+                     "dyn", "10"]) == 0
+        captured = capsys.readouterr()
+        assert "(define (power x)" in captured.out
+        assert "facet evaluations" in captured.err
+
+    def test_matches_offline_command(self, capsys, power_file):
+        main(["cogen", "run", str(power_file), "dyn", "8"])
+        fused = capsys.readouterr().out
+        main(["offline", str(power_file), "dyn", "8"])
+        offline = capsys.readouterr().out
+        assert fused == offline
+
+    def test_bad_spec_exits_cleanly(self, power_file):
+        with pytest.raises(SystemExit):
+            main(["cogen", "run", str(power_file), "flavor=hot",
+                  "10"])
+
+
+class TestCogenEmit:
+    def test_emitted_file_is_a_working_module(self, capsys, tmp_path,
+                                              power_file):
+        output = tmp_path / "power_genext.py"
+        assert main(["cogen", "emit", str(power_file), "dyn", "10",
+                     "--output", str(output)]) == 0
+        captured = capsys.readouterr()
+        assert "store key:" in captured.err
+        assert "pattern:" in captured.err
+        module = load_genext(output.read_text(encoding="utf-8"))
+        result = module.specialize_specs(["dyn", "10"])
+        assert result.program.main.name == "power"
+
+    def test_emit_to_stdout(self, capsys, power_file):
+        assert main(["cogen", "emit", str(power_file),
+                     "dyn", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Generating extension for 'power'" in out
+
+
+class TestBatchEngine:
+    def test_batch_engine_genext(self, capsys, tmp_path, power_file):
+        manifest = tmp_path / "batch.json"
+        rows = [{"file": str(power_file), "specs": ["dyn", str(n)]}
+                for n in (5, 9)]
+        manifest.write_text(json.dumps(rows))
+        assert main(["batch", str(manifest), "--engine",
+                     "genext"]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert len(payloads) == 2
+        assert all(row["engine"] == "genext" for row in payloads)
+        assert all("(define (power x)" in row["residual"]
+                   for row in payloads)
+
+    def test_explicit_engine_wins_over_flag(self, capsys, tmp_path,
+                                            power_file):
+        manifest = tmp_path / "batch.json"
+        manifest.write_text(json.dumps(
+            [{"file": str(power_file), "specs": ["dyn", "5"],
+              "engine": "online"}]))
+        assert main(["batch", str(manifest), "--engine",
+                     "genext"]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert payloads[0]["engine"] == "online"

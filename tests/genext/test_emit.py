@@ -1,0 +1,133 @@
+"""Emission unit tests and golden snapshots of the fused genext.
+
+The emitted module *is* the artifact the store amortizes, so its text
+is pinned the same way ``tests/backend/test_golden_emitted.py`` pins
+backend output: snapshots under ``tests/genext/snapshots/``,
+regenerated with ``pytest --update-golden`` (the shared root-conftest
+option).  The equivalence and differential suites — not these
+snapshots — guarantee the emitted code *means* the right thing; a
+snapshot diff is a prompt for review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.genext import emit_genext, load_genext
+from repro.genext.emit import genext_store_key
+from repro.lang.pretty import pretty_program
+from repro.workloads import WORKLOADS
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+
+
+@dataclass(frozen=True)
+class Case:
+    name: str
+    workload: str
+    specs: tuple[str, ...]
+
+
+#: One case per division idiom: static literal (a whole pattern class
+#: of exponents), size-facet specs, fully static inputs, and a
+#: size-pinned search with a dynamic key.
+CASES = (
+    Case("power_class", "power", ("dyn", "10")),
+    Case("inner_product_size3", "inner_product", ("size=3", "size=3")),
+    Case("gcd_static", "gcd", ("48", "18")),
+    Case("binary_search_size7", "binary_search", ("size=7", "dyn")),
+)
+
+
+def _emit(case: Case):
+    return emit_genext(WORKLOADS[case.workload].source,
+                       list(case.specs))
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.name)
+def test_emitted_python_matches_snapshot(case, update_golden):
+    text = _emit(case).python_source
+    if not text.endswith("\n"):
+        text += "\n"
+    path = SNAPSHOT_DIR / f"{case.name}.py"
+    if update_golden:
+        SNAPSHOT_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    assert path.exists(), \
+        f"missing snapshot {path.name}; run pytest --update-golden"
+    assert text == path.read_text(encoding="utf-8"), \
+        f"emitted genext for {case.name} drifted from its snapshot"
+
+
+def test_no_orphan_snapshots():
+    expected = {f"{case.name}.py" for case in CASES}
+    present = {path.name for path in SNAPSHOT_DIR.glob("*.py")}
+    assert present == expected, \
+        f"orphans: {sorted(present - expected)}; " \
+        f"missing: {sorted(expected - present)}"
+
+
+def test_emission_is_deterministic():
+    case = CASES[0]
+    assert _emit(case).python_source == _emit(case).python_source
+
+
+def test_loaded_module_specializes():
+    emitted = _emit(Case("", "power", ("dyn", "10")))
+    module = load_genext(emitted.python_source)
+    result = module.specialize_specs(["dyn", "10"])
+    text = pretty_program(result.program)
+    assert "(define (power x)" in text
+    assert module.MANIFEST["main"] == "power"
+    assert module.MANIFEST["pattern_fp"] == emitted.pattern_fingerprint
+
+
+def test_literals_share_a_pattern_class():
+    """Every static exponent maps to the same generalized pattern, so
+    one emitted module (one store row) serves them all."""
+    five = emit_genext(WORKLOADS["power"].source, ["dyn", "5"])
+    nine = emit_genext(WORKLOADS["power"].source, ["dyn", "9"])
+    assert five.pattern_fingerprint == nine.pattern_fingerprint
+    assert five.store_key == nine.store_key
+    assert five.python_source == nine.python_source
+
+
+def test_store_key_excludes_specs_but_not_config():
+    """The store key is per ``(source, engine config)`` — the
+    amortization unit — while the *pattern* distinguishes divisions
+    within it."""
+    source = WORKLOADS["power"].source
+    base = emit_genext(source, ["dyn", "10"])
+    flipped = emit_genext(source, ["10", "dyn"])
+    assert flipped.store_key == base.store_key
+    assert flipped.pattern_fingerprint != base.pattern_fingerprint
+
+    configured = emit_genext(source, ["dyn", "10"],
+                             config={"unfold_fuel": 9})
+    assert configured.store_key != base.store_key
+
+
+def test_store_key_is_config_order_insensitive():
+    source = WORKLOADS["power"].source
+    sha = emit_genext(source, ["dyn", "10"]).source_sha256
+    facets = emit_genext(source, ["dyn", "10"]).facets
+    left = genext_store_key(sha, {"unfold_fuel": 9, "tidy": True},
+                            facets)
+    right = genext_store_key(sha, {"tidy": True, "unfold_fuel": 9},
+                             facets)
+    assert left == right
+
+
+def test_different_sources_get_different_keys():
+    power = emit_genext(WORKLOADS["power"].source, ["dyn", "10"])
+    gcd = emit_genext(WORKLOADS["gcd"].source, ["48", "18"])
+    assert power.store_key != gcd.store_key

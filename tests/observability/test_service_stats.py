@@ -51,14 +51,17 @@ def test_as_dict_shape():
     snapshot = ServiceStats(submitted=1).as_dict()
     assert set(snapshot) == {
         "submitted", "completed", "degraded", "degraded_rate", "cache",
-        "store", "worker_crashes", "retries", "timeouts", "errors",
-        "errors_by_category", "pool_restarts", "backoff_seconds",
-        "budget"}
+        "store", "genext", "analysis_memo", "worker_crashes",
+        "retries", "timeouts", "errors", "errors_by_category",
+        "pool_restarts", "backoff_seconds", "budget"}
     assert set(snapshot["cache"]) == {"hits", "misses", "evictions",
                                       "rate"}
     assert set(snapshot["store"]) == {"hits", "misses", "writes",
                                       "evictions", "corrupt",
                                       "errors", "rate"}
+    assert set(snapshot["genext"]) == {"hits", "store_hits",
+                                       "store_writes", "emits"}
+    assert set(snapshot["analysis_memo"]) == {"hits", "misses"}
     assert set(snapshot["budget"]) == {"engine_degradations"}
 
 

@@ -89,8 +89,9 @@ class TestIntrospection:
         store.put("a", payload("a"))
         snapshot = store.snapshot()
         assert set(snapshot) == {"path", "entries", "bytes",
-                                 "max_bytes", "quarantined"}
+                                 "max_bytes", "quarantined", "kinds"}
         assert snapshot["entries"] == 1
+        assert snapshot["kinds"] == {"result": 1}
         assert snapshot["max_bytes"] == 1024
         assert snapshot["bytes"] > 0
 
