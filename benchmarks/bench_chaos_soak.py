@@ -1,0 +1,227 @@
+"""Experiment: the fault-injection layer's cost and the chaos soak's
+shape.
+
+Two claims are measured here:
+
+* **Disabled injection is free.**  Every failure seam in the service
+  carries a ``fault_point`` / ``fault_payload`` call; with no plan
+  installed each is a single module-global ``None`` check.  The bench
+  times a fixed service batch with the seams disabled against the same
+  batch with every seam call swapped for a literal no-op (the closest
+  thing to compiling them out), interleaved paired-median style, and
+  asserts the instrumented path stays within 2%.
+
+* **The chaos soak is bounded.**  One soak run (the same seeded
+  FaultPlan shape as ``tests/chaos/``) is pushed through the full
+  service and its outcome — request throughput, degraded fraction,
+  per-seam injection counts, breaker/quarantine activity — is recorded
+  to ``BENCH_chaos_soak.json`` so CI can watch the degradation
+  trajectory over time.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+import importlib
+
+import repro.faults as faults_pkg
+import repro.service.scheduler as scheduler_mod
+import repro.service.worker as worker_mod
+import repro.store.store as store_mod
+
+# ``import repro.service.serve`` would resolve to the ``serve``
+# *function* the package re-exports, not the module.
+serve_mod = importlib.import_module("repro.service.serve")
+from repro.faults import uninstall
+from repro.service import SpecRequest, SpecializationService
+from repro.workloads import WORKLOADS
+
+ROUNDS = 8
+
+#: The ISSUE's acceptance bound for faults-disabled overhead, plus an
+#: absolute floor so timer noise cannot fail the relative check.
+MAX_OVERHEAD = 0.02
+NOISE_FLOOR_SECONDS = 0.002
+
+#: Module attributes holding a by-name binding of ``fault_point``;
+#: ``repro.faults`` itself covers the lazy importers (backend.emit,
+#: genext.emit resolve it at call time).
+_POINT_SITES = (store_mod, worker_mod, scheduler_mod, serve_mod,
+                faults_pkg)
+
+
+def _noop_point(*_args, **_kwargs):
+    return None
+
+
+def _noop_payload(_seam, payload, **_kwargs):
+    return payload
+
+
+def _strip_seams():
+    """Swap every seam call for a literal no-op; returns an undo."""
+    saved = [(site, site.fault_point) for site in _POINT_SITES]
+    saved_payload = (store_mod.fault_payload, faults_pkg.fault_payload)
+    for site in _POINT_SITES:
+        site.fault_point = _noop_point
+    store_mod.fault_payload = _noop_payload
+    faults_pkg.fault_payload = _noop_payload
+
+    def undo():
+        for site, original in saved:
+            site.fault_point = original
+        store_mod.fault_payload = saved_payload[0]
+        faults_pkg.fault_payload = saved_payload[1]
+
+    return undo
+
+
+def _overhead_batch() -> list[SpecRequest]:
+    """A fixed, cheap, store-exercising batch: every seam on the hot
+    path runs (reads, writes, worker execute, dispatch, compile)."""
+    batch = []
+    for index, (name, specs, engine) in enumerate([
+            ("gcd", ["48", "dyn"], "online"),
+            ("gcd", ["dyn", "18"], "offline"),
+            ("fib", ["7"], "online"), ("fib", ["dyn"], "offline"),
+            ("sign_pipeline", ["8", "dyn"], "online"),
+            ("sign_pipeline", ["3", "dyn"], "online"),
+            ("power", ["dyn", "5"], "offline"),
+            ("power", ["2", "3"], "online"),
+    ] * 2):
+        batch.append(SpecRequest.create(
+            WORKLOADS[name].source, specs, engine=engine,
+            id=f"bench-{index}-{name}"))
+    return batch
+
+
+def _run_batch(tmp_path, tag: str) -> None:
+    with SpecializationService(
+            workers=0, backend="compiled",
+            store_path=tmp_path / f"{tag}.sqlite") as service:
+        results = service.run_batch(_overhead_batch())
+    assert not any(result.degraded for result in results)
+
+
+def test_disabled_fault_points_are_free(tmp_path, benchmark, report,
+                                        bench_record):
+    uninstall()   # seams present but disabled: the shipped default
+
+    counter = iter(range(10_000))
+
+    def instrumented():
+        _run_batch(tmp_path, f"on-{next(counter)}")
+
+    def stripped():
+        undo = _strip_seams()
+        try:
+            _run_batch(tmp_path, f"off-{next(counter)}")
+        finally:
+            undo()
+
+    # Warm the compile/dispatch caches before measuring either side.
+    instrumented()
+    stripped()
+    on_samples, off_samples = [], []
+    for _ in range(ROUNDS):
+        for run, samples in ((instrumented, on_samples),
+                             (stripped, off_samples)):
+            started = time.perf_counter()
+            run()
+            samples.append(time.perf_counter() - started)
+    instrumented_s = statistics.median(on_samples)
+    stripped_s = statistics.median(off_samples)
+    overhead = (instrumented_s - stripped_s) / stripped_s
+    report(f"disabled seams: instrumented {instrumented_s * 1e3:.2f}ms,"
+           f" stripped {stripped_s * 1e3:.2f}ms, "
+           f"overhead {overhead:+.1%}")
+    assert instrumented_s - stripped_s <= max(
+        MAX_OVERHEAD * stripped_s, NOISE_FLOOR_SECONDS), \
+        f"disabled fault points cost {overhead:.1%} (> 2%)"
+    bench_record("disabled_overhead",
+                 instrumented_seconds=round(instrumented_s, 6),
+                 stripped_seconds=round(stripped_s, 6),
+                 overhead=round(overhead, 4))
+    benchmark(instrumented)
+
+
+def _soak_plan(seed: int) -> dict:
+    return {"seed": seed, "seams": {
+        "store.read": {"kinds": ["error"], "probability": 0.15},
+        "store.read.payload": {"kinds": ["corrupt"],
+                               "probability": 0.25},
+        "store.write": {"kinds": ["error"], "probability": 0.10},
+        "worker.execute": {"kinds": ["crash", "error"],
+                           "probability": 0.06},
+        "genext.load": {"kinds": ["error"], "probability": 0.10},
+        "backend.compile": {"kinds": ["error"], "probability": 0.15},
+        "scheduler.dispatch": {"kinds": ["error"],
+                               "probability": 0.04},
+    }}
+
+
+def _soak_requests(seed: int, count: int) -> list[SpecRequest]:
+    # sign_pipeline's first parameter stays static: ``shrink``
+    # recurses on it, so a dynamic value unfolds without bound.
+    space = [("gcd", [("36", "48", "60", "dyn"), ("18", "27", "dyn")]),
+             ("fib", [("3", "6", "9", "dyn")]),
+             ("sign_pipeline", [("-4", "2", "8"),
+                                ("1", "2", "dyn")])]
+    engines = ("online", "online", "offline", "genext")
+    rng = random.Random(seed)
+    batch = []
+    for index in range(count):
+        name, pools = space[rng.randrange(len(space))]
+        specs = [rng.choice(pool) for pool in pools]
+        if "dyn" not in specs:
+            specs[-1] = "dyn" if "dyn" in pools[-1] else specs[-1]
+        if "dyn" not in specs:
+            specs[0] = "dyn"
+        batch.append(SpecRequest.create(
+            WORKLOADS[name].source, specs,
+            engine=engines[rng.randrange(len(engines))],
+            id=f"soak-{index}-{name}"))
+    return batch
+
+
+def test_chaos_soak_trajectory(tmp_path, report, bench_record,
+                               track_service_stats):
+    uninstall()
+    count, seed = 120, 20260809
+    batch = _soak_requests(seed, count)
+    started = time.perf_counter()
+    with SpecializationService(
+            workers=0, fault_plan=_soak_plan(seed),
+            backend="compiled", store_path=tmp_path / "soak.sqlite",
+            store_max_bytes=200_000,
+            backoff_base=0.0, sleep=lambda _s: None) as service:
+        results = service.run_batch(batch)
+        stats = service.stats_dict()
+        track_service_stats(service.stats)
+    elapsed = time.perf_counter() - started
+    degraded = sum(1 for result in results if result.degraded)
+    injected = sum(stats["faults"].values())
+    report(f"chaos soak: {count} requests in {elapsed:.2f}s "
+           f"({count / elapsed:.0f} req/s), {degraded} degraded "
+           f"({degraded / count:.0%}), {injected} faults injected, "
+           f"breaker opens {stats['breaker']['opens']}, "
+           f"poison pills {stats['quarantine']['pills']}")
+    assert len(results) == count
+    assert injected > 0
+    assert degraded / count < 0.5
+    bench_record("soak",
+                 requests=count, seed=seed,
+                 elapsed_seconds=round(elapsed, 3),
+                 requests_per_second=round(count / elapsed, 1),
+                 degraded=degraded,
+                 degraded_fraction=round(degraded / count, 4),
+                 faults_injected=injected,
+                 faults_by_seam=stats["faults"],
+                 breaker_opens=stats["breaker"]["opens"],
+                 breaker_short_circuits=stats["breaker"]
+                 ["short_circuits"],
+                 poison_pills=stats["quarantine"]["pills"],
+                 quarantined=stats["quarantine"]["short_circuits"])

@@ -168,3 +168,12 @@ def size_suite():
 def rich_suite():
     return _track(FacetSuite([SignFacet(), ParityFacet(), IntervalFacet(),
                               VectorSizeFacet()]))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Benchmarks that install a fault plan (the chaos soak bench)
+    must not leak the process-global injector into later benchmarks."""
+    yield
+    from repro.faults import uninstall
+    uninstall()

@@ -134,7 +134,9 @@ def compile_program(program: Program) -> CompiledProgram:
     nested past CPython's parser limits), so failures are reported as
     :class:`~repro.engine.errors.SpecializationError`.
     """
+    from repro.faults import fault_point
     try:
+        fault_point("backend.compile")
         lowered = lower_program(program)
     except ReproError:
         raise

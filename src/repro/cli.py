@@ -28,8 +28,10 @@ Subcommands:
   service, for driving from other processes;
 * ``ppe store {stats,gc,verify}`` — administer the persistent
   artifact store (:mod:`repro.store`): print its snapshot, enforce a
-  byte cap, or checksum every row (``verify`` exits 1 when it
-  quarantined corrupt entries — the scriptable health check).
+  byte cap (``gc`` also takes ``--max-quarantine N`` to prune the
+  quarantine table down to its N most recent rows), or checksum every
+  row (``verify`` exits 1 when it quarantined corrupt entries — the
+  scriptable health check).
 
 Facets available from the command line: ``sign``, ``parity``,
 ``interval`` (``interval=lo:hi``), ``size``.
@@ -66,6 +68,19 @@ identical requests.
 second cache tier below the in-memory LRU: results survive restarts,
 and an identical manifest re-run against a warm store performs zero
 specializations.
+
+``batch`` and ``serve`` accept ``--fault-plan SPEC`` (inline JSON or
+a file path; also settable as ``REPRO_FAULT_PLAN``): a deterministic
+seeded fault-injection plan (:mod:`repro.faults`) threaded through
+every failure seam of the service — the chaos-testing entry point.
+They also accept ``--health [PATH]``: after the run (``batch``) or at
+shutdown (``serve``), write the service's hardening introspection —
+circuit-breaker states, the poison-pill quarantine table, watchdog
+recycles, injected-fault counts — as JSON to PATH, or stderr when
+PATH is omitted or ``-``.  The same document answers the serve loop's
+``{"op": "health"}`` op, and its counters appear in the ``--profile``
+report's ``faults`` / ``breaker`` / ``quarantine`` / ``watchdog``
+sections.
 """
 
 from __future__ import annotations
@@ -231,6 +246,16 @@ def main(argv: list[str] | None = None) -> int:
             help="byte cap for the persistent store; past it the "
                  "least-recently-used entries are evicted "
                  "(default: unbounded)")
+        cmd.add_argument(
+            "--fault-plan", default=None, metavar="SPEC",
+            help="deterministic fault-injection plan: inline JSON or "
+                 "a file path (also: the REPRO_FAULT_PLAN variable)")
+        cmd.add_argument(
+            "--health", nargs="?", const="-", default=None,
+            metavar="PATH",
+            help="after the run, write hardening introspection "
+                 "(breakers, quarantine, watchdog, injected faults) "
+                 "as JSON to PATH, or stderr when omitted or '-'")
     store_cmd = sub.add_parser(
         "store",
         help="administer the persistent artifact store")
@@ -251,6 +276,12 @@ def main(argv: list[str] | None = None) -> int:
                 metavar="N",
                 help="byte cap to enforce (omitting it makes gc a "
                      "report-only no-op)")
+            cmd.add_argument(
+                "--max-quarantine", type=int, default=None,
+                metavar="N",
+                help="prune the quarantine table down to its N most "
+                     "recently quarantined rows (omitting it leaves "
+                     "the table alone)")
 
     batch_cmd.add_argument(
         "--output", type=Path, default=None, metavar="PATH",
@@ -447,7 +478,8 @@ def _run_store(options: argparse.Namespace) -> int:
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
         if options.store_command == "gc":
-            outcome = store.gc(options.store_max_bytes)
+            outcome = store.gc(options.store_max_bytes,
+                               max_quarantine=options.max_quarantine)
             print(json.dumps(outcome, indent=2, sort_keys=True))
             return 0
         outcome = store.verify()
@@ -456,6 +488,31 @@ def _run_store(options: argparse.Namespace) -> int:
         outcome["corrupt"] = store.stats.store_corrupt
         print(json.dumps(outcome, indent=2, sort_keys=True))
         return 1 if outcome["corrupt"] else 0
+
+
+def _load_fault_plan(options: argparse.Namespace):
+    """The ``--fault-plan`` flag decoded, or ``None`` (the service
+    then falls back to ``REPRO_FAULT_PLAN`` itself)."""
+    if options.fault_plan is None:
+        return None
+    from repro.faults import FaultPlan
+    try:
+        return FaultPlan.from_spec(options.fault_plan)
+    except ValueError as error:
+        raise SystemExit(f"ppe: bad fault plan: {error}")
+
+
+def _write_health(service, destination: str | Path) -> None:
+    """``--health``: the service's hardening introspection as JSON to
+    a path, or stderr for ``-``."""
+    payload = json.dumps(service.health(), indent=2, sort_keys=True)
+    if str(destination) == "-":
+        print(payload, file=sys.stderr)
+        return
+    try:
+        Path(destination).write_text(payload + "\n")
+    except OSError as error:
+        raise SystemExit(f"ppe: cannot write health report: {error}")
 
 
 def _run_batch(options: argparse.Namespace) -> int:
@@ -478,11 +535,14 @@ def _run_batch(options: argparse.Namespace) -> int:
             default_config=_budget_overrides(options),
             backend=options.backend,
             store_path=options.store_path,
-            store_max_bytes=options.store_max_bytes) as service:
+            store_max_bytes=options.store_max_bytes,
+            fault_plan=_load_fault_plan(options)) as service:
         with timer.phase("batch"):
             results = service.run_batch(requests)
         stats = service.stats
         backend_stats = service.backend_stats
+        if options.health is not None:
+            _write_health(service, options.health)
 
     payload = json.dumps([result.to_dict() for result in results],
                          indent=2, sort_keys=True)
@@ -510,17 +570,31 @@ def _run_batch(options: argparse.Namespace) -> int:
 
 
 def _run_serve(options: argparse.Namespace) -> int:
+    import io
+
     from repro.service import SpecializationService, serve
 
+    # Undecodable bytes on stdin must not kill the loop (the line
+    # iterator would raise UnicodeDecodeError before serve ever sees
+    # the line): re-wrap the stream to replace them, so the garbage
+    # line is answered as bad JSON like any other malformed input.
+    stream_in = sys.stdin
+    buffer = getattr(stream_in, "buffer", None)
+    if buffer is not None:
+        stream_in = io.TextIOWrapper(buffer, encoding="utf-8",
+                                     errors="replace")
     with SpecializationService(
             workers=options.workers, cache_capacity=options.cache_size,
             default_deadline=options.deadline,
             default_config=_budget_overrides(options),
             backend=options.backend,
             store_path=options.store_path,
-            store_max_bytes=options.store_max_bytes) as service:
-        code = serve(service, sys.stdin, sys.stdout,
+            store_max_bytes=options.store_max_bytes,
+            fault_plan=_load_fault_plan(options)) as service:
+        code = serve(service, stream_in, sys.stdout,
                      default_engine=options.engine)
+        if options.health is not None:
+            _write_health(service, options.health)
     try:
         sys.stdout.flush()
     except BrokenPipeError:

@@ -205,6 +205,8 @@ def load_genext(python_source: str,
     mismatch, unknown facet names; callers that read persisted
     genexts treat any exception as a cache miss and re-emit.
     """
+    from repro.faults import fault_point
+    fault_point("genext.load")
     module = types.ModuleType(name)
     code = compile(python_source, f"<{name}>", "exec")
     exec(code, module.__dict__)

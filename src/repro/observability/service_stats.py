@@ -96,6 +96,29 @@ class ServiceStats:
     #: Exponential-backoff delay accumulated before resubmissions.
     backoff_seconds: float = 0.0
 
+    #: Requests short-circuited by the poison-pill quarantine (their
+    #: fingerprint repeatedly killed workers; degraded immediately
+    #: with reason ``"quarantined"``, no pool traffic).
+    quarantined: int = 0
+    #: Fingerprints ever admitted to the poison-pill quarantine.
+    poison_pills: int = 0
+    #: Hung pool members terminated by the watchdog (stuck futures
+    #: past their deadline/watchdog limit; the member is killed and
+    #: the pool rebuilt instead of waiting for the hang to drain).
+    watchdog_recycles: int = 0
+    #: Circuit-breaker trips (closed/half-open → open), all seams.
+    breaker_opens: int = 0
+    #: Calls skipped because a breaker was open, all seams.
+    breaker_short_circuits: int = 0
+    #: Fault injections realized, keyed ``seam:kind`` (empty outside
+    #: chaos runs; see :mod:`repro.faults`).
+    faults_injected: dict = field(default_factory=dict)
+    #: Health detail synced by the service (per-breaker state
+    #: machines, the quarantine table) — snapshots, not counters, so
+    #: :meth:`merge` keeps the receiver's.
+    breaker_seams: dict = field(default_factory=dict)
+    quarantine_detail: dict = field(default_factory=dict)
+
     # -- derived -------------------------------------------------------
     @property
     def cache_hit_rate(self) -> float:
@@ -146,6 +169,14 @@ class ServiceStats:
                 self.errors_by_category.get(category, 0) + count
         self.pool_restarts += other.pool_restarts
         self.backoff_seconds += other.backoff_seconds
+        self.quarantined += other.quarantined
+        self.poison_pills += other.poison_pills
+        self.watchdog_recycles += other.watchdog_recycles
+        self.breaker_opens += other.breaker_opens
+        self.breaker_short_circuits += other.breaker_short_circuits
+        for label, count in other.faults_injected.items():
+            self.faults_injected[label] = \
+                self.faults_injected.get(label, 0) + count
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot (the ``service`` section of the
@@ -182,4 +213,12 @@ class ServiceStats:
             "budget": {
                 "engine_degradations": self.engine_degradations,
             },
+            "faults": dict(self.faults_injected),
+            "breaker": {"opens": self.breaker_opens,
+                        "short_circuits": self.breaker_short_circuits,
+                        "seams": dict(self.breaker_seams)},
+            "quarantine": {"requests": self.quarantined,
+                           "pills": self.poison_pills,
+                           **dict(self.quarantine_detail)},
+            "watchdog": {"recycles": self.watchdog_recycles},
         }

@@ -19,7 +19,15 @@ is the serving layer the ROADMAP's production north star asks for:
 * :func:`execute_request` (:mod:`repro.service.worker`) — the worker
   entry point, also usable directly for sequential reference runs (the
   byte-identical determinism test does exactly that);
-* :func:`serve` (:mod:`repro.service.serve`) — the JSONL loop.
+* :func:`serve` (:mod:`repro.service.serve`) — the JSONL loop;
+* :class:`CircuitBreaker` (:mod:`repro.service.breaker`) and
+  :class:`PoisonQuarantine` (:mod:`repro.service.quarantine`) — the
+  hardening layer: per-dependency circuit breaking and a TTL'd
+  penalty box for poison-pill request fingerprints, both surfaced
+  through :meth:`SpecializationService.health` and the ``faults`` /
+  ``breaker`` / ``quarantine`` / ``watchdog`` profile sections.
+  Deterministic fault injection to exercise all of it lives in
+  :mod:`repro.faults`.
 
 Residual determinism is the invariant the whole layer rests on: the
 same request yields the byte-identical residual whether it ran inline,
@@ -28,14 +36,16 @@ in any worker of any pool size, or came from the cache — pinned by
 the interpreter by the differential harness in ``tests/differential/``.
 """
 
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import ResidualCache
+from repro.service.quarantine import PoisonQuarantine
 from repro.service.results import SpecRequest, SpecResult, load_manifest
 from repro.service.scheduler import SpecializationService
 from repro.service.serve import serve
 from repro.service.worker import execute_request
 
 __all__ = [
-    "ResidualCache", "SpecRequest", "SpecResult",
-    "SpecializationService", "execute_request", "load_manifest",
-    "serve",
+    "CircuitBreaker", "PoisonQuarantine", "ResidualCache",
+    "SpecRequest", "SpecResult", "SpecializationService",
+    "execute_request", "load_manifest", "serve",
 ]

@@ -1,0 +1,127 @@
+"""Poison-pill quarantine: stop paying for requests that kill workers.
+
+A *poison pill* is a request whose execution reliably crashes its
+worker process.  The retry machinery treats every crash as potentially
+transient — correct for genuine infrastructure flakiness, ruinous for
+a deterministic pill: each attempt breaks the shared pool (a pool
+restart, collateral retries for wave-mates, backoff sleeps), and an
+attacker — or an unlucky client with a crashing input — can submit the
+same pill forever.
+
+:class:`PoisonQuarantine` remembers crash counts **per request
+fingerprint** (the same semantic identity the result cache keys on).
+Once a fingerprint accumulates ``threshold`` crashes it is
+quarantined for ``ttl_seconds``: the scheduler degrades matching
+requests immediately (reason ``"quarantined"``) without touching the
+pool.  Entries expire by TTL — a pill is assumed fixable (a new
+deploy, a transient kernel issue), so the penalty box is bounded — and
+the table itself is capped (``max_entries``, oldest-expiring first)
+so unbounded distinct pills cannot balloon memory.
+
+Time is injected (``clock``) so expiry is unit-testable.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+from typing import Callable
+
+
+class PoisonQuarantine:
+    """Per-fingerprint crash tracking with a TTL'd penalty box."""
+
+    def __init__(self, threshold: int = 3, ttl_seconds: float = 300.0,
+                 max_entries: int = 1024,
+                 clock: Callable[[], float] = monotonic) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if ttl_seconds < 0:
+            raise ValueError(
+                f"ttl_seconds must be >= 0, got {ttl_seconds}")
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}")
+        self.threshold = threshold
+        self.ttl_seconds = ttl_seconds
+        self.max_entries = max_entries
+        self._clock = clock
+        #: fingerprint -> crash count (not yet quarantined).
+        self._crashes: dict[str, int] = {}
+        #: fingerprint -> quarantine expiry time.
+        self._quarantined: dict[str, float] = {}
+        # Lifetime accounting (the ``quarantine`` health section).
+        self.pills = 0            # fingerprints ever quarantined
+        self.short_circuits = 0   # requests degraded without a pool hit
+        self.expiries = 0         # entries released by TTL
+
+    # -- recording -----------------------------------------------------
+    def record_crash(self, fingerprint: str) -> bool:
+        """Count one worker crash against ``fingerprint``; ``True``
+        when this crash tips it into quarantine."""
+        if self.is_quarantined(fingerprint):
+            return True
+        count = self._crashes.get(fingerprint, 0) + 1
+        if count >= self.threshold:
+            self._crashes.pop(fingerprint, None)
+            self._admit(fingerprint)
+            return True
+        self._crashes[fingerprint] = count
+        return False
+
+    def record_success(self, fingerprint: str) -> None:
+        """A real completion clears the crash streak (a flaky-infra
+        request that eventually succeeds is not a pill)."""
+        self._crashes.pop(fingerprint, None)
+
+    def _admit(self, fingerprint: str) -> None:
+        self._expire()
+        while len(self._quarantined) >= self.max_entries:
+            # Drop the entry closest to release; the newly admitted
+            # pill is hotter evidence than the oldest one.
+            oldest = min(self._quarantined, key=self._quarantined.get)
+            del self._quarantined[oldest]
+        self._quarantined[fingerprint] = \
+            self._clock() + self.ttl_seconds
+        self.pills += 1
+
+    # -- queries -------------------------------------------------------
+    def is_quarantined(self, fingerprint: str) -> bool:
+        expiry = self._quarantined.get(fingerprint)
+        if expiry is None:
+            return False
+        if self._clock() >= expiry:
+            del self._quarantined[fingerprint]
+            self.expiries += 1
+            return False
+        return True
+
+    def short_circuit(self, fingerprint: str) -> bool:
+        """The scheduler's gate: like :meth:`is_quarantined`, but a
+        positive answer is counted as one short-circuited request."""
+        if self.is_quarantined(fingerprint):
+            self.short_circuits += 1
+            return True
+        return False
+
+    def _expire(self) -> None:
+        now = self._clock()
+        released = [fp for fp, expiry in self._quarantined.items()
+                    if now >= expiry]
+        for fingerprint in released:
+            del self._quarantined[fingerprint]
+            self.expiries += 1
+
+    def __len__(self) -> int:
+        self._expire()
+        return len(self._quarantined)
+
+    def snapshot(self) -> dict:
+        """JSON-ready health entry."""
+        return {
+            "size": len(self),
+            "threshold": self.threshold,
+            "ttl_seconds": self.ttl_seconds,
+            "pills": self.pills,
+            "short_circuits": self.short_circuits,
+            "expiries": self.expiries,
+        }

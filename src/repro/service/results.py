@@ -84,12 +84,38 @@ class SpecRequest:
                config: Mapping[str, Any] | None = None,
                id: str | None = None, deadline: float | None = None,
                fault: Mapping[str, Any] | None = None) -> "SpecRequest":
-        """Validating constructor: checks the engine name and the
-        config keys, normalizes mappings into hashable tuples."""
-        if engine not in ENGINES:
+        """Validating constructor: checks the engine name, the config
+        keys **and every field's type**, normalizes mappings into
+        hashable tuples.  Type strictness is load-bearing: the serve
+        loop and the batch manifest feed caller-controlled JSON in
+        here, and a wrongly-typed field that slips through surfaces
+        later as an ``AttributeError`` deep inside the service — which
+        must never happen (the loop answers a ``ValueError`` from here
+        with a structured error line instead)."""
+        if not isinstance(source, str):
+            raise ValueError(
+                f"source must be a string, got {type(source).__name__}")
+        if not isinstance(engine, str) or engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if isinstance(specs, str) \
+                or not isinstance(specs, Sequence) \
+                or not all(isinstance(spec, str) for spec in specs):
+            raise ValueError("specs must be a list of spec strings")
+        if id is not None and not isinstance(id, str):
+            raise ValueError(
+                f"id must be a string, got {type(id).__name__}")
+        if deadline is not None and (
+                isinstance(deadline, bool)
+                or not isinstance(deadline, (int, float))):
+            raise ValueError(
+                f"deadline must be a number, got "
+                f"{type(deadline).__name__}")
         items: tuple[tuple[str, Any], ...] = ()
+        if config is not None and not isinstance(config, Mapping):
+            raise ValueError(
+                f"config must be an object, got "
+                f"{type(config).__name__}")
         if config:
             unknown = sorted(set(config) - _CONFIG_FIELDS)
             if unknown:
@@ -99,6 +125,9 @@ class SpecRequest:
             items = tuple(sorted(
                 (name, _decode_config_value(name, value))
                 for name, value in config.items()))
+        if fault is not None and not isinstance(fault, Mapping):
+            raise ValueError(
+                f"fault must be an object, got {type(fault).__name__}")
         fault_items = tuple(sorted(fault.items())) if fault else None
         return cls(source=source, specs=tuple(specs), engine=engine,
                    config=items, id=id, deadline=deadline,
@@ -126,6 +155,10 @@ class SpecRequest:
         if "source" in data:
             source = data["source"]
         else:
+            if not isinstance(data["file"], str):
+                raise ValueError(
+                    f"file must be a path string, got "
+                    f"{type(data['file']).__name__}")
             path = Path(data["file"])
             if base_dir is not None and not path.is_absolute():
                 path = base_dir / path

@@ -14,17 +14,31 @@ Mechanics, in order:
 1. **Cache** — each request's fingerprint is looked up in the bounded
    cross-request LRU (:class:`~repro.service.cache.ResidualCache`);
    hits skip the pool entirely.
-2. **Pool** — misses are fanned out over a
-   :class:`concurrent.futures.ProcessPoolExecutor` in waves.  Each
-   future is reaped with the request's remaining deadline (measured
-   from submission, so queue time counts).
-3. **Retry** — a dying worker breaks its pool; affected requests are
+2. **Quarantine** — fingerprints that repeatedly killed workers (the
+   *poison pills*; :class:`~repro.service.quarantine.PoisonQuarantine`)
+   degrade immediately with reason ``"quarantined"`` for a TTL,
+   instead of burning pool restarts on every resubmission.
+3. **Pool** — misses are fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor` in waves.  Futures
+   are reaped as they complete (not in submission order); each is
+   bounded by the request's deadline, or by the service-wide
+   ``watchdog_timeout`` when it has none.
+4. **Watchdog** — a future still running past its bound is declared
+   hung: its request degrades (reason ``"deadline"`` on a request
+   deadline, ``"watchdog"`` on the backstop), and once the rest of the
+   wave is reaped the stuck pool members are *terminated* — not
+   abandoned to grind forever — and the pool rebuilt
+   (``ServiceStats.watchdog_recycles``).
+5. **Retry** — a dying worker breaks its pool; affected requests are
    resubmitted to a fresh pool with exponential backoff
    (``backoff_base * 2**(attempt-1)``, capped), up to ``max_attempts``.
-4. **Degrade** — timeouts, exhausted retries and deterministic
-   failures fall back to the facet-free trivially-residual program
-   from :mod:`repro.baselines.simple_pe` (or, if even that fails, the
-   unspecialized source), flagged ``degraded=True``.
+   Crashes are charged to the request's fingerprint; past
+   ``quarantine_threshold`` of them the fingerprint is quarantined.
+6. **Degrade** — timeouts, exhausted retries, quarantine hits and
+   deterministic failures fall back to the facet-free
+   trivially-residual program from :mod:`repro.baselines.simple_pe`
+   (or, if even that fails, the unspecialized source), flagged
+   ``degraded=True``.
 
 A request with a deadline additionally gets a *cooperative* engine
 budget: ``deadline_budget_fraction`` (default 0.8) of the deadline is
@@ -46,8 +60,9 @@ or disable ``simplify``/``tidy`` in the request config.
 
 ``workers=0`` selects *inline* mode: requests run in-process with no
 pool and no hard deadline kills (the cooperative engine budget still
-applies), same cache/retry/degrade accounting — the mode the
-determinism tests and the ``serve`` loop's tests use.
+applies), same cache/retry/quarantine/degrade accounting — the mode
+the determinism tests, the chaos soak and the ``serve`` loop's tests
+use.
 
 With ``backend="compiled"`` every successful residual is additionally
 lowered through :mod:`repro.backend` and its compiled artifact stored
@@ -67,6 +82,22 @@ corrupt rows, a damaged file) degrade to misses and are counted in
 apply as for the LRU: degraded and in-engine-degraded results are
 never persisted.
 
+**Circuit breakers** (:class:`~repro.service.breaker.CircuitBreaker`)
+guard the two optional dependencies — the store tier and the
+compiled-backend lowering.  ``breaker_threshold`` consecutive failures
+open a breaker; while open, the path is skipped outright (no lock
+retries, no doomed compile attempts) for ``breaker_cooldown`` seconds,
+then probed half-open.  Both breakers' states are in
+:meth:`health` and the ``breaker`` profile section.
+
+**Fault injection** (:mod:`repro.faults`): constructing the service
+with a ``fault_plan`` — or exporting ``REPRO_FAULT_PLAN`` — installs a
+deterministic seeded :class:`~repro.faults.FaultPlan` process-globally
+and ships it inside every worker payload, so the named injection
+points across the store, worker, genext, backend, scheduler and serve
+seams all fire from one plan.  Injections realized are folded into
+``ServiceStats.faults_injected`` (the ``faults`` profile section).
+
 Every step reports into :class:`~repro.observability.ServiceStats`;
 backend work into :class:`~repro.observability.BackendStats`.
 """
@@ -75,19 +106,23 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import (
-    ProcessPoolExecutor, TimeoutError as FutureTimeout)
+    FIRST_COMPLETED, Future, ProcessPoolExecutor, wait)
 from dataclasses import dataclass
 from pathlib import Path
 from time import monotonic
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.baselines.simple_pe import DYN, specialize_simple
+from repro.faults import FaultPlan, active as _active_injector, \
+    fault_point, install as _install_plan
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
 from repro.observability.backend_stats import BackendStats
 from repro.observability.service_stats import ServiceStats
 from repro.online.config import PEConfig, UnfoldStrategy
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import ResidualCache
+from repro.service.quarantine import PoisonQuarantine
 from repro.service.results import SpecRequest, SpecResult
 from repro.service.worker import execute_request
 
@@ -120,6 +155,13 @@ class SpecializationService:
                  backend: str = "interp",
                  store_path: str | Path | None = None,
                  store_max_bytes: int | None = None,
+                 fault_plan: FaultPlan | Mapping | None = None,
+                 watchdog_timeout: float | None = None,
+                 quarantine_threshold: int = 3,
+                 quarantine_ttl: float = 300.0,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown: float = 30.0,
+                 clock: Callable[[], float] = monotonic,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -135,6 +177,10 @@ class SpecializationService:
             raise ValueError(
                 f"deadline_budget_fraction must be in (0, 1], got "
                 f"{deadline_budget_fraction}")
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise ValueError(
+                f"watchdog_timeout must be positive or None, got "
+                f"{watchdog_timeout}")
         self.workers = workers
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
@@ -148,9 +194,42 @@ class SpecializationService:
         #: (successful residuals additionally carry the compiled
         #: artifact of :mod:`repro.backend`, cached alongside them).
         self.backend = backend
+        #: Hard bound for futures whose request carries no deadline;
+        #: ``None`` (the default) preserves wait-forever semantics.
+        #: Deadline-bearing futures are always watchdogged: past their
+        #: deadline the stuck member is terminated, not abandoned.
+        self.watchdog_timeout = watchdog_timeout
         self.stats = ServiceStats()
         self.backend_stats = BackendStats()
         self.cache = ResidualCache(cache_capacity, self.stats)
+        #: Per-seam circuit breakers over the optional dependencies.
+        self.breakers = {
+            "store": CircuitBreaker(
+                "store", failure_threshold=breaker_threshold,
+                cooldown_seconds=breaker_cooldown, clock=clock),
+            "compile": CircuitBreaker(
+                "compile", failure_threshold=breaker_threshold,
+                cooldown_seconds=breaker_cooldown, clock=clock),
+        }
+        #: The poison-pill penalty box (see module docstring).
+        self.quarantine = PoisonQuarantine(
+            threshold=quarantine_threshold, ttl_seconds=quarantine_ttl,
+            clock=clock)
+        #: The deterministic fault plan, if any: installed process-
+        #: globally here and shipped inside every worker payload.
+        #: ``None`` falls back to ``REPRO_FAULT_PLAN``.  One plan per
+        #: process — constructing a second service with a different
+        #: plan re-points the global injector.
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        elif not isinstance(fault_plan, FaultPlan):
+            fault_plan = FaultPlan.from_dict(fault_plan)
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            _install_plan(fault_plan)
+        #: Injections reported back by pool workers (``seam:kind``
+        #: counts; inline mode shares the in-process injector instead).
+        self._worker_faults: dict[str, int] = {}
         #: The persistent tier (``None`` when no ``store_path``); its
         #: counters land in the same ServiceStats as the LRU's.
         self.store = None
@@ -184,6 +263,11 @@ class SpecializationService:
                 if hit.compiled is not None:
                     self.backend_stats.artifact_reuses += 1
                 results[index] = hit.for_request(request, cached=True)
+            elif self.quarantine.short_circuit(key):
+                # A poison pill inside its TTL: degrade without
+                # burning a single pool restart on it.
+                results[index] = self._degrade(
+                    _Job(index, request, key), "quarantined")
             else:
                 jobs.append(_Job(index, request, key))
         if self.workers == 0:
@@ -191,11 +275,35 @@ class SpecializationService:
                 results[job.index] = self._run_inline(job)
         else:
             self._run_pooled(jobs, results)
+        self._sync_health()
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
     def run_one(self, request: SpecRequest) -> SpecResult:
         return self.run_batch([request])[0]
+
+    def health(self) -> dict:
+        """JSON-ready hardening introspection: breaker states, the
+        quarantine table, watchdog activity, injected faults.  The
+        ``ppe serve`` ``{"op": "health"}`` answer and the ``--health``
+        CLI output."""
+        self._sync_health()
+        return {
+            "breakers": {name: breaker.snapshot()
+                         for name, breaker in self.breakers.items()},
+            "quarantine": self.quarantine.snapshot(),
+            "watchdog": {"recycles": self.stats.watchdog_recycles,
+                         "timeout": self.watchdog_timeout},
+            "faults": dict(self.stats.faults_injected),
+            "pool": {"workers": self.workers,
+                     "restarts": self.stats.pool_restarts},
+        }
+
+    def stats_dict(self) -> dict:
+        """The ``ServiceStats`` snapshot with the hardening sections
+        freshly synced (what ``serve``'s ``stats`` op answers)."""
+        self._sync_health()
+        return self.stats.as_dict()
 
     def close(self) -> None:
         if self.store is not None:
@@ -216,31 +324,95 @@ class SpecializationService:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- health sync ---------------------------------------------------
+    def _sync_health(self) -> None:
+        """Mirror the hardening objects into ``ServiceStats`` so the
+        ``--profile`` report and the ``stats`` serve op carry them."""
+        self.stats.breaker_opens = sum(
+            breaker.opens for breaker in self.breakers.values())
+        self.stats.breaker_short_circuits = sum(
+            breaker.short_circuits
+            for breaker in self.breakers.values())
+        self.stats.breaker_seams = {
+            name: breaker.snapshot()
+            for name, breaker in self.breakers.items()}
+        self.stats.quarantined = self.quarantine.short_circuits
+        self.stats.poison_pills = self.quarantine.pills
+        self.stats.quarantine_detail = self.quarantine.snapshot()
+        merged = dict(self._worker_faults)
+        injector = _active_injector()
+        if injector is not None:
+            for label, count in injector.counters().items():
+                merged[label] = merged.get(label, 0) + count
+        self.stats.faults_injected = merged
+
+    def _absorb_fault_events(self, outcome: dict) -> None:
+        """Fold a pool worker's injected-fault events into the
+        service-wide counters.  Inline mode shares the in-process
+        injector, whose counters :meth:`_sync_health` reads directly —
+        folding its events too would double-count."""
+        if self.workers == 0:
+            return
+        for event in outcome.get("fault_events", ()):
+            label = event.split("@", 1)[0]          # seam#hit:kind
+            seam, _, rest = label.partition("#")
+            kind = rest.rpartition(":")[2]
+            key = f"{seam}:{kind}"
+            self._worker_faults[key] = \
+                self._worker_faults.get(key, 0) + 1
+
     # -- the persistent tier -------------------------------------------
     def _store_lookup(self, key: str) -> SpecResult | None:
         """Read-through to the disk tier; a hit is promoted into the
         in-memory LRU so the next identical request never touches
         disk.  Any payload the current build cannot rehydrate counts
-        as corrupt and misses."""
+        as corrupt and misses.  Behind the ``store`` circuit breaker:
+        a persistently failing store is skipped for a cooldown instead
+        of paying lock-retry latency on every request."""
         if self.store is None:
             return None
-        payload = self.store.get(key)
-        if payload is None:
+        breaker = self.breakers["store"]
+        if not breaker.allow():
             return None
-        try:
-            result = SpecResult.from_dict(payload)
-        except ValueError:
-            self.stats.store_corrupt += 1
-            self.store.delete(key)
+        trouble_before = self._store_trouble()
+        payload = self.store.get(key)
+        result = None
+        if payload is not None:
+            try:
+                result = SpecResult.from_dict(payload)
+            except ValueError:
+                self.stats.store_corrupt += 1
+                self.store.delete(key)
+        if self._store_trouble() > trouble_before:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+        if result is None:
             return None
         self.cache.put(key, result)
         return result
 
     def _store_put(self, key: str, result: SpecResult) -> None:
         """Write-behind on completion; best effort (a failed write is
-        counted by the store, never surfaced)."""
-        if self.store is not None and not result.degraded:
-            self.store.put(key, result.to_dict())
+        counted by the store, never surfaced).  Behind the ``store``
+        breaker like the read path."""
+        if self.store is None or result.degraded:
+            return
+        breaker = self.breakers["store"]
+        if not breaker.allow():
+            return
+        trouble_before = self._store_trouble()
+        committed = self.store.put(key, result.to_dict())
+        if committed and self._store_trouble() == trouble_before:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    def _store_trouble(self) -> int:
+        """The store-failure odometer the breaker watches: transient
+        errors and corruption events both count (the store itself
+        never raises)."""
+        return self.stats.store_errors + self.stats.store_corrupt
 
     # -- payload shaping -----------------------------------------------
     def _deadline_of(self, job: _Job) -> float | None:
@@ -261,6 +433,8 @@ class SpecializationService:
             payload["store_path"] = str(self.store.path)
         if self.backend == "compiled":
             payload["backend"] = "compiled"
+        if self.fault_plan is not None:
+            payload["fault_plan"] = self.fault_plan.as_dict()
         deadline = self._deadline_of(job)
         if deadline is not None \
                 and self.deadline_budget_fraction is not None:
@@ -276,11 +450,15 @@ class SpecializationService:
             payload["inline"] = True
             job.attempts += 1
             try:
+                fault_point("scheduler.dispatch", key=job.request.id)
                 outcome = execute_request(payload)
             except Exception:  # noqa: BLE001 — crash semantics
                 self.stats.worker_crashes += 1
+                pill = self.quarantine.record_crash(job.key)
                 if job.attempts >= self.max_attempts:
                     return self._degrade(job, "worker-crash")
+                if pill:
+                    return self._degrade(job, "quarantined")
                 self.stats.retries += 1
                 delay = self._backoff_delay(job)
                 self._sleep(delay)
@@ -308,6 +486,11 @@ class SpecializationService:
                         self.backend_stats.artifact_reuses += 1
                     results[job.index] = hit.for_request(
                         job.request, cached=True)
+                elif self.quarantine.short_circuit(job.key):
+                    # The fingerprint went toxic while this job waited
+                    # (an identical pill ahead of it in the batch).
+                    results[job.index] = self._degrade(
+                        job, "quarantined")
                 else:
                     runnable.append(job)
             if not runnable:
@@ -315,49 +498,9 @@ class SpecializationService:
             wave = runnable[:1] if serial else runnable
             leftover = runnable[1:] if serial else []
             pending = []
-            pool = self._ensure_pool()
-            submitted = []
-            for job in wave:
-                job.attempts += 1
-                future = pool.submit(execute_request,
-                                     self._payload_for(job))
-                submitted.append((job, future, monotonic()))
-            broken = False
-            for job, future, submitted_at in submitted:
-                deadline = self._deadline_of(job)
-                try:
-                    if deadline is None:
-                        outcome = future.result()
-                    else:
-                        remaining = deadline \
-                            - (monotonic() - submitted_at)
-                        outcome = future.result(
-                            timeout=max(remaining, 0.0))
-                except FutureTimeout:
-                    self.stats.timeouts += 1
-                    future.cancel()
-                    # The worker may still be grinding in its slot:
-                    # recycle the pool after the wave.
-                    broken = True
-                    results[job.index] = self._degrade(job, "deadline")
-                except Exception:  # noqa: BLE001
-                    # The pool broke (a worker died,
-                    # BrokenProcessPool) — or something unforeseen;
-                    # either way the caller must not see it.  Retry
-                    # while attempts remain.
-                    self.stats.worker_crashes += 1
-                    broken = True
-                    if job.attempts >= self.max_attempts:
-                        results[job.index] = self._degrade(
-                            job, "worker-crash")
-                    else:
-                        self.stats.retries += 1
-                        job.backoff = self._backoff_delay(job)
-                        pending.append(job)
-                else:
-                    results[job.index] = self._absorb(job, outcome)
-            if broken:
-                self._recycle_pool()
+            broken, hung = self._run_wave(wave, pending, results)
+            if broken or hung:
+                self._recycle_pool(hung=hung)
                 serial = True
             if pending:
                 delay = max(job.backoff for job in pending)
@@ -365,16 +508,122 @@ class SpecializationService:
                 self.stats.backoff_seconds += delay
             pending.extend(leftover)
 
+    def _run_wave(self, wave: Sequence[_Job], pending: list[_Job],
+                  results: list[SpecResult | None]) -> tuple[bool, int]:
+        """Submit one wave and reap every future.  Returns ``(broken,
+        hung)``: whether the pool must be recycled, and how many
+        futures were declared hung by the watchdog (their members are
+        terminated by :meth:`_recycle_pool`)."""
+        pool = self._ensure_pool()
+        broken = False
+        hung = 0
+        #: future -> (job, absolute reap limit or None, is_deadline).
+        inflight: dict[Future, tuple[_Job, float | None, bool]] = {}
+        for job in wave:
+            job.attempts += 1
+            try:
+                fault_point("scheduler.dispatch", key=job.request.id)
+                future = pool.submit(execute_request,
+                                     self._payload_for(job))
+            except Exception:  # noqa: BLE001 — dispatch is a crash seam
+                self.stats.worker_crashes += 1
+                broken |= self._crashed(job, pending, results)
+                continue
+            deadline = self._deadline_of(job)
+            if deadline is not None:
+                inflight[future] = (job, monotonic() + deadline, True)
+            elif self.watchdog_timeout is not None:
+                inflight[future] = (
+                    job, monotonic() + self.watchdog_timeout, False)
+            else:
+                inflight[future] = (job, None, False)
+        while inflight:
+            now = monotonic()
+            for future in list(inflight):
+                job, limit, is_deadline = inflight[future]
+                if limit is None or future.done() or now < limit:
+                    continue
+                # Past its bound and still running: hung.  Degrade the
+                # request now; the member is killed after the wave so
+                # wave-mates on healthy members finish undisturbed.
+                if is_deadline:
+                    self.stats.timeouts += 1
+                    reason = "deadline"
+                else:
+                    reason = "watchdog"
+                future.cancel()
+                results[job.index] = self._degrade(job, reason)
+                del inflight[future]
+                hung += 1
+                broken = True
+            if not inflight:
+                break
+            limits = [limit for _, limit, _ in inflight.values()
+                      if limit is not None]
+            timeout = max(min(limits) - monotonic(), 0.0) \
+                if limits else None
+            done, _ = wait(set(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                job, _, _ = inflight.pop(future)
+                try:
+                    outcome = future.result()
+                except Exception:  # noqa: BLE001
+                    # The pool broke (a worker died,
+                    # BrokenProcessPool) — or something unforeseen;
+                    # either way the caller must not see it.  Retry
+                    # while attempts remain.
+                    self.stats.worker_crashes += 1
+                    broken |= self._crashed(job, pending, results)
+                else:
+                    results[job.index] = self._absorb(job, outcome)
+        return broken, hung
+
+    def _crashed(self, job: _Job, pending: list[_Job],
+                 results: list[SpecResult | None]) -> bool:
+        """Crash bookkeeping shared by dispatch and reap failures:
+        charge the fingerprint, then degrade (attempts spent or
+        quarantined) or queue the retry.  Returns ``True`` (the pool
+        must be considered broken)."""
+        pill = self.quarantine.record_crash(job.key)
+        if job.attempts >= self.max_attempts:
+            results[job.index] = self._degrade(job, "worker-crash")
+        elif pill:
+            # The fingerprint just went toxic: stop burning attempts
+            # (and pool restarts) on it mid-request.
+            results[job.index] = self._degrade(job, "quarantined")
+        else:
+            self.stats.retries += 1
+            job.backoff = self._backoff_delay(job)
+            pending.append(job)
+        return True
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
-    def _recycle_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-            self.stats.pool_restarts += 1
+    def _recycle_pool(self, hung: int = 0) -> None:
+        """Tear the pool down for a rebuild.  With ``hung`` members
+        stuck past their bound, the watchdog *terminates* the pool's
+        processes instead of abandoning them to grind forever (the
+        pre-watchdog leak), and counts the recycle."""
+        if self._pool is None:
+            return
+        processes = []
+        if hung:
+            processes = list(
+                getattr(self._pool, "_processes", {}).values())
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+        self.stats.pool_restarts += 1
+        if hung:
+            self.stats.watchdog_recycles += hung
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:  # noqa: BLE001 — already gone is fine
+                    pass
 
     # -- outcomes ------------------------------------------------------
     def _backoff_delay(self, job: _Job) -> float:
@@ -383,6 +632,7 @@ class SpecializationService:
 
     def _absorb(self, job: _Job, outcome: dict) -> SpecResult:
         self._absorb_tiers(outcome)
+        self._absorb_fault_events(outcome)
         if outcome.get("failed"):
             self.stats.errors += 1
             category = outcome.get("category")
@@ -390,6 +640,7 @@ class SpecializationService:
                 self.stats.errors_by_category[category] = \
                     self.stats.errors_by_category.get(category, 0) + 1
             return self._degrade(job, outcome.get("error", "failed"))
+        self.quarantine.record_success(job.key)
         compiled = outcome.get("compiled")
         if compiled is not None:
             # The worker compiled the residual itself (the genext
@@ -439,8 +690,13 @@ class SpecializationService:
         successful residual (and with it, in the cross-request cache).
         Never fails the request: a residual the backend cannot compile
         (e.g. nested past CPython's parser limits) just ships without
-        an artifact."""
+        an artifact.  Behind the ``compile`` circuit breaker, so a
+        persistently failing lowering path stops being attempted for a
+        cooldown."""
         if self.backend != "compiled":
+            return None
+        breaker = self.breakers["compile"]
+        if not breaker.allow():
             return None
         from repro.backend import compile_program
         started = monotonic()
@@ -448,7 +704,9 @@ class SpecializationService:
             artifact = compile_program(
                 parse_program(residual)).artifact()
         except Exception:  # noqa: BLE001 — artifact is best-effort
+            breaker.record_failure()
             return None
+        breaker.record_success()
         self.backend_stats.compiles += 1
         self.backend_stats.compile_seconds += monotonic() - started
         return artifact

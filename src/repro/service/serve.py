@@ -3,21 +3,31 @@
 One JSON object per input line, one JSON object per output line,
 flushed immediately, so any process that can spawn a child and speak
 line-delimited JSON can drive the specializer without paying Python
-start-up per request.  Three input shapes:
+start-up per request.  Four input shapes:
 
 * a request object (the ``ppe batch`` manifest entry format, inline
   ``source`` only) — answered with the
   :meth:`~repro.service.results.SpecResult.to_dict` of its result;
 * ``{"op": "stats"}`` — answered with the service's
   :class:`~repro.observability.ServiceStats` snapshot;
+* ``{"op": "health"}`` — answered with
+  :meth:`~repro.service.scheduler.SpecializationService.health`
+  (breaker states, the quarantine table, watchdog activity);
 * ``{"op": "shutdown"}`` — acknowledged, then the loop exits (EOF
   does the same without the acknowledgement).
 
-Malformed lines are answered with ``{"ok": false, "error": ...}`` and
-the loop keeps going: a serving loop that dies on one bad request is
-not a serving loop.  The one fatal condition is the *consumer* going
-away — a ``BrokenPipeError`` on the output stream ends the loop
-cleanly (there is nobody left to answer).
+**The loop never dies on input.**  Malformed lines — broken JSON,
+non-objects, unknown fields, *wrongly-typed* fields (``{"source":
+42}``), anything at all — are answered with ``{"ok": false, "error":
+...}`` and the loop keeps going: a serving loop that dies on one bad
+request is not a serving loop.  A last-resort backstop catches even
+unforeseen per-line failures the same way.  The one fatal condition is
+the *consumer* going away — a ``BrokenPipeError`` on the output stream
+ends the loop cleanly (there is nobody left to answer).
+
+The loop carries its own fault seam (``serve.request``,
+:mod:`repro.faults`): an injected request-handling error is answered
+as a structured error line, exactly like bad input.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from __future__ import annotations
 import json
 from typing import IO
 
+from repro.faults import fault_point
 from repro.service.results import SpecRequest
 from repro.service.scheduler import SpecializationService
 
@@ -63,24 +74,51 @@ def _pump(service: SpecializationService, stream_in: IO[str],
             _emit(stream_out, {"ok": False,
                                "error": "expected a JSON object"})
             continue
-        op = data.get("op")
-        if op == "shutdown":
-            _emit(stream_out, {"ok": True, "op": "shutdown"})
-            break
-        if op == "stats":
-            _emit(stream_out, {"ok": True, "op": "stats",
-                               "stats": service.stats.as_dict()})
-            continue
-        if op is not None:
-            _emit(stream_out, {"ok": False,
-                               "error": f"unknown op {op!r}"})
-            continue
         try:
-            request = SpecRequest.from_dict(
-                data, default_engine=default_engine)
-        except (ValueError, OSError) as error:
-            _emit(stream_out, {"ok": False, "error": str(error),
-                               "id": data.get("id")})
-            continue
-        result = service.run_one(request)
-        _emit(stream_out, result.to_dict())
+            _handle(service, stream_out, data, default_engine)
+        except StopIteration:
+            break
+        except BrokenPipeError:
+            raise
+        except Exception as error:  # noqa: BLE001 — the loop survives
+            # The backstop: nothing a caller writes on stdin may kill
+            # the loop.  Anything _handle failed to answer itself is
+            # answered here as a structured error.
+            _emit(stream_out, {
+                "ok": False,
+                "error": f"internal error: "
+                         f"{type(error).__name__}: {error}",
+                "id": data.get("id") if isinstance(data, dict)
+                else None})
+
+
+def _handle(service: SpecializationService, stream_out: IO[str],
+            data: dict, default_engine: str) -> None:
+    """One input object; raises StopIteration on shutdown."""
+    op = data.get("op")
+    if op == "shutdown":
+        _emit(stream_out, {"ok": True, "op": "shutdown"})
+        raise StopIteration
+    if op == "stats":
+        _emit(stream_out, {"ok": True, "op": "stats",
+                           "stats": service.stats_dict()})
+        return
+    if op == "health":
+        _emit(stream_out, {"ok": True, "op": "health",
+                           "health": service.health()})
+        return
+    if op is not None:
+        _emit(stream_out, {"ok": False,
+                           "error": f"unknown op {op!r}"})
+        return
+    try:
+        fault_point("serve.request", key=data.get("id")
+                    if isinstance(data.get("id"), str) else None)
+        request = SpecRequest.from_dict(
+            data, default_engine=default_engine)
+    except (ValueError, OSError, TypeError) as error:
+        _emit(stream_out, {"ok": False, "error": str(error),
+                           "id": data.get("id")})
+        return
+    result = service.run_one(request)
+    _emit(stream_out, result.to_dict())

@@ -26,6 +26,7 @@ from typing import Any, Mapping
 
 from repro.baselines.simple_pe import specialize_simple
 from repro.engine.errors import classify
+from repro.faults import active as _active_injector, fault_point, install
 from repro.facets import (
     FacetSuite, IntervalFacet, ParityFacet, SignFacet, VectorSizeFacet)
 from repro.lang.parser import parse_program
@@ -133,15 +134,25 @@ def execute_request(payload: Mapping[str, Any]) -> dict:
     only infrastructure faults (a dying process) escape this function.
     """
     started = perf_counter()
+    inline = bool(payload.get("inline"))
+    plan = payload.get("fault_plan")
+    if plan is not None:
+        # Install the scheduler's seeded FaultPlan in this process
+        # (idempotent by plan digest — pool workers outlive requests).
+        install(plan)
+    injector = _active_injector()
+    mark = len(injector.events) if injector is not None else 0
     try:
         fault = payload.get("fault")
         if fault:
-            _crashy(fault, inline=bool(payload.get("inline")))
+            _crashy(fault, inline=inline)
+        fault_point("worker.execute", key=payload.get("id"),
+                    crash=(_inline_crash if inline else _pool_crash))
         residual, goal_params, stats, extra = _specialize(payload)
     except WorkerCrash:
         raise
     except Exception as error:  # noqa: BLE001 — the seam to the caller
-        return {
+        outcome = {
             "failed": True,
             "error": f"{type(error).__name__}: {error}",
             "category": classify(error),
@@ -149,6 +160,8 @@ def execute_request(payload: Mapping[str, Any]) -> dict:
             "engine": payload.get("engine", "online"),
             "seconds": perf_counter() - started,
         }
+        _attach_fault_events(outcome, injector, mark)
+        return outcome
     outcome = {
         "id": payload.get("id"),
         "engine": payload.get("engine", "online"),
@@ -158,7 +171,24 @@ def execute_request(payload: Mapping[str, Any]) -> dict:
         "seconds": perf_counter() - started,
     }
     outcome.update(extra)
+    _attach_fault_events(outcome, injector, mark)
     return outcome
+
+
+def _inline_crash() -> None:
+    raise WorkerCrash("injected crash (fault plan)")
+
+
+def _pool_crash() -> None:
+    os._exit(13)
+
+
+def _attach_fault_events(outcome: dict, injector, mark: int) -> None:
+    """Ship the injections this request triggered back to the
+    scheduler (worker processes hold their own injector; the scheduler
+    folds the events into ``ServiceStats.faults_injected``)."""
+    if injector is not None and len(injector.events) > mark:
+        outcome["fault_events"] = injector.events[mark:]
 
 
 def _specialize(payload: Mapping[str, Any]) \

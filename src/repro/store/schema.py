@@ -141,6 +141,17 @@ COUNT_QUARANTINED = """
     SELECT COUNT(*) FROM quarantine
 """
 
+#: Keep the N most recently quarantined rows, drop the rest — the
+#: quarantine table is evidence, not a live index, and ``ppe store gc
+#: --max-quarantine`` bounds how much evidence accumulates.
+PRUNE_QUARANTINE = """
+    DELETE FROM quarantine WHERE rowid NOT IN (
+        SELECT rowid FROM quarantine
+        ORDER BY quarantined_at DESC, rowid DESC
+        LIMIT ?
+    )
+"""
+
 #: Oldest-first by the monotonic access sequence: exact LRU.
 LRU_ROWS = """
     SELECT key, size_bytes FROM artifacts ORDER BY seq ASC

@@ -40,11 +40,20 @@ import time
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.faults import fault_payload, fault_point
 from repro.observability.service_stats import ServiceStats
 from repro.store import schema
 
 #: Seconds SQLite itself waits on a locked database before raising.
 DEFAULT_BUSY_TIMEOUT = 10.0
+
+
+def _injected_locked(message: str) -> sqlite3.OperationalError:
+    """The exception the store's fault seams raise for the ``error``
+    kind: a locked-database error, so injection exercises the real
+    contention machinery (bounded retries, ``store_errors``, degrade
+    to miss) rather than an artificial code path."""
+    return sqlite3.OperationalError(f"{message}: database is locked")
 
 #: Locked-database retries on top of the busy timeout (each waits
 #: ``_RETRY_SLEEP`` before trying again).
@@ -201,6 +210,7 @@ class ArtifactStore:
         """Look up a payload; ``None`` on miss, lock trouble, or any
         flavour of corruption.  Never raises."""
         try:
+            fault_point("store.read", key=key, error=_injected_locked)
             row = self._connection().execute(
                 schema.SELECT_ROW, (key,)).fetchone()
         except sqlite3.DatabaseError as error:
@@ -218,6 +228,11 @@ class ArtifactStore:
             self.stats.store_misses += 1
             return None
         payload_text, claimed = row
+        if isinstance(payload_text, str):
+            # Simulated disk damage between write and read; the
+            # key-bound checksum below catches it (quarantine + miss).
+            payload_text = fault_payload("store.read.payload",
+                                         payload_text, key=key)
         payload = self._decode_row(key, payload_text, claimed)
         if payload is None:
             self.stats.store_misses += 1
@@ -305,6 +320,7 @@ class ArtifactStore:
 
     def _put_once(self, key: str, payload_text: str,
                   size: int, kind: str) -> None:
+        fault_point("store.write", key=key, error=_injected_locked)
         conn = self._connection()
         conn.execute("BEGIN IMMEDIATE")
         seq = conn.execute(schema.NEXT_SEQ).fetchone()[0]
@@ -323,6 +339,7 @@ class ArtifactStore:
         key goes last — only if eviction alone cannot make room."""
         if self.max_bytes is None:
             return 0
+        fault_point("store.evict", error=_injected_locked)
         total = conn.execute(schema.TOTAL_BYTES).fetchone()[0]
         if total <= self.max_bytes:
             return 0
@@ -363,9 +380,13 @@ class ArtifactStore:
             pass
 
     # -- maintenance ---------------------------------------------------
-    def gc(self, max_bytes: int | None = None) -> dict:
-        """Enforce a byte cap now (the store's own by default) and
-        report what went.  Used by ``ppe store gc``."""
+    def gc(self, max_bytes: int | None = None,
+           max_quarantine: int | None = None) -> dict:
+        """Enforce a byte cap now (the store's own by default), prune
+        the quarantine table down to its ``max_quarantine`` most
+        recent rows, and report what went.  Used by ``ppe store gc``.
+        Before this grew a quarantine bound, every corrupt row ever
+        seen stayed on disk forever — gc never touched that table."""
         cap = self.max_bytes if max_bytes is None else max_bytes
         before = self.total_bytes()
         evicted = 0
@@ -390,11 +411,42 @@ class ArtifactStore:
             except sqlite3.Error:
                 self._rollback()
                 self.stats.store_errors += 1
+        pruned = 0
+        if max_quarantine is not None:
+            pruned = self.prune_quarantine(max_quarantine)
         after = self.total_bytes()
         return {"evicted": evicted, "bytes_before": before,
                 "bytes_after": after,
                 "freed_bytes": max(before - after, 0),
-                "entries": len(self)}
+                "entries": len(self),
+                "quarantine_pruned": pruned,
+                "quarantined": self.quarantined()}
+
+    def prune_quarantine(self, max_rows: int) -> int:
+        """Drop all but the ``max_rows`` most recently quarantined
+        rows; returns how many went.  Best effort like every other
+        store operation — a locked or damaged database prunes
+        nothing and counts a ``store_error``."""
+        if max_rows < 0:
+            raise ValueError(
+                f"max_rows must be >= 0, got {max_rows}")
+        try:
+            conn = self._connection()
+            conn.execute("BEGIN IMMEDIATE")
+            cursor = conn.execute(schema.PRUNE_QUARANTINE, (max_rows,))
+            conn.execute("COMMIT")
+            return max(cursor.rowcount, 0)
+        except sqlite3.DatabaseError as error:
+            self._rollback()
+            if _is_locked(error):
+                self.stats.store_errors += 1
+            else:
+                self._reset_after_corruption(str(error))
+            return 0
+        except sqlite3.Error:
+            self._rollback()
+            self.stats.store_errors += 1
+            return 0
 
     def verify(self) -> dict:
         """Checksum every row, quarantining failures; report

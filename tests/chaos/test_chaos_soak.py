@@ -1,0 +1,222 @@
+"""The chaos soak: the whole service under a randomized seeded
+FaultPlan.
+
+Hundreds of requests run through a real service — store tier mounted
+(with a byte cap, so eviction runs), compiled backend on, engines
+mixed — while every seam misbehaves per the plan: transient store
+errors, corrupted store payloads, worker crashes and injected worker
+errors, genext-load and compile failures, dispatch errors.
+
+The contract being soaked (the ISSUE's acceptance criteria):
+
+* **zero uncaught exceptions** — ``run_batch`` returns a result for
+  every request, no matter what fired;
+* **zero wrong bytes** — every non-degraded residual is differentially
+  verified against the source program on concrete inputs (so a
+  corrupted store payload that slipped past the checksum, or a wrong
+  cached artifact, would be caught here);
+* **bounded degradation** — injected faults may degrade requests, but
+  only a bounded fraction (the rest retry/fall through to real
+  answers);
+* **seed-reproducible injection traces** — the same plan over the
+  same request sequence fires the identical injections and produces
+  the identical per-request outcomes.
+
+Inline mode (``workers=0``) keeps the injection trace single-process
+and hence exactly reproducible; a pooled smoke (real ``os._exit``
+crashes) rides along for the multi-process story.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults import active, uninstall
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.service import SpecRequest, SpecializationService
+from repro.workloads import WORKLOADS
+
+from tests.conftest import assert_values_close
+
+#: Soak size; the ISSUE floor is 200.
+SOAK_REQUESTS = 220
+
+#: Tight engine budgets keep each specialization small; budget
+#: crossings widen (engine_degradations), they do not fail.  The
+#: fuel/step budgets are deliberately low: specializing ``power``
+#: against a *dynamic* exponent burns whatever fuel it is given
+#: before widening, so the soak's wall-clock scales with these.
+TIGHT = {"unfold_fuel": 8, "max_variants": 4, "fuel": 100_000,
+         "max_steps": 4_000, "max_residual_nodes": 4_000}
+
+#: (workload, static pools per parameter, dyn-eligible mask).  Every
+#: eligible parameter can be a concrete literal or "dyn"; the oracle
+#: needs at least one dyn.  sign_pipeline's first parameter is never
+#: dynamic: ``shrink`` recurses on it, so a dynamic value unfolds
+#: without bound (a pre-existing engine trait, not a fault).
+ORACLE_SPACE = [
+    ("gcd", [(36, 48, 60, 81), (18, 27, 30)], (True, True)),
+    ("power", [(2, 3, 5), (0, 1, 4, 7)], (True, True)),
+    ("fib", [(3, 6, 9, 11)], (True,)),
+    ("sign_pipeline", [(-4, -1, 2, 8), (1, 2, 3)], (False, True)),
+]
+
+ENGINES = ("online", "online", "offline", "genext")
+
+#: The soak plan: every seam the service carries, firing by
+#: deterministic hash.  Latencies are zeroed so the soak is fast;
+#: hang is deliberately absent (the watchdog suite covers it).
+def soak_plan(seed: int) -> dict:
+    return {"seed": seed, "seams": {
+        "store.read": {"kinds": ["error", "latency"],
+                       "probability": 0.15, "latency_seconds": 0.0},
+        "store.read.payload": {"kinds": ["corrupt"],
+                               "probability": 0.25},
+        "store.write": {"kinds": ["error"], "probability": 0.10},
+        "store.evict": {"kinds": ["error"], "probability": 0.30},
+        "worker.execute": {"kinds": ["crash", "error"],
+                           "probability": 0.06},
+        "genext.load": {"kinds": ["error"], "probability": 0.10},
+        "backend.compile": {"kinds": ["error"], "probability": 0.15},
+        "scheduler.dispatch": {"kinds": ["error", "latency"],
+                               "probability": 0.04,
+                               "latency_seconds": 0.0},
+    }}
+
+
+def soak_requests(seed: int, count: int = SOAK_REQUESTS) \
+        -> list[tuple[SpecRequest, list, list]]:
+    """``count`` randomized requests with their oracle data:
+    (request, full concrete arguments, dynamic arguments)."""
+    rng = random.Random(seed)
+    out = []
+    for index in range(count):
+        name, pools, eligible = \
+            ORACLE_SPACE[rng.randrange(len(ORACLE_SPACE))]
+        values = [rng.choice(pool) for pool in pools]
+        # At least one eligible parameter dynamic, the rest a coin
+        # flip each.
+        dyn = [ok and rng.random() < 0.5
+               for ok in eligible]
+        if not any(dyn):
+            choices = [i for i, ok in enumerate(eligible) if ok]
+            dyn[rng.choice(choices)] = True
+        specs = ["dyn" if d else str(v)
+                 for d, v in zip(dyn, values)]
+        dynamic = [v for d, v in zip(dyn, values) if d]
+        request = SpecRequest.create(
+            WORKLOADS[name].source, specs,
+            engine=ENGINES[rng.randrange(len(ENGINES))],
+            config=dict(TIGHT), id=f"soak-{index}-{name}")
+        out.append((request, values, dynamic))
+    return out
+
+
+def run_soak(seed: int, tmp_path, workers: int = 0,
+             count: int = SOAK_REQUESTS):
+    """One full soak run; returns (results, stats dict, trace)."""
+    uninstall()   # a fresh injector per run: traces start at zero
+    table = soak_requests(seed, count)
+    with SpecializationService(
+            workers=workers, fault_plan=soak_plan(seed),
+            backend="compiled",
+            store_path=tmp_path / f"soak-{seed}.sqlite",
+            store_max_bytes=200_000,
+            backoff_base=0.0, sleep=lambda _s: None) as service:
+        try:
+            results = service.run_batch(
+                [request for request, _, _ in table])
+        except Exception as error:  # noqa: BLE001 — the core claim
+            pytest.fail(f"the service raised under fault injection: "
+                        f"{type(error).__name__}: {error}")
+        stats = service.stats_dict()
+    injector = active()
+    trace = injector.trace() if injector is not None else []
+    return table, results, stats, trace
+
+
+def verify_oracle(table, results) -> int:
+    """Differentially verify every non-degraded result; returns how
+    many were verified."""
+    verified = 0
+    for (request, values, dynamic), result in zip(table, results):
+        assert result is not None
+        assert result.residual, f"{request.id}: empty residual"
+        if result.degraded:
+            # Degraded results are honest fallbacks, clearly flagged;
+            # wrong-bytes is only a claim about non-degraded answers.
+            assert result.reason, f"{request.id}: degraded, no reason"
+            continue
+        source_program = parse_program(request.source)
+        want = run_program(source_program, *values)
+        residual_program = parse_program(result.residual)
+        got = run_program(residual_program, *dynamic)
+        assert_values_close(want, got, context=request.id)
+        verified += 1
+    return verified
+
+
+class TestChaosSoak:
+    def test_soak_never_raises_never_lies(self, tmp_path):
+        table, results, stats, trace = run_soak(1337, tmp_path)
+        assert len(results) == SOAK_REQUESTS
+        verified = verify_oracle(table, results)
+        degraded = sum(1 for r in results if r.degraded)
+        # Faults actually fired — a soak that injects nothing proves
+        # nothing.
+        assert trace, "the plan injected nothing"
+        assert stats["faults"], "no injections reached ServiceStats"
+        # Bounded degradation: most requests still get real answers.
+        assert degraded + verified == SOAK_REQUESTS
+        assert degraded / SOAK_REQUESTS < 0.5, \
+            f"{degraded}/{SOAK_REQUESTS} degraded — degradation is " \
+            f"not bounded"
+        assert verified > 0
+
+    def test_soak_trace_is_seed_reproducible(self, tmp_path):
+        table_a, results_a, stats_a, trace_a = \
+            run_soak(99, tmp_path / "a", count=80)
+        table_b, results_b, stats_b, trace_b = \
+            run_soak(99, tmp_path / "b", count=80)
+        assert trace_a == trace_b, \
+            "identical plan + request sequence must inject identically"
+        assert trace_a
+        outcomes_a = [(r.degraded, r.reason, r.residual)
+                      for r in results_a]
+        outcomes_b = [(r.degraded, r.reason, r.residual)
+                      for r in results_b]
+        assert outcomes_a == outcomes_b
+        assert stats_a["faults"] == stats_b["faults"]
+
+    def test_different_seeds_inject_differently(self, tmp_path):
+        *_, trace_a = run_soak(7, tmp_path / "a", count=60)
+        *_, trace_b = run_soak(8, tmp_path / "b", count=60)
+        assert trace_a != trace_b
+
+    def test_degraded_results_never_reach_cache_or_store(self,
+                                                         tmp_path):
+        table, results, stats, _ = run_soak(424242, tmp_path)
+        degraded = [r for r in results if r.degraded]
+        assert degraded, "this seed should degrade something"
+        assert all(not r.cached for r in degraded)
+
+    def test_pooled_soak_smoke(self, tmp_path):
+        """Real process crashes (os._exit in pool workers): the
+        multi-process arm of the no-raise / no-lie claim.  Traces are
+        not pinned here — worker hit counters are per-process."""
+        uninstall()
+        plan = {"seed": 5, "seams": {
+            "worker.execute": {"kinds": ["crash"],
+                               "probability": 0.25}}}
+        table = soak_requests(31, count=24)
+        with SpecializationService(
+                workers=2, fault_plan=plan, max_attempts=2,
+                backoff_base=0.0, sleep=lambda _s: None) as service:
+            results = service.run_batch(
+                [request for request, _, _ in table])
+        assert len(results) == 24
+        verified = verify_oracle(table, results)
+        assert verified > 0

@@ -113,3 +113,13 @@ def assert_values_close(want, got, context: str = "") -> None:
     assert values_approx_equal(want, got), \
         f"values diverge{where}: want {format_value(want)}, " \
         f"got {format_value(got)}"
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """The fault-injection layer (:mod:`repro.faults`) is a process
+    global; a test that installs a plan (directly or by constructing a
+    service with one) must not leak it into the next test."""
+    yield
+    from repro.faults import uninstall
+    uninstall()

@@ -53,7 +53,8 @@ def test_as_dict_shape():
         "submitted", "completed", "degraded", "degraded_rate", "cache",
         "store", "genext", "analysis_memo", "worker_crashes",
         "retries", "timeouts", "errors", "errors_by_category",
-        "pool_restarts", "backoff_seconds", "budget"}
+        "pool_restarts", "backoff_seconds", "budget", "faults",
+        "breaker", "quarantine", "watchdog"}
     assert set(snapshot["cache"]) == {"hits", "misses", "evictions",
                                       "rate"}
     assert set(snapshot["store"]) == {"hits", "misses", "writes",
@@ -63,6 +64,29 @@ def test_as_dict_shape():
                                        "store_writes", "emits"}
     assert set(snapshot["analysis_memo"]) == {"hits", "misses"}
     assert set(snapshot["budget"]) == {"engine_degradations"}
+    assert set(snapshot["breaker"]) == {"opens", "short_circuits",
+                                        "seams"}
+    assert set(snapshot["quarantine"]) == {"requests", "pills"}
+    assert set(snapshot["watchdog"]) == {"recycles"}
+    assert snapshot["faults"] == {}
+
+
+def test_merge_accumulates_hardening_counters():
+    left = ServiceStats(quarantined=1, poison_pills=1,
+                        watchdog_recycles=2, breaker_opens=1,
+                        faults_injected={"store.read:error": 2})
+    right = ServiceStats(quarantined=2, breaker_short_circuits=3,
+                         watchdog_recycles=1,
+                         faults_injected={"store.read:error": 1,
+                                          "worker.execute:crash": 4})
+    left.merge(right)
+    assert left.quarantined == 3
+    assert left.poison_pills == 1
+    assert left.watchdog_recycles == 3
+    assert left.breaker_opens == 1
+    assert left.breaker_short_circuits == 3
+    assert left.faults_injected == {"store.read:error": 3,
+                                    "worker.execute:crash": 4}
 
 
 def test_store_hit_rate():

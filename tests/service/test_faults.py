@@ -119,6 +119,44 @@ class TestCrashRetry:
             assert not by_id[request.id].degraded
 
 
+class TestWaveMateIsolation:
+    def test_wave_mates_keep_their_retry_budgets(self, tmp_path,
+                                                 recorded_sleep):
+        """Regression: when one request keeps breaking the pool, its
+        wave-mates must not burn their own retry budgets as collateral.
+
+        Wave 1 breaks the pool, so every wave-mate may lose at most
+        that one attempt to the wreckage; serial-after-break isolation
+        then runs the culprit alone, and each healthy request must
+        finish on its second attempt — never reach max_attempts, never
+        degrade.
+        """
+        _, sleep = recorded_sleep
+        healthy = [SpecRequest.create(source=SRC, specs=["48", str(k)],
+                                      id=f"ok-{k}")
+                   for k in (18, 30, 36)]
+        batch = [crashy_request(tmp_path, times=99)] + healthy
+        with SpecializationService(workers=2, max_attempts=3,
+                                   backoff_base=0.01,
+                                   sleep=sleep) as service:
+            results = service.run_batch(batch)
+        by_id = {result.id: result for result in results}
+        assert by_id["crashy-t"].degraded
+        assert by_id["crashy-t"].attempts == 3
+        for request in healthy:
+            result = by_id[request.id]
+            assert not result.degraded
+            assert result.attempts <= 2, \
+                f"{result.id} burned {result.attempts} attempts as " \
+                f"collateral of the crashy wave-mate"
+        # The healthy requests' collateral crashes cleared on their
+        # successful completion: none of them is anywhere near the
+        # poison-pill quarantine.
+        for request in healthy:
+            assert not service.quarantine.is_quarantined(
+                request.fingerprint())
+
+
 class TestDeadlines:
     def test_hang_past_deadline_degrades(self, tmp_path):
         request = SpecRequest.create(

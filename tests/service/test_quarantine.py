@@ -1,0 +1,157 @@
+"""Poison-pill quarantine: unit state walk (injected clock) and the
+service-level behavior driven by FaultPlan crash triggers."""
+
+import pytest
+
+from repro.service.quarantine import PoisonQuarantine
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestUnit:
+    def test_threshold_crashes_quarantine(self, clock):
+        box = PoisonQuarantine(threshold=3, ttl_seconds=100.0,
+                               clock=clock)
+        assert not box.record_crash("fp")
+        assert not box.record_crash("fp")
+        assert box.record_crash("fp"), "third crash tips it in"
+        assert box.is_quarantined("fp")
+        assert box.pills == 1
+        assert len(box) == 1
+
+    def test_success_clears_the_streak(self, clock):
+        box = PoisonQuarantine(threshold=2, clock=clock)
+        box.record_crash("fp")
+        box.record_success("fp")
+        assert not box.record_crash("fp"), \
+            "the streak restarted after a success"
+
+    def test_ttl_expiry_releases(self, clock):
+        box = PoisonQuarantine(threshold=1, ttl_seconds=50.0,
+                               clock=clock)
+        box.record_crash("fp")
+        assert box.short_circuit("fp")
+        clock.advance(50.0)
+        assert not box.is_quarantined("fp")
+        assert box.expiries == 1
+        assert len(box) == 0
+
+    def test_short_circuit_counts(self, clock):
+        box = PoisonQuarantine(threshold=1, clock=clock)
+        box.record_crash("fp")
+        assert box.short_circuit("fp")
+        assert box.short_circuit("fp")
+        assert not box.short_circuit("other")
+        assert box.short_circuits == 2
+
+    def test_table_is_capped(self, clock):
+        box = PoisonQuarantine(threshold=1, ttl_seconds=100.0,
+                               max_entries=2, clock=clock)
+        box.record_crash("a")
+        clock.advance(1.0)
+        box.record_crash("b")
+        clock.advance(1.0)
+        box.record_crash("c")
+        assert len(box) == 2
+        assert not box.is_quarantined("a"), \
+            "the entry closest to release is evicted for the new pill"
+        assert box.is_quarantined("b") and box.is_quarantined("c")
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            PoisonQuarantine(threshold=0)
+        with pytest.raises(ValueError):
+            PoisonQuarantine(ttl_seconds=-1)
+        with pytest.raises(ValueError):
+            PoisonQuarantine(max_entries=0)
+
+    def test_snapshot_shape(self, clock):
+        box = PoisonQuarantine(clock=clock)
+        assert set(box.snapshot()) == {
+            "size", "threshold", "ttl_seconds", "pills",
+            "short_circuits", "expiries"}
+
+
+SOURCE = "(define (f x y) (+ (* x x) y))"
+
+
+def _request(id="pill"):
+    from repro.service import SpecRequest
+    return SpecRequest.create(SOURCE, ["3", "dyn"], id=id)
+
+
+class TestServiceIntegration:
+    """Inline service + a FaultPlan that crashes every worker.execute
+    hit: deterministic poison-pill behavior end to end."""
+
+    def _service(self, clock, **kwargs):
+        from repro.service import SpecializationService
+        plan = {"seed": 11, "seams": {
+            "worker.execute": {"kinds": ["crash"], "every": 1}}}
+        defaults = dict(workers=0, max_attempts=2, backoff_base=0.0,
+                        fault_plan=plan, quarantine_threshold=2,
+                        quarantine_ttl=120.0, clock=clock)
+        defaults.update(kwargs)
+        return SpecializationService(**defaults)
+
+    def test_pill_is_quarantined_then_released(self, clock):
+        from repro.faults import uninstall
+
+        with self._service(clock) as service:
+            # Run 1: both attempts crash -> degraded "worker-crash",
+            # and the second crash reaches quarantine_threshold.
+            first = service.run_one(_request())
+            assert first.degraded and first.reason == "worker-crash"
+            assert first.attempts == 2
+            assert service.stats.worker_crashes == 2
+            assert service.quarantine.is_quarantined(
+                _request().fingerprint())
+            assert service.stats.poison_pills == 1
+            # Run 2: short-circuited without touching the worker.
+            crashes_before = service.stats.worker_crashes
+            second = service.run_one(_request())
+            assert second.degraded and second.reason == "quarantined"
+            assert second.attempts == 0
+            assert service.stats.worker_crashes == crashes_before
+            assert service.stats.quarantined == 1
+            # TTL passes and the fault clears: the pill recovers.
+            clock.advance(120.0)
+            uninstall()
+            service.fault_plan = None
+            third = service.run_one(_request())
+            assert not third.degraded
+            assert third.residual
+            health = service.health()
+            assert health["quarantine"]["size"] == 0
+            assert health["quarantine"]["expiries"] == 1
+
+    def test_quarantine_hits_profile_sections(self, clock):
+        with self._service(clock) as service:
+            service.run_one(_request())
+            report = service.stats_dict()
+            assert report["quarantine"]["pills"] == 1
+            assert report["faults"].get("worker.execute:crash") == 2
+
+    def test_early_stop_when_threshold_below_attempts(self, clock):
+        # threshold 1 < max_attempts 3: the first crash quarantines,
+        # and the request degrades without burning further retries.
+        with self._service(clock, max_attempts=3,
+                           quarantine_threshold=1) as service:
+            result = service.run_one(_request())
+            assert result.degraded and result.reason == "quarantined"
+            assert result.attempts == 1
+            assert service.stats.retries == 0

@@ -77,6 +77,83 @@ class TestServeLoop:
         assert "ParseError" in response["reason"]
 
 
+class TestServeLoopRobustness:
+    """Satellite regression: wrongly-*typed* fields used to pass
+    ``from_dict`` validation and detonate later (``{"source": 42}``
+    reached ``fingerprint()`` and killed the loop with an
+    ``AttributeError``).  Every shape here must be answered with a
+    structured error line, and the loop must keep serving."""
+
+    BAD_LINES = [
+        {"source": 42},                               # non-string source
+        {"source": GCD, "specs": "not-a-list-item", "id": 7},
+        {"source": GCD, "config": "fast"},            # non-object config
+        {"source": GCD, "config": ["max_steps", 1]},
+        {"source": GCD, "fault": "boom"},             # non-object fault
+        {"source": GCD, "deadline": "soon"},          # non-number deadline
+        {"source": GCD, "deadline": True},
+        {"source": GCD, "specs": [1, 2]},             # non-string specs
+        {"file": 42},                                 # non-string path
+        {"source": None},
+    ]
+
+    def test_wrongly_typed_fields_answered_not_fatal(self):
+        survivor = {"id": "ok", "source": GCD, "specs": ["48", "18"]}
+        responses = pump(*self.BAD_LINES, survivor)
+        assert len(responses) == len(self.BAD_LINES) + 1
+        for response in responses[:-1]:
+            assert response["ok"] is False
+            assert response["error"]
+        assert responses[-1]["id"] == "ok"
+        assert not responses[-1]["degraded"]
+
+    def test_error_lines_echo_the_id_when_stringy(self):
+        [response, _] = pump(
+            {"id": "who", "source": 42},
+            {"op": "shutdown"})
+        assert response["ok"] is False
+        assert response["id"] == "who"
+
+    def test_health_op(self):
+        responses = pump(
+            {"id": "a", "source": GCD, "specs": ["48", "18"]},
+            {"op": "health"})
+        health = responses[-1]
+        assert health["ok"] is True and health["op"] == "health"
+        assert health["health"]["breakers"]["store"]["state"] \
+            == "closed"
+        assert health["health"]["quarantine"]["size"] == 0
+        assert health["health"]["watchdog"]["recycles"] == 0
+
+    def test_stats_op_carries_hardening_sections(self):
+        responses = pump(
+            {"id": "a", "source": GCD, "specs": ["48", "18"]},
+            {"op": "stats"})
+        stats = responses[-1]["stats"]
+        assert stats["faults"] == {}
+        assert stats["breaker"]["opens"] == 0
+        assert stats["quarantine"]["pills"] == 0
+        assert stats["watchdog"]["recycles"] == 0
+
+    def test_injected_serve_fault_is_answered_in_band(self):
+        plan = {"seed": 21, "seams": {
+            "serve.request": {"kinds": ["error"], "at": [1]}}}
+        text = "\n".join([
+            json.dumps({"id": "a", "source": GCD,
+                        "specs": ["48", "18"]}),
+            json.dumps({"id": "b", "source": GCD,
+                        "specs": ["48", "18"]})]) + "\n"
+        out = io.StringIO()
+        with SpecializationService(workers=0,
+                                   fault_plan=plan) as service:
+            serve(service, io.StringIO(text), out)
+        first, second = [json.loads(line)
+                         for line in out.getvalue().splitlines()]
+        assert first["ok"] is False
+        assert "injected fault at serve.request" in first["error"]
+        assert second["id"] == "b" and not second["degraded"]
+
+
 class TestBatchCLI:
     def _manifest(self, tmp_path, entries):
         path = tmp_path / "manifest.json"
@@ -144,3 +221,50 @@ class TestServeCLI:
         assert json.loads(out_lines[0])["id"] == "g"
         assert json.loads(out_lines[-1]) == {"ok": True,
                                              "op": "shutdown"}
+
+    def test_serve_survives_undecodable_bytes_on_stdin(
+            self, monkeypatch, capsys):
+        # Raw binary junk would raise UnicodeDecodeError in the line
+        # iterator before the loop ever saw the line; the CLI re-wraps
+        # stdin with errors="replace" so it is answered as bad JSON.
+        raw = b"\xff\xfe\x00garbage\n" \
+            + json.dumps({"op": "shutdown"}).encode() + b"\n"
+
+        class FakeStdin:
+            buffer = io.BytesIO(raw)
+
+        import sys
+        monkeypatch.setattr(sys, "stdin", FakeStdin())
+        code = main(["serve", "--workers", "0"])
+        assert code == 0
+        out_lines = capsys.readouterr().out.splitlines()
+        first = json.loads(out_lines[0])
+        assert first["ok"] is False and "bad JSON" in first["error"]
+        assert json.loads(out_lines[-1]) == {"ok": True,
+                                             "op": "shutdown"}
+
+    def test_serve_health_flag_and_fault_plan(self, tmp_path,
+                                              monkeypatch, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"seed": 4, "seams": {
+            "serve.request": {"kinds": ["latency"], "at": [1],
+                              "latency_seconds": 0.0}}}))
+        health_path = tmp_path / "health.json"
+        lines = json.dumps(
+            {"id": "g", "source": GCD, "specs": ["48", "18"]}) + "\n" \
+            + json.dumps({"op": "shutdown"}) + "\n"
+        import sys
+        monkeypatch.setattr(sys, "stdin", io.StringIO(lines))
+        code = main(["serve", "--workers", "0",
+                     "--fault-plan", str(plan),
+                     "--health", str(health_path)])
+        assert code == 0
+        health = json.loads(health_path.read_text())
+        assert health["faults"] == {"serve.request:latency": 1}
+        assert health["quarantine"]["pills"] == 0
+
+    def test_serve_rejects_bad_fault_plan(self, monkeypatch):
+        import pytest
+        with pytest.raises(SystemExit, match="bad fault plan"):
+            main(["serve", "--workers", "0",
+                  "--fault-plan", "{broken"])

@@ -1,0 +1,78 @@
+"""The hung-worker watchdog, driven deterministically by FaultPlan
+hang triggers.
+
+These tests use a real pool (``workers=1``): the watchdog exists
+precisely to bound futures whose worker process is stuck, which
+cannot be simulated inline.  The hang itself is injected (the worker
+sleeps ``hang_seconds``), the watchdog bound is tight, and the
+recycle terminates the sleeping process — so the tests are fast and
+leave no grinding processes behind."""
+
+import pytest
+
+from repro.service import SpecRequest, SpecializationService
+
+SOURCE = "(define (f x y) (+ (* x x) y))"
+OTHER = "(define (g x y) (- (* x y) 1))"
+
+#: Every worker.execute hit hangs for far longer than any test waits;
+#: the watchdog must terminate the worker, not wait this out.
+HANG_PLAN = {"seed": 3, "seams": {
+    "worker.execute": {"kinds": ["hang"], "every": 1,
+                       "hang_seconds": 60.0}}}
+
+
+def test_watchdog_bounds_deadline_less_requests():
+    with SpecializationService(workers=1, fault_plan=HANG_PLAN,
+                               watchdog_timeout=0.4) as service:
+        result = service.run_one(
+            SpecRequest.create(SOURCE, ["3", "dyn"], id="stuck"))
+        assert result.degraded and result.reason == "watchdog"
+        assert service.stats.watchdog_recycles == 1
+        assert service.stats.pool_restarts == 1
+        assert service.stats.timeouts == 0, \
+            "the backstop is not a deadline timeout"
+
+
+def test_watchdog_recovery_after_fault_clears():
+    from repro.faults import uninstall
+
+    with SpecializationService(workers=1, fault_plan=HANG_PLAN,
+                               watchdog_timeout=0.4) as service:
+        first = service.run_one(
+            SpecRequest.create(SOURCE, ["3", "dyn"]))
+        assert first.degraded and first.reason == "watchdog"
+        # The fault clears; the recycled pool serves normally again.
+        uninstall()
+        service.fault_plan = None
+        second = service.run_one(
+            SpecRequest.create(OTHER, ["dyn", "5"]))
+        assert not second.degraded
+        assert service.stats.watchdog_recycles == 1
+        health = service.health()
+        assert health["watchdog"]["recycles"] == 1
+        assert health["watchdog"]["timeout"] == 0.4
+
+
+def test_deadline_hang_terminates_the_stuck_member():
+    # A request deadline (not the backstop): reason stays "deadline"
+    # and counts a timeout, exactly as before the watchdog existed —
+    # but the stuck member is now terminated and counted.
+    with SpecializationService(workers=1,
+                               fault_plan=HANG_PLAN) as service:
+        result = service.run_one(
+            SpecRequest.create(SOURCE, ["3", "dyn"], deadline=0.4))
+        assert result.degraded and result.reason == "deadline"
+        assert service.stats.timeouts == 1
+        assert service.stats.watchdog_recycles == 1
+        assert service.stats.pool_restarts == 1
+
+
+def test_no_watchdog_by_default_config():
+    service = SpecializationService(workers=1)
+    try:
+        assert service.watchdog_timeout is None
+    finally:
+        service.close()
+    with pytest.raises(ValueError):
+        SpecializationService(workers=1, watchdog_timeout=0.0)

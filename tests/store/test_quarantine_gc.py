@@ -1,0 +1,82 @@
+"""``ppe store gc --max-quarantine``: the quarantine table is bounded
+evidence, not an append-only log.
+
+Satellite regression: before this knob existed, gc never touched the
+quarantine table — every corrupt row ever seen stayed on disk forever,
+so a store under sustained corruption (or fault injection) grew
+without bound even with a byte cap in force.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.store import ArtifactStore
+
+
+def _quarantine_rows(path, count: int) -> None:
+    """Store ``count`` entries, damage their payloads in place, then
+    read them back so each is quarantined through the real read path."""
+    with ArtifactStore(path) as store:
+        keys = [f"key-{index:04d}" for index in range(count)]
+        for key in keys:
+            assert store.put(key, {"residual": f"(r {key})"})
+        conn = store._connection()
+        conn.execute("UPDATE artifacts SET payload = payload || 'X'")
+        for key in keys:
+            assert store.get(key) is None
+        assert store.quarantined() == count
+
+
+class TestPruneQuarantine:
+    def test_prune_keeps_most_recent(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        _quarantine_rows(path, 5)
+        with ArtifactStore(path) as store:
+            pruned = store.prune_quarantine(2)
+            assert pruned == 3
+            assert store.quarantined() == 2
+            rows = store._connection().execute(
+                "SELECT key FROM quarantine ORDER BY key").fetchall()
+        assert [key for (key,) in rows] == ["key-0003", "key-0004"], \
+            "the oldest quarantined rows must go first"
+
+    def test_prune_to_zero_and_idempotence(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        _quarantine_rows(path, 3)
+        with ArtifactStore(path) as store:
+            assert store.prune_quarantine(0) == 3
+            assert store.quarantined() == 0
+            assert store.prune_quarantine(0) == 0
+
+    def test_prune_validates(self, tmp_path):
+        with ArtifactStore(tmp_path / "store.sqlite") as store:
+            with pytest.raises(ValueError):
+                store.prune_quarantine(-1)
+
+    def test_gc_takes_max_quarantine(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        _quarantine_rows(path, 4)
+        with ArtifactStore(path) as store:
+            outcome = store.gc(max_quarantine=1)
+            assert outcome["quarantine_pruned"] == 3
+            assert outcome["quarantined"] == 1
+            # Without the knob the table is left alone.
+            outcome = store.gc()
+            assert outcome["quarantine_pruned"] == 0
+            assert outcome["quarantined"] == 1
+
+    def test_cli_store_gc_max_quarantine(self, tmp_path, capsys):
+        path = tmp_path / "store.sqlite"
+        _quarantine_rows(path, 3)
+        code = main(["store", "gc", "--store-path", str(path),
+                     "--max-quarantine", "1"])
+        assert code == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["quarantine_pruned"] == 2
+        assert outcome["quarantined"] == 1
+        with ArtifactStore(path) as store:
+            assert store.quarantined() == 1
