@@ -26,6 +26,13 @@ Subcommands:
   cross-request cache, graceful degradation);
 * ``ppe serve`` — long-running stdin/stdout JSONL loop over the same
   service, for driving from other processes;
+* ``ppe gateway`` — asyncio HTTP front door over the same service
+  (:mod:`repro.gateway`): ``POST /v1/specialize`` (single, batch and
+  ``?stream=1`` chunked-progress modes), ``GET /v1/health``, ``GET
+  /v1/stats``; admission control via ``--max-queue`` (bounded queue,
+  sheds with 429 + Retry-After), ``--quota RATE[:BURST]``
+  (per-API-key token buckets) and ``--priority-key KEY`` (the
+  high-priority lane);
 * ``ppe store {stats,gc,verify}`` — administer the persistent
   artifact store (:mod:`repro.store`): print its snapshot, enforce a
   byte cap (``gc`` also takes ``--max-quarantine N`` to prune the
@@ -42,6 +49,11 @@ specialize / simplify), the specializer's work counters, and the facet
 suite's cache hit rates is written to PATH (stderr when omitted or
 ``-``).  The report's ``stats.budget`` section records budget usage
 and any graceful degradations (see :mod:`repro.engine.budget`).
+
+``batch``, ``serve`` and ``gateway`` share the service flags: the
+budget flags below, ``--engine``, ``--backend``, ``--store-path`` /
+``--store-max-bytes``, ``--fault-plan`` and ``--health``, plus
+``--workers`` / ``--deadline`` / ``--cache-size``.
 
 ``specialize``, ``offline``, ``batch`` and ``serve`` accept the budget
 flags ``--max-steps`` / ``--max-residual-nodes`` /
@@ -211,7 +223,33 @@ def main(argv: list[str] | None = None) -> int:
     batch_cmd.add_argument("manifest", type=Path)
     serve_cmd = sub.add_parser(
         "serve", help="JSONL request/response loop on stdin/stdout")
-    for cmd in (batch_cmd, serve_cmd):
+    gateway_cmd = sub.add_parser(
+        "gateway",
+        help="asyncio HTTP front door with admission control "
+             "(POST /v1/specialize, GET /v1/health, GET /v1/stats)")
+    gateway_cmd.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default 127.0.0.1)")
+    gateway_cmd.add_argument(
+        "--port", type=int, default=8787, metavar="N",
+        help="port to bind (0 = let the kernel pick; default 8787)")
+    gateway_cmd.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admission-queue bound: jobs queued or running before "
+             "new work is shed with 429 (default 64)")
+    gateway_cmd.add_argument(
+        "--quota", default=None, metavar="RATE[:BURST]",
+        help="per-API-key token-bucket quota: RATE admissions/second "
+             "with an optional BURST cap (default: no quotas)")
+    gateway_cmd.add_argument(
+        "--priority-key", action="append", default=None, metavar="KEY",
+        help="API key granted the high-priority lane (repeatable): "
+             "jumps queued normal work and sheds last")
+    gateway_cmd.add_argument(
+        "--batch-max", type=int, default=8, metavar="N",
+        help="max concurrent submissions drained into one service "
+             "wave (default 8)")
+    for cmd in (batch_cmd, serve_cmd, gateway_cmd):
         cmd.add_argument(
             "--workers", type=int, default=2, metavar="N",
             help="worker processes (0 = run requests inline; "
@@ -223,7 +261,7 @@ def main(argv: list[str] | None = None) -> int:
             "--cache-size", type=int, default=256, metavar="N",
             help="cross-request residual-cache capacity "
                  "(0 disables; default 256)")
-    for cmd in (batch_cmd, serve_cmd):
+    for cmd in (batch_cmd, serve_cmd, gateway_cmd):
         _add_budget_flags(cmd)
         cmd.add_argument(
             "--engine", choices=ENGINES, default="online",
@@ -309,6 +347,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if options.command == "serve":
         return _run_serve(options)
+
+    if options.command == "gateway":
+        return _run_gateway(options)
 
     if options.command == "store":
         return _run_store(options)
@@ -566,6 +607,80 @@ def _run_batch(options: argparse.Namespace) -> int:
         except OSError as error:
             raise SystemExit(
                 f"ppe: cannot write profile report: {error}")
+    return 0
+
+
+def _parse_quota(spec: str | None) -> tuple[float | None, float | None]:
+    """``--quota RATE[:BURST]`` decoded."""
+    if spec is None:
+        return None, None
+    rate_text, _, burst_text = spec.partition(":")
+    try:
+        rate = float(rate_text)
+        burst = float(burst_text) if burst_text else None
+    except ValueError:
+        raise SystemExit(
+            f"ppe: bad --quota {spec!r}: expected RATE[:BURST]")
+    if rate <= 0 or (burst is not None and burst < 1):
+        raise SystemExit(
+            f"ppe: bad --quota {spec!r}: RATE must be positive and "
+            f"BURST >= 1")
+    return rate, burst
+
+
+def _run_gateway(options: argparse.Namespace) -> int:
+    """``ppe gateway``: the asyncio HTTP front door, running until
+    SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from repro.gateway import GatewayServer
+    from repro.service import SpecializationService
+
+    quota_rate, quota_burst = _parse_quota(options.quota)
+
+    async def _main(service) -> None:
+        gateway = GatewayServer(
+            service, host=options.host, port=options.port,
+            max_queue=options.max_queue,
+            quota_rate=quota_rate, quota_burst=quota_burst,
+            priority_keys=tuple(options.priority_key or ()),
+            default_engine=options.engine,
+            batch_max=options.batch_max)
+        await gateway.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # Handlers go in before the banner: the banner is the
+        # readiness signal, and a supervisor may SIGTERM right after
+        # reading it.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loops: Ctrl-C still raises
+        print(f"gateway listening on "
+              f"http://{options.host}:{gateway.port}",
+              file=sys.stderr, flush=True)
+        try:
+            await stop.wait()
+        finally:
+            gateway.sync_stats()
+            await gateway.aclose()
+
+    with SpecializationService(
+            workers=options.workers, cache_capacity=options.cache_size,
+            default_deadline=options.deadline,
+            default_config=_budget_overrides(options),
+            backend=options.backend,
+            store_path=options.store_path,
+            store_max_bytes=options.store_max_bytes,
+            fault_plan=_load_fault_plan(options)) as service:
+        try:
+            asyncio.run(_main(service))
+        except KeyboardInterrupt:
+            pass
+        if options.health is not None:
+            _write_health(service, options.health)
     return 0
 
 

@@ -72,6 +72,9 @@ SEAMS = {
     "backend.compile": ("error", "latency"),
     "scheduler.dispatch": ("error", "latency"),
     "serve.request": ("error", "latency"),
+    "gateway.accept": ("error", "latency"),
+    "gateway.admit": ("error", "latency"),
+    "gateway.respond": ("error", "latency"),
 }
 
 

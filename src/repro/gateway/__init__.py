@@ -1,0 +1,47 @@
+"""``repro.gateway`` — the specializer's network front door.
+
+An asyncio HTTP server (stdlib streams only — no new dependencies)
+exposing the :class:`~repro.service.scheduler.SpecializationService`
+over ``POST /v1/specialize`` (single, batch, and streaming-progress
+modes), ``GET /v1/health`` and ``GET /v1/stats``, with real admission
+control in front: a bounded queue that sheds with ``429`` +
+``Retry-After``, per-API-key token-bucket quotas, and a two-level
+priority lane.  Layers:
+
+* :mod:`repro.gateway.core` — protocol-independent request handling,
+  shared verbatim with the ``ppe serve`` JSONL loop so the two front
+  doors cannot drift;
+* :mod:`repro.gateway.protocol` — minimal HTTP/1.1 framing;
+* :mod:`repro.gateway.client_state` — per-API-key token buckets;
+* :mod:`repro.gateway.admission` — queue bounds, quotas, lanes;
+* :mod:`repro.gateway.router` — method+path dispatch (404 vs 405);
+* :mod:`repro.gateway.server` — the event loop, connection handling
+  and streaming, over the :class:`~repro.service.submit.AsyncSubmitter`
+  bridge into the blocking scheduler.
+
+``ppe gateway`` (:mod:`repro.cli`) is the command-line entry point.
+"""
+
+from repro.gateway.admission import (AdmissionController, Decision,
+                                     LANE_HIGH, LANE_NORMAL)
+from repro.gateway.client_state import (ANONYMOUS, ClientTable,
+                                        TokenBucket)
+from repro.gateway.core import (build_request, decode_json_object,
+                                encode_response, handle_op,
+                                handle_request_data,
+                                internal_error_payload,
+                                invalid_request_payload)
+from repro.gateway.protocol import (HttpRequest, ProtocolError,
+                                    read_request)
+from repro.gateway.router import Router
+from repro.gateway.server import GatewayServer
+
+__all__ = [
+    "AdmissionController", "Decision", "LANE_HIGH", "LANE_NORMAL",
+    "ANONYMOUS", "ClientTable", "TokenBucket",
+    "build_request", "decode_json_object", "encode_response",
+    "handle_op", "handle_request_data", "internal_error_payload",
+    "invalid_request_payload",
+    "HttpRequest", "ProtocolError", "read_request",
+    "Router", "GatewayServer",
+]

@@ -1,0 +1,182 @@
+"""Admission control: the bounded queue, quotas and priority lanes.
+
+The gateway's backpressure contract in one place:
+
+* **Bounded queue.**  At most ``max_queue`` specialization jobs may
+  be in the house (queued or running) at once.  Past that, new work
+  is *shed* — answered ``429 Too Many Requests`` with a
+  ``Retry-After`` hint — instead of queuing without bound until the
+  process OOMs.  Shedding is cheap (no parse, no pool traffic), which
+  is the point: an overloaded server must get *faster* at saying no.
+* **Per-client quotas.**  Each API key (``X-API-Key``; absent keys
+  share the ``anonymous`` identity) gets a token bucket of
+  ``quota_rate`` admissions/second with a ``quota_burst`` cap.  A
+  client over its rate is shed with the bucket's exact refill time as
+  ``Retry-After``, independent of queue room — one greedy client
+  cannot starve the rest.
+* **Two priority lanes.**  API keys named in ``priority_keys`` ride
+  the *high* lane: their jobs jump queued normal-lane work (the
+  submitter's priority queue) **and** shed last — the high lane may
+  fill ``high_reserve`` slots above ``max_queue``, headroom the
+  normal lane never sees.
+
+Batch requests admit all-or-nothing: a batch of *n* takes *n* queue
+slots and *n* tokens atomically, or sheds as a unit (partial
+admission would make the response shape depend on load).
+
+Retry-After for queue sheds is an EWMA of recent per-job service
+time multiplied by the queue depth — an estimate of when a slot will
+actually be free, not a constant.
+
+Single-threaded by construction (everything runs on the gateway's
+event loop); the injectable clock makes the tests deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import monotonic
+from typing import Callable, Iterable
+
+from repro.gateway.client_state import ANONYMOUS, ClientTable
+
+#: Lane names; the submitter maps them onto its priority ranks.
+LANE_HIGH = "high"
+LANE_NORMAL = "normal"
+
+#: Floor/ceiling on the Retry-After hint (seconds).
+RETRY_AFTER_MIN = 0.05
+RETRY_AFTER_MAX = 30.0
+
+#: Seed for the service-time EWMA before any job has completed.
+_EWMA_SEED_SECONDS = 0.02
+_EWMA_ALPHA = 0.2
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission decision."""
+
+    admitted: bool
+    lane: str
+    count: int = 1
+    #: ``None`` when admitted; ``"queue-full"`` or ``"quota"`` when
+    #: shed.
+    reason: str | None = None
+    #: Seconds the client should wait before retrying (0 when
+    #: admitted).
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """Bounded-queue admission with quotas and two lanes."""
+
+    def __init__(self, max_queue: int = 64,
+                 quota_rate: float | None = None,
+                 quota_burst: float | None = None,
+                 priority_keys: Iterable[str] = (),
+                 high_reserve: int | None = None,
+                 max_clients: int = 1024,
+                 clock: Callable[[], float] = monotonic) -> None:
+        if max_queue < 1:
+            raise ValueError(
+                f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        #: Extra slots only the high lane may use once the shared
+        #: queue is full; default one eighth of the queue, at least 1.
+        self.high_reserve = high_reserve if high_reserve is not None \
+            else max(1, max_queue // 8)
+        if self.high_reserve < 0:
+            raise ValueError(f"high_reserve must be >= 0, got "
+                             f"{self.high_reserve}")
+        self.priority_keys = frozenset(priority_keys)
+        self.clients = ClientTable(quota_rate=quota_rate,
+                                   quota_burst=quota_burst,
+                                   max_clients=max_clients,
+                                   clock=clock)
+        self._clock = clock
+        #: Jobs admitted and not yet released (queued or running).
+        self.inflight = 0
+        self.high_watermark = 0
+        self.admitted = 0
+        self.released = 0
+        self.shed_queue = 0
+        self.shed_quota = 0
+        self._ewma_seconds = _EWMA_SEED_SECONDS
+
+    # -- lanes ---------------------------------------------------------
+    def lane_of(self, api_key: str | None) -> str:
+        return LANE_HIGH if api_key is not None \
+            and api_key in self.priority_keys else LANE_NORMAL
+
+    def _capacity(self, lane: str) -> int:
+        return self.max_queue + self.high_reserve \
+            if lane == LANE_HIGH else self.max_queue
+
+    # -- decisions -----------------------------------------------------
+    def try_admit(self, api_key: str | None, count: int = 1) \
+            -> Decision:
+        """Admit ``count`` jobs for this client, or shed them all.
+        An admitted decision holds ``count`` queue slots until
+        :meth:`release` is called that many times."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        lane = self.lane_of(api_key)
+        state = self.clients.state(api_key or ANONYMOUS)
+        # Quota first: a client past its rate is shed regardless of
+        # queue room, so quota answers stay stable under low load.
+        if state.bucket is not None \
+                and not state.bucket.try_take(float(count)):
+            state.shed_quota += count
+            self.shed_quota += count
+            return Decision(
+                admitted=False, lane=lane, count=count,
+                reason="quota",
+                retry_after=self._clamp(
+                    state.bucket.seconds_until(float(count))))
+        if self.inflight + count > self._capacity(lane):
+            state.shed_queue += count
+            self.shed_queue += count
+            return Decision(
+                admitted=False, lane=lane, count=count,
+                reason="queue-full",
+                retry_after=self._clamp(
+                    self._ewma_seconds * max(1, self.inflight)))
+        self.inflight += count
+        self.high_watermark = max(self.high_watermark, self.inflight)
+        self.admitted += count
+        state.admitted += count
+        state.lanes[lane] = state.lanes.get(lane, 0) + count
+        return Decision(admitted=True, lane=lane, count=count)
+
+    def release(self, count: int = 1,
+                seconds: float | None = None) -> None:
+        """Return ``count`` queue slots; ``seconds`` (per-job service
+        time, when known) feeds the Retry-After estimate."""
+        self.inflight = max(0, self.inflight - count)
+        self.released += count
+        if seconds is not None and seconds >= 0:
+            self._ewma_seconds += _EWMA_ALPHA * (
+                seconds - self._ewma_seconds)
+
+    @staticmethod
+    def _clamp(seconds: float) -> float:
+        return round(min(RETRY_AFTER_MAX,
+                         max(RETRY_AFTER_MIN, seconds)), 3)
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready state for the gateway's stats section."""
+        return {
+            "max_queue": self.max_queue,
+            "high_reserve": self.high_reserve,
+            "inflight": self.inflight,
+            "high_watermark": self.high_watermark,
+            "admitted": self.admitted,
+            "released": self.released,
+            "shed_queue": self.shed_queue,
+            "shed_quota": self.shed_quota,
+            "ewma_service_seconds": round(self._ewma_seconds, 6),
+            "clients": self.clients.snapshot(),
+            "priority_keys": len(self.priority_keys),
+        }

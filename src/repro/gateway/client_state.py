@@ -1,0 +1,135 @@
+"""Per-client state for the gateway: token buckets, keyed by API key.
+
+Clients identify themselves with the ``X-API-Key`` request header;
+requests without one share the ``"anonymous"`` identity (and hence
+one quota bucket — anonymity is not a quota bypass).  State is held
+in an LRU-bounded table so a scan of random keys cannot grow memory
+without bound; evicting an idle client merely refills its bucket on
+return, which errs in the client's favor.
+
+Everything here runs on the gateway's event loop thread — no locks.
+Clocks are injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Callable
+
+#: Clients with no ``X-API-Key`` header share this identity.
+ANONYMOUS = "anonymous"
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/second refill up to
+    a ``burst`` cap; each admitted request takes one token."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; ``False`` sheds."""
+        self._refill()
+        if self._tokens + 1e-9 < amount:
+            return False
+        self._tokens -= amount
+        return True
+
+    def seconds_until(self, amount: float = 1.0) -> float:
+        """How long until ``amount`` tokens will be available — the
+        honest ``Retry-After`` for a quota shed."""
+        self._refill()
+        deficit = amount - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+@dataclass
+class ClientState:
+    """One client's admission state and traffic counters."""
+
+    key: str
+    bucket: TokenBucket | None = None
+    admitted: int = 0
+    shed_quota: int = 0
+    shed_queue: int = 0
+    lanes: dict = field(default_factory=dict)
+
+
+class ClientTable:
+    """LRU-bounded per-API-key state.  With no quota configured the
+    table still exists (it carries per-client counters), but buckets
+    are ``None`` and every quota check passes."""
+
+    def __init__(self, quota_rate: float | None = None,
+                 quota_burst: float | None = None,
+                 max_clients: int = 1024,
+                 clock: Callable[[], float] = monotonic) -> None:
+        if quota_rate is not None and quota_rate <= 0:
+            raise ValueError(
+                f"quota_rate must be positive, got {quota_rate}")
+        if max_clients < 1:
+            raise ValueError(
+                f"max_clients must be >= 1, got {max_clients}")
+        self.quota_rate = quota_rate
+        #: Default burst: one second's worth of tokens, floor 1.
+        self.quota_burst = quota_burst if quota_burst is not None \
+            else (max(1.0, quota_rate) if quota_rate is not None
+                  else None)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._clients: "OrderedDict[str, ClientState]" = OrderedDict()
+        self.evictions = 0
+
+    def state(self, key: str | None) -> ClientState:
+        """The client's state, created on first sight (evicting the
+        least-recently-seen client past the cap)."""
+        key = key or ANONYMOUS
+        state = self._clients.get(key)
+        if state is None:
+            bucket = None
+            if self.quota_rate is not None:
+                bucket = TokenBucket(self.quota_rate,
+                                     self.quota_burst,
+                                     clock=self._clock)
+            state = ClientState(key=key, bucket=bucket)
+            self._clients[key] = state
+            while len(self._clients) > self.max_clients:
+                self._clients.popitem(last=False)
+                self.evictions += 1
+        self._clients.move_to_end(key)
+        return state
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (bounded: counts, not the whole
+        table)."""
+        return {
+            "clients": len(self._clients),
+            "evictions": self.evictions,
+            "quota_rate": self.quota_rate,
+            "quota_burst": self.quota_burst,
+        }

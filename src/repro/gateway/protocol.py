@@ -1,0 +1,214 @@
+"""Minimal HTTP/1.1 over asyncio streams — stdlib only.
+
+The gateway speaks just enough HTTP for its four routes: request-line
++ headers + ``Content-Length`` bodies in, fixed-length JSON or chunked
+NDJSON out, keep-alive by default.  Everything a client can get wrong
+raises :class:`ProtocolError` with the status the server should
+answer before closing the connection (after a framing error the byte
+stream cannot be trusted, so the connection never survives one).
+
+Deliberate non-features, rejected loudly rather than half-supported:
+chunked *request* bodies (411), absurd header blocks (431), bodies
+past the configurable cap (413).  Responses are assembled as bytes by
+pure functions so tests can pin the exact wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+from urllib.parse import parse_qsl, unquote
+
+#: Reason phrases for every status the gateway emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Hard ceilings on the header block; a client that exceeds them is
+#: answered 431 and disconnected.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_HEADER_COUNT = 100
+
+#: Default cap on request bodies (the server can lower/raise it).
+DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed or unacceptable HTTP request; ``status`` is the
+    answer to send before closing the connection."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request.  Header names are lower-cased; the query
+    string is decoded into a last-wins mapping."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str | None = None) \
+            -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.header("connection", "").lower() != "close"
+
+    def json_text(self) -> str:
+        """The body as UTF-8 text (bad bytes replaced, like the serve
+        loop's stdin re-wrap — garbage decodes to garbage JSON, which
+        is then answered as bad JSON, not a connection kill)."""
+        return self.body.decode("utf-8", errors="replace")
+
+
+async def _readline(reader: Any) -> bytes:
+    """One CRLF/LF-terminated line, with the stream's overlong-line
+    errors mapped onto :class:`ProtocolError`."""
+    try:
+        return await reader.readline()
+    except ValueError as error:
+        # asyncio.StreamReader raises ValueError (LimitOverrunError
+        # internally) when a line exceeds the stream limit.
+        raise ProtocolError(f"header line too long: {error}",
+                            status=431) from None
+
+
+async def read_request(reader: Any,
+                       max_body_bytes: int = DEFAULT_MAX_BODY_BYTES) \
+        -> HttpRequest | None:
+    """Parse one request off the stream.  Returns ``None`` on a clean
+    EOF before any byte of a request; raises :class:`ProtocolError`
+    on anything malformed and :class:`asyncio.IncompleteReadError` on
+    a connection dying mid-body."""
+    line = await _readline(reader)
+    if not line:
+        return None
+    try:
+        text = line.decode("ascii").strip()
+    except UnicodeDecodeError:
+        raise ProtocolError("request line is not ASCII") from None
+    if not text:
+        raise ProtocolError("empty request line")
+    parts = text.split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line {text!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol {version!r}")
+    if not method.isalpha() or method != method.upper():
+        raise ProtocolError(f"malformed method {method!r}")
+
+    headers: dict[str, str] = {}
+    header_bytes = len(line)
+    while True:
+        line = await _readline(reader)
+        if not line:
+            raise ProtocolError("connection closed inside headers")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise ProtocolError(
+                f"header block exceeds {MAX_HEADER_BYTES} bytes",
+                status=431)
+        if line in (b"\r\n", b"\n"):
+            break
+        text = line.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep or not name or name != name.strip():
+            raise ProtocolError(f"malformed header line {text!r}")
+        headers[name.lower()] = value.strip()
+        if len(headers) > MAX_HEADER_COUNT:
+            raise ProtocolError(
+                f"more than {MAX_HEADER_COUNT} headers", status=431)
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(
+            "chunked request bodies are not supported; send "
+            "Content-Length", status=411)
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(
+            f"bad Content-Length {length_text!r}") from None
+    if length < 0:
+        raise ProtocolError(f"negative Content-Length {length}")
+    if length > max_body_bytes:
+        raise ProtocolError(
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte cap", status=413)
+    body = await reader.readexactly(length) if length else b""
+
+    raw_path, _, raw_query = target.partition("?")
+    query = {name: value
+             for name, value in parse_qsl(raw_query,
+                                          keep_blank_values=True)}
+    return HttpRequest(method=method, path=unquote(raw_path),
+                       query=query, headers=headers, body=body)
+
+
+# -- response assembly ------------------------------------------------------
+
+def _head(status: int, headers: Sequence[tuple[str, str]]) -> str:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    return "\r\n".join(lines) + "\r\n\r\n"
+
+
+def response_bytes(status: int, body: bytes = b"", *,
+                   content_type: str = "application/json",
+                   extra_headers: Sequence[tuple[str, str]] = ()) \
+        -> bytes:
+    """A complete fixed-length response."""
+    headers = [("Content-Type", content_type),
+               ("Content-Length", str(len(body))),
+               *extra_headers]
+    return _head(status, headers).encode("ascii") + body
+
+
+def json_response_bytes(status: int, payload: Mapping[str, Any], *,
+                        extra_headers: Sequence[tuple[str, str]] = ()) \
+        -> bytes:
+    """A complete JSON response (canonical sorted-key encoding, one
+    trailing newline — the HTTP shape of the JSONL wire format)."""
+    import json
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response_bytes(status, body, extra_headers=extra_headers)
+
+
+def chunked_head_bytes(status: int = 200, *,
+                       content_type: str = "application/x-ndjson",
+                       extra_headers: Sequence[tuple[str, str]] = ()) \
+        -> bytes:
+    """The head of a chunked (streaming) response."""
+    headers = [("Content-Type", content_type),
+               ("Transfer-Encoding", "chunked"),
+               *extra_headers]
+    return _head(status, headers).encode("ascii")
+
+
+def chunk_bytes(data: bytes) -> bytes:
+    """One chunk of a chunked response."""
+    return f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n"
+
+
+def last_chunk_bytes() -> bytes:
+    """The terminating chunk."""
+    return b"0\r\n\r\n"

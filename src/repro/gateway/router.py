@@ -1,0 +1,47 @@
+"""Route table for the gateway: method + exact path → handler.
+
+Four routes do not need pattern matching; what they do need is the
+HTTP-correct distinction between an unknown path (404) and a known
+path hit with the wrong method (405, with ``Allow``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Router:
+    """Exact-path route table."""
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, str], Callable[..., Any]] = {}
+        self._methods_by_path: dict[str, set[str]] = {}
+
+    def add(self, method: str, path: str,
+            handler: Callable[..., Any]) -> None:
+        method = method.upper()
+        if (method, path) in self._routes:
+            raise ValueError(f"duplicate route {method} {path}")
+        self._routes[(method, path)] = handler
+        self._methods_by_path.setdefault(path, set()).add(method)
+
+    def resolve(self, method: str, path: str) \
+            -> tuple[Callable[..., Any] | None, int, dict | None]:
+        """Returns ``(handler, 200, None)`` on a match, else
+        ``(None, status, error payload)`` for 404/405."""
+        handler = self._routes.get((method.upper(), path))
+        if handler is not None:
+            return handler, 200, None
+        methods = self._methods_by_path.get(path)
+        if methods:
+            allow = ", ".join(sorted(methods))
+            return None, 405, {
+                "ok": False,
+                "error": f"method {method} not allowed for {path}; "
+                         f"allowed: {allow}"}
+        return None, 404, {"ok": False,
+                           "error": f"no such path {path}"}
+
+    def allow_header(self, path: str) -> str:
+        """The ``Allow`` header value for a 405 on ``path``."""
+        return ", ".join(sorted(self._methods_by_path.get(path, ())))

@@ -12,6 +12,8 @@ of :class:`repro.facets.vector.FacetSuite` save — measurable:
   traffic, retries, timeouts, degradations) behind ``repro.service``;
 * :class:`BackendStats` — compiled-backend counters (compiles, shadow
   comparisons, mismatches) behind ``repro.backend``;
+* :class:`GatewayStats` — HTTP front-door counters (connections,
+  admission/shed traffic, streaming) behind ``repro.gateway``;
 * :class:`PhaseTimer` — wall-clock accounting per phase (parse /
   analyze / specialize / simplify);
 * :func:`build_report` / :func:`write_report` — the JSON profile the
@@ -26,12 +28,13 @@ is reported separately through :class:`CacheStats`.
 
 from repro.observability.backend_stats import BackendStats
 from repro.observability.cache_stats import CacheStats
+from repro.observability.gateway_stats import GatewayStats
 from repro.observability.service_stats import ServiceStats
 from repro.observability.stats import PEStats
 from repro.observability.timers import PhaseTimer
 from repro.observability.profile import build_report, write_report
 
 __all__ = [
-    "BackendStats", "CacheStats", "PEStats", "PhaseTimer",
-    "ServiceStats", "build_report", "write_report",
+    "BackendStats", "CacheStats", "GatewayStats", "PEStats",
+    "PhaseTimer", "ServiceStats", "build_report", "write_report",
 ]

@@ -118,6 +118,12 @@ class ServiceStats:
     #: :meth:`merge` keeps the receiver's.
     breaker_seams: dict = field(default_factory=dict)
     quarantine_detail: dict = field(default_factory=dict)
+    #: Gateway front-door snapshot
+    #: (:meth:`repro.observability.GatewayStats.as_dict`), synced by
+    #: the gateway before every stats read; empty — and absent from
+    #: :meth:`as_dict` — when no gateway fronts this service, so the
+    #: batch/serve output shape is unchanged.
+    gateway_detail: dict = field(default_factory=dict)
 
     # -- derived -------------------------------------------------------
     @property
@@ -181,6 +187,15 @@ class ServiceStats:
     def as_dict(self) -> dict:
         """JSON-ready snapshot (the ``service`` section of the
         ``--profile`` report)."""
+        payload = self._as_dict_base()
+        # Snapshot, not a counter — present only behind a gateway, so
+        # batch/serve stats stay byte-identical to the pre-gateway
+        # format.
+        if self.gateway_detail:
+            payload["gateway"] = dict(self.gateway_detail)
+        return payload
+
+    def _as_dict_base(self) -> dict:
         return {
             "submitted": self.submitted,
             "completed": self.completed,

@@ -20,6 +20,9 @@ is the serving layer the ROADMAP's production north star asks for:
   entry point, also usable directly for sequential reference runs (the
   byte-identical determinism test does exactly that);
 * :func:`serve` (:mod:`repro.service.serve`) — the JSONL loop;
+* :class:`AsyncSubmitter` (:mod:`repro.service.submit`) — the
+  non-blocking, priority-ordered submission seam the HTTP gateway
+  (:mod:`repro.gateway`) rides;
 * :class:`CircuitBreaker` (:mod:`repro.service.breaker`) and
   :class:`PoisonQuarantine` (:mod:`repro.service.quarantine`) — the
   hardening layer: per-dependency circuit breaking and a TTL'd
@@ -42,10 +45,12 @@ from repro.service.quarantine import PoisonQuarantine
 from repro.service.results import SpecRequest, SpecResult, load_manifest
 from repro.service.scheduler import SpecializationService
 from repro.service.serve import serve
+from repro.service.submit import AsyncSubmitter
 from repro.service.worker import execute_request
 
 __all__ = [
-    "CircuitBreaker", "PoisonQuarantine", "ResidualCache",
-    "SpecRequest", "SpecResult", "SpecializationService",
-    "execute_request", "load_manifest", "serve",
+    "AsyncSubmitter", "CircuitBreaker", "PoisonQuarantine",
+    "ResidualCache", "SpecRequest", "SpecResult",
+    "SpecializationService", "execute_request", "load_manifest",
+    "serve",
 ]

@@ -240,16 +240,48 @@ class SpecializationService:
                                        stats=self.stats)
         self._sleep = sleep
         self._pool: ProcessPoolExecutor | None = None
+        #: The per-batch progress callback (see :meth:`run_batch`);
+        #: ``None`` outside a batch and whenever the caller gave none.
+        self._progress: Callable[[str, SpecRequest], None] | None = None
+
+    def _notify_dispatch(self, job: "_Job") -> None:
+        """Report a dispatch to the batch's progress callback:
+        ``started`` on the first attempt, ``retrying`` after a crash.
+        Never raises — progress is advisory."""
+        if self._progress is None:
+            return
+        event = "started" if job.attempts <= 1 else "retrying"
+        try:
+            self._progress(event, job.request)
+        except Exception:  # noqa: BLE001 — progress must not fail work
+            pass
 
     # -- public API ----------------------------------------------------
-    def run_batch(self, requests: Sequence[SpecRequest]) \
-            -> list[SpecResult]:
+    def run_batch(self, requests: Sequence[SpecRequest],
+                  progress: Callable[[str, SpecRequest], None]
+                  | None = None) -> list[SpecResult]:
         """Serve a batch; one result per request, in request order.
 
         Identical requests submitted in the *same* batch may each run
         once (the cache fills when the first finishes); across batches
         and waves the later ones hit the cache.
+
+        ``progress``, when given, is called with ``("started",
+        request)`` as each cache-missing request is dispatched to a
+        worker and ``("retrying", request)`` on every re-dispatch
+        after a crash — the seam the gateway's streaming-progress mode
+        rides.  The callback runs on the scheduling thread and must be
+        cheap; anything it raises is swallowed (progress reporting
+        must never fail a request).
         """
+        self._progress = progress
+        try:
+            return self._run_batch(requests)
+        finally:
+            self._progress = None
+
+    def _run_batch(self, requests: Sequence[SpecRequest]) \
+            -> list[SpecResult]:
         results: list[SpecResult | None] = [None] * len(requests)
         jobs: list[_Job] = []
         for index, request in enumerate(requests):
@@ -279,8 +311,10 @@ class SpecializationService:
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
-    def run_one(self, request: SpecRequest) -> SpecResult:
-        return self.run_batch([request])[0]
+    def run_one(self, request: SpecRequest,
+                progress: Callable[[str, SpecRequest], None]
+                | None = None) -> SpecResult:
+        return self.run_batch([request], progress=progress)[0]
 
     def health(self) -> dict:
         """JSON-ready hardening introspection: breaker states, the
@@ -449,6 +483,7 @@ class SpecializationService:
             payload = self._payload_for(job)
             payload["inline"] = True
             job.attempts += 1
+            self._notify_dispatch(job)
             try:
                 fault_point("scheduler.dispatch", key=job.request.id)
                 outcome = execute_request(payload)
@@ -521,6 +556,7 @@ class SpecializationService:
         inflight: dict[Future, tuple[_Job, float | None, bool]] = {}
         for job in wave:
             job.attempts += 1
+            self._notify_dispatch(job)
             try:
                 fault_point("scheduler.dispatch", key=job.request.id)
                 future = pool.submit(execute_request,

@@ -16,6 +16,12 @@ start-up per request.  Four input shapes:
 * ``{"op": "shutdown"}`` — acknowledged, then the loop exits (EOF
   does the same without the acknowledgement).
 
+Parsing, validation and response shaping live in
+:mod:`repro.gateway.core` — the exact same code the HTTP gateway
+runs — so the two front doors cannot drift apart; this module owns
+only the line framing.  The JSONL byte format is pinned by
+``tests/gateway/test_serve_parity.py``.
+
 **The loop never dies on input.**  Malformed lines — broken JSON,
 non-objects, unknown fields, *wrongly-typed* fields (``{"source":
 42}``), anything at all — are answered with ``{"ok": false, "error":
@@ -25,6 +31,13 @@ unforeseen per-line failures the same way.  The one fatal condition is
 the *consumer* going away — a ``BrokenPipeError`` on the output stream
 ends the loop cleanly (there is nobody left to answer).
 
+**Every response line is flushed before the next line is read** —
+ordinary answers, op answers (``health``/``stats``) and error lines
+alike.  A piped consumer that writes one request and waits for its
+answer must never deadlock on a reply stuck in this process's stdio
+buffer; ``tests/gateway/test_serve_parity.py`` drives a real pipe to
+pin it.
+
 The loop carries its own fault seam (``serve.request``,
 :mod:`repro.faults`): an injected request-handling error is answered
 as a structured error line, exactly like bad input.
@@ -32,16 +45,18 @@ as a structured error line, exactly like bad input.
 
 from __future__ import annotations
 
-import json
 from typing import IO
 
-from repro.faults import fault_point
-from repro.service.results import SpecRequest
+from repro.gateway.core import (
+    decode_json_object, encode_response, handle_op,
+    handle_request_data, internal_error_payload)
 from repro.service.scheduler import SpecializationService
 
 
 def _emit(stream_out: IO[str], payload: dict) -> None:
-    stream_out.write(json.dumps(payload, sort_keys=True) + "\n")
+    """One response line, flushed immediately (the no-deadlock
+    contract for piped consumers)."""
+    stream_out.write(encode_response(payload) + "\n")
     stream_out.flush()
 
 
@@ -64,61 +79,29 @@ def _pump(service: SpecializationService, stream_in: IO[str],
         line = line.strip()
         if not line:
             continue
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError as error:
-            _emit(stream_out, {"ok": False,
-                               "error": f"bad JSON: {error}"})
-            continue
-        if not isinstance(data, dict):
-            _emit(stream_out, {"ok": False,
-                               "error": "expected a JSON object"})
+        data, error = decode_json_object(line)
+        if error is not None:
+            _emit(stream_out, error)
             continue
         try:
-            _handle(service, stream_out, data, default_engine)
-        except StopIteration:
-            break
+            if _handle(service, stream_out, data, default_engine):
+                break
         except BrokenPipeError:
             raise
         except Exception as error:  # noqa: BLE001 — the loop survives
             # The backstop: nothing a caller writes on stdin may kill
             # the loop.  Anything _handle failed to answer itself is
             # answered here as a structured error.
-            _emit(stream_out, {
-                "ok": False,
-                "error": f"internal error: "
-                         f"{type(error).__name__}: {error}",
-                "id": data.get("id") if isinstance(data, dict)
-                else None})
+            _emit(stream_out, internal_error_payload(error, data))
 
 
 def _handle(service: SpecializationService, stream_out: IO[str],
-            data: dict, default_engine: str) -> None:
-    """One input object; raises StopIteration on shutdown."""
-    op = data.get("op")
-    if op == "shutdown":
-        _emit(stream_out, {"ok": True, "op": "shutdown"})
-        raise StopIteration
-    if op == "stats":
-        _emit(stream_out, {"ok": True, "op": "stats",
-                           "stats": service.stats_dict()})
-        return
-    if op == "health":
-        _emit(stream_out, {"ok": True, "op": "health",
-                           "health": service.health()})
-        return
-    if op is not None:
-        _emit(stream_out, {"ok": False,
-                           "error": f"unknown op {op!r}"})
-        return
-    try:
-        fault_point("serve.request", key=data.get("id")
-                    if isinstance(data.get("id"), str) else None)
-        request = SpecRequest.from_dict(
-            data, default_engine=default_engine)
-    except (ValueError, OSError, TypeError) as error:
-        _emit(stream_out, {"ok": False, "error": str(error),
-                           "id": data.get("id")})
-        return
-    result = service.run_one(request)
-    _emit(stream_out, result.to_dict())
+            data: dict, default_engine: str) -> bool:
+    """One input object; returns ``True`` on shutdown."""
+    payload, stop = handle_op(service, data)
+    if payload is not None:
+        _emit(stream_out, payload)
+        return stop
+    _emit(stream_out, handle_request_data(
+        service, data, default_engine, seam="serve.request"))
+    return False

@@ -11,7 +11,15 @@ the shadow backend (interpreter vs compiled, compared on every call).
 
 Tolerated aborts mirror ``test_engine_differential``: resource
 blowups and the offline analyzer's refusal of an exploding division
-end a run without a verdict.
+end a run without a verdict.  Budgets run *strict* here: the offline
+specializer degrades gracefully on soft-budget exhaustion (widened
+calls) but the generating extension has no budget integration yet
+(ROADMAP), so a silently-degraded offline residual is the one case
+where byte-parity legitimately cannot hold — strict mode turns that
+case into a tolerated abort instead of a spurious verdict (found by
+this harness at seed=101, pool=[-1, 4, -4, 2], mask=1: offline
+degraded at max_residual_nodes while cogen ground out a 1.1M-line
+residual).
 
 Budgets scale with ``REPRO_HYPOTHESIS_PROFILE`` via
 ``scaled_examples``.
@@ -25,6 +33,7 @@ from hypothesis import strategies as st
 from tests.conftest import assert_values_close, scaled_examples
 
 from repro.backend.verify import execute_program
+from repro.engine.errors import BudgetExhausted
 from repro.facets.abstract.vector import AbstractSuite
 from repro.genext import emit_genext, load_genext
 from repro.genext.emit import default_suite, generalized_pattern
@@ -48,11 +57,15 @@ FUEL = 2_000_000
 
 #: The same tight budgets on every tier, both as a PEConfig (offline,
 #: cogen) and as the wire dict baked into the emitted module.
-CONFIG = PEConfig(unfold_fuel=12, max_variants=4, fuel=FUEL)
+#: strict_budgets: the offline specializer runs first, so a budget
+#: crossing raises BudgetExhausted there and short-circuits the
+#: budget-free cogen/fused tiers before they can diverge.
+CONFIG = PEConfig(unfold_fuel=12, max_variants=4, fuel=FUEL,
+                  strict_budgets=True)
 WIRE_CONFIG = {"unfold_fuel": 12, "max_variants": 4, "fuel": FUEL}
 
 
-def _tolerated(error: PEError) -> bool:
+def _tolerated(error: Exception) -> bool:
     return "exceeded" in str(error) \
         or "generalized division" in str(error)
 
@@ -88,7 +101,7 @@ class TestGenextDifferential:
                 emit_genext(source, specs,
                             config=WIRE_CONFIG).python_source)
             fused = module.specialize_specs(specs)
-        except PEError as error:
+        except (PEError, BudgetExhausted) as error:
             assert _tolerated(error), error
             return
 
@@ -106,7 +119,7 @@ class TestGenextDifferential:
             got = execute_program(fused.program, dynamic_args,
                                   backend="shadow", fuel=FUEL,
                                   stats=stats)
-        except PEError as error:
+        except (PEError, BudgetExhausted) as error:
             assert _tolerated(error), error
             return
         assert stats.mismatches == 0

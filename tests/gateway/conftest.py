@@ -1,0 +1,231 @@
+"""Harness for the gateway suite: a real server on a real socket.
+
+:class:`GatewayHarness` runs a :class:`~repro.gateway.GatewayServer`
+on its own event-loop thread, bound to an ephemeral port;
+:func:`http` / :class:`HttpClient` are deliberately dumb raw-socket
+HTTP clients (no ``http.client``), so the tests exercise the server's
+actual wire behavior — including the malformed requests a library
+client would refuse to send.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.faults import uninstall
+from repro.gateway import GatewayServer
+from repro.service import SpecializationService
+from repro.workloads import WORKLOADS
+
+GCD = WORKLOADS["gcd"].source
+POWER = WORKLOADS["power"].source
+
+
+@pytest.fixture(autouse=True)
+def _fresh_injector():
+    """Every test starts and ends with no installed fault plan."""
+    uninstall()
+    yield
+    uninstall()
+
+
+# -- the server under test --------------------------------------------------
+
+class GatewayHarness:
+    """One gateway + service on a background event-loop thread."""
+
+    def __init__(self, service: SpecializationService,
+                 **gateway_kwargs) -> None:
+        self.service = service
+        self._kwargs = gateway_kwargs
+        self.gateway: GatewayServer | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="gateway-harness", daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 — surfaced below
+            self._error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.gateway = GatewayServer(self.service, port=0,
+                                     **self._kwargs)
+        await self.gateway.start()
+        self.port = self.gateway.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.gateway.aclose()
+
+    def start(self) -> "GatewayHarness":
+        self._thread.start()
+        assert self._ready.wait(10), "gateway did not come up"
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+        assert not self._thread.is_alive(), "gateway did not stop"
+
+
+@pytest.fixture
+def gateway_factory():
+    """Factory for harnesses; everything is torn down at test end."""
+    harnesses: list[GatewayHarness] = []
+    services: list[SpecializationService] = []
+
+    def make(service: SpecializationService | None = None,
+             **gateway_kwargs) -> GatewayHarness:
+        if service is None:
+            service = SpecializationService(workers=0)
+            services.append(service)
+        harness = GatewayHarness(service, **gateway_kwargs)
+        harnesses.append(harness)
+        return harness.start()
+
+    yield make
+    for harness in harnesses:
+        harness.stop()
+    for service in services:
+        service.close()
+
+
+# -- raw-socket HTTP --------------------------------------------------------
+
+class HttpResponse:
+    def __init__(self, status: int, headers: dict[str, str],
+                 body: bytes, chunked: bool) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+        self.chunked = chunked
+
+    @property
+    def json(self):
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def events(self) -> list[dict]:
+        """NDJSON body decoded line by line (streaming responses)."""
+        return [json.loads(line)
+                for line in self.body.decode("utf-8").splitlines()
+                if line]
+
+
+def read_response(fp) -> HttpResponse:
+    """One response off a socket file, honoring Content-Length or
+    chunked framing (so keep-alive connections stay in sync)."""
+    status_line = fp.readline()
+    if not status_line:
+        raise ConnectionError("no response (connection closed)")
+    parts = status_line.decode("ascii").split(" ", 2)
+    assert parts[0].startswith("HTTP/1."), status_line
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = fp.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    chunked = headers.get("transfer-encoding") == "chunked"
+    if chunked:
+        body = b""
+        while True:
+            size = int(fp.readline().strip(), 16)
+            if size == 0:
+                fp.readline()
+                break
+            body += fp.read(size)
+            fp.readline()
+    else:
+        body = fp.read(int(headers.get("content-length", "0")))
+    return HttpResponse(status, headers, body, chunked)
+
+
+def _request_bytes(method: str, path: str, payload=None,
+                   headers: dict[str, str] | None = None,
+                   raw_body: bytes | None = None) -> bytes:
+    body = raw_body if raw_body is not None else (
+        json.dumps(payload).encode("utf-8")
+        if payload is not None else b"")
+    lines = [f"{method} {path} HTTP/1.1", "Host: test"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+class HttpClient:
+    """A persistent (keep-alive) connection to the gateway."""
+
+    def __init__(self, port: int, timeout: float = 30.0) -> None:
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=timeout)
+        self.fp = self.sock.makefile("rb")
+
+    def request(self, method: str, path: str, payload=None,
+                headers: dict[str, str] | None = None,
+                raw_body: bytes | None = None) -> HttpResponse:
+        self.sock.sendall(_request_bytes(method, path, payload,
+                                         headers, raw_body))
+        return read_response(self.fp)
+
+    def send_raw(self, data: bytes) -> HttpResponse:
+        self.sock.sendall(data)
+        return read_response(self.fp)
+
+    def closed_by_peer(self) -> bool:
+        """Did the server close its side?  (Reads one byte; only call
+        when no response is pending.)"""
+        self.sock.settimeout(5.0)
+        try:
+            return self.fp.read(1) == b""
+        except (TimeoutError, OSError):
+            return False
+
+    def close(self) -> None:
+        try:
+            self.fp.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def http(port: int, method: str, path: str, payload=None,
+         headers: dict[str, str] | None = None,
+         raw_body: bytes | None = None,
+         timeout: float = 30.0) -> HttpResponse:
+    """One request on a fresh connection, closed afterwards."""
+    client = HttpClient(port, timeout=timeout)
+    try:
+        merged = {"Connection": "close"}
+        merged.update(headers or {})
+        return client.request(method, path, payload, merged, raw_body)
+    finally:
+        client.close()
+
+
+def specialize_payload(source: str = GCD, specs=("48", "18"),
+                       id: str | None = None, **extra) -> dict:
+    payload = {"source": source, "specs": list(specs)}
+    if id is not None:
+        payload["id"] = id
+    payload.update(extra)
+    return payload

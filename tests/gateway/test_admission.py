@@ -1,0 +1,172 @@
+"""Admission control and per-client state, on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway.admission import (AdmissionController, LANE_HIGH,
+                                     LANE_NORMAL)
+from repro.gateway.client_state import ClientTable, TokenBucket
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] \
+            == [True, True, True, False]
+        clock.advance(0.5)        # 1 token back
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_seconds_until_is_the_refill_time(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_take()
+        assert bucket.seconds_until(1.0) == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.seconds_until(1.0) == pytest.approx(0.25)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestClientTable:
+    def test_anonymous_shares_one_bucket(self):
+        table = ClientTable(quota_rate=1.0, clock=Clock())
+        assert table.state(None) is table.state("anonymous")
+        assert len(table) == 1
+
+    def test_lru_eviction_is_bounded(self):
+        table = ClientTable(max_clients=2, clock=Clock())
+        for key in ("a", "b", "c"):
+            table.state(key)
+        assert len(table) == 2
+        assert table.evictions == 1
+        # "a" was evicted; touching it again recreates fresh state.
+        assert table.state("a").admitted == 0
+
+    def test_no_quota_means_no_buckets(self):
+        table = ClientTable(clock=Clock())
+        assert table.state("k").bucket is None
+
+
+class TestAdmission:
+    def test_queue_full_sheds_then_release_recovers(self):
+        control = AdmissionController(max_queue=2, high_reserve=0,
+                                      clock=Clock())
+        assert control.try_admit("a").admitted
+        assert control.try_admit("a").admitted
+        decision = control.try_admit("a")
+        assert not decision.admitted
+        assert decision.reason == "queue-full"
+        assert decision.retry_after >= 0.05
+        control.release()
+        assert control.try_admit("a").admitted
+        assert control.inflight == 2
+        assert control.high_watermark == 2
+        assert control.shed_queue == 1
+
+    def test_quota_sheds_with_refill_hint_and_recovers(self):
+        clock = Clock()
+        control = AdmissionController(max_queue=100, quota_rate=1.0,
+                                      quota_burst=2.0, clock=clock)
+        assert control.try_admit("k").admitted
+        assert control.try_admit("k").admitted
+        decision = control.try_admit("k")
+        assert not decision.admitted
+        assert decision.reason == "quota"
+        assert decision.retry_after == pytest.approx(1.0, abs=0.01)
+        # Quota sheds take no queue slot.
+        assert control.inflight == 2
+        # Another client is unaffected.
+        assert control.try_admit("other").admitted
+        clock.advance(1.0)
+        assert control.try_admit("k").admitted
+
+    def test_batches_admit_all_or_nothing(self):
+        control = AdmissionController(max_queue=3, high_reserve=0,
+                                      clock=Clock())
+        assert control.try_admit("a", count=2).admitted
+        decision = control.try_admit("a", count=2)
+        assert not decision.admitted and decision.count == 2
+        assert control.inflight == 2
+        assert control.try_admit("a", count=1).admitted
+
+    def test_batch_quota_is_all_or_nothing_too(self):
+        control = AdmissionController(max_queue=100, quota_rate=1.0,
+                                      quota_burst=3.0, clock=Clock())
+        assert not control.try_admit("k", count=4).admitted
+        # The failed take burned no tokens.
+        assert control.try_admit("k", count=3).admitted
+
+    def test_priority_lane_has_reserve_headroom(self):
+        control = AdmissionController(max_queue=2, high_reserve=1,
+                                      priority_keys=("vip",),
+                                      clock=Clock())
+        assert control.lane_of("vip") == LANE_HIGH
+        assert control.lane_of("pleb") == LANE_NORMAL
+        assert control.lane_of(None) == LANE_NORMAL
+        assert control.try_admit("a").admitted
+        assert control.try_admit("b").admitted
+        # Normal lane is full; the high lane still gets the reserve.
+        assert not control.try_admit("c").admitted
+        vip = control.try_admit("vip")
+        assert vip.admitted and vip.lane == LANE_HIGH
+        # The reserve itself is bounded.
+        assert not control.try_admit("vip").admitted
+
+    def test_retry_after_tracks_service_time(self):
+        control = AdmissionController(max_queue=1, high_reserve=0,
+                                      clock=Clock())
+        assert control.try_admit("a").admitted
+        slow = control.try_admit("a").retry_after
+        control.release(seconds=10.0)
+        assert control.try_admit("a").admitted
+        slower = control.try_admit("a").retry_after
+        assert slower > slow
+        assert slower <= 30.0
+
+    def test_snapshot_counts(self):
+        control = AdmissionController(max_queue=1, high_reserve=0,
+                                      quota_rate=100.0, clock=Clock())
+        control.try_admit("a")
+        control.try_admit("a")            # queue-full
+        control.release(seconds=0.01)
+        snapshot = control.snapshot()
+        assert snapshot["admitted"] == 1
+        assert snapshot["released"] == 1
+        assert snapshot["shed_queue"] == 1
+        assert snapshot["shed_quota"] == 0
+        assert snapshot["inflight"] == 0
+        assert snapshot["high_watermark"] == 1
+        assert snapshot["clients"]["clients"] == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=1, high_reserve=-1)
+        control = AdmissionController(max_queue=1)
+        with pytest.raises(ValueError):
+            control.try_admit("a", count=0)

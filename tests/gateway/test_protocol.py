@@ -1,0 +1,140 @@
+"""The HTTP framing layer, unit-tested against in-memory streams."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.gateway.protocol import (
+    MAX_HEADER_COUNT, ProtocolError, chunk_bytes, chunked_head_bytes,
+    json_response_bytes, last_chunk_bytes, read_request,
+    response_bytes)
+
+
+def parse(raw: bytes, limit: int = 2 ** 16,
+          max_body_bytes: int = 2 ** 20):
+    async def go():
+        reader = asyncio.StreamReader(limit=limit)
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader,
+                                  max_body_bytes=max_body_bytes)
+    return asyncio.run(go())
+
+
+def error_status(raw: bytes, **kwargs) -> int:
+    with pytest.raises(ProtocolError) as info:
+        parse(raw, **kwargs)
+    return info.value.status
+
+
+class TestParsing:
+    def test_get_with_query(self):
+        request = parse(b"GET /v1/stats?stream=1&x=a%20b HTTP/1.1\r\n"
+                        b"Host: h\r\nX-API-Key: k1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/stats"
+        assert request.query == {"stream": "1", "x": "a b"}
+        assert request.header("x-api-key") == "k1"
+        assert request.header("X-API-Key") == "k1"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        request = parse(b"POST /v1/specialize HTTP/1.1\r\n"
+                        b"Content-Length: 4\r\n"
+                        b"Connection: close\r\n\r\nwxyz")
+        assert request.method == "POST"
+        assert request.body == b"wxyz"
+        assert not request.keep_alive
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_bare_lf_line_endings_accepted(self):
+        request = parse(b"GET /v1/health HTTP/1.1\nHost: h\n\n")
+        assert request.path == "/v1/health"
+
+    def test_json_text_replaces_bad_bytes(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+                        b"\r\n\xff\xfe")
+        assert "�" in request.json_text()
+
+
+class TestMalformed:
+    def test_garbage_request_line(self):
+        assert error_status(b"GARBAGE\r\n\r\n") == 400
+
+    def test_wrong_protocol(self):
+        assert error_status(b"GET / SPDY/3\r\n\r\n") == 400
+
+    def test_lowercase_method(self):
+        assert error_status(b"get / HTTP/1.1\r\n\r\n") == 400
+
+    def test_eof_inside_headers(self):
+        assert error_status(b"GET / HTTP/1.1\r\nHost: h\r\n") == 400
+
+    def test_header_without_colon(self):
+        assert error_status(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n") \
+            == 400
+
+    def test_bad_content_length(self):
+        assert error_status(b"POST / HTTP/1.1\r\n"
+                            b"Content-Length: ten\r\n\r\n") == 400
+
+    def test_negative_content_length(self):
+        assert error_status(b"POST / HTTP/1.1\r\n"
+                            b"Content-Length: -5\r\n\r\n") == 400
+
+    def test_body_past_cap_is_413(self):
+        assert error_status(b"POST / HTTP/1.1\r\n"
+                            b"Content-Length: 1000\r\n\r\n" + b"x" * 1000,
+                            max_body_bytes=64) == 413
+
+    def test_chunked_request_body_is_411(self):
+        assert error_status(b"POST / HTTP/1.1\r\n"
+                            b"Transfer-Encoding: chunked\r\n\r\n") \
+            == 411
+
+    def test_too_many_headers_is_431(self):
+        headers = "".join(f"H{i}: v\r\n"
+                          for i in range(MAX_HEADER_COUNT + 1))
+        raw = b"GET / HTTP/1.1\r\n" + headers.encode() + b"\r\n"
+        assert error_status(raw) == 431
+
+    def test_oversized_header_block_is_431(self):
+        raw = (b"GET / HTTP/1.1\r\n"
+               b"X-Big: " + b"v" * (40 * 1024) + b"\r\n\r\n")
+        assert error_status(raw) == 431
+
+    def test_overlong_line_at_stream_limit_is_431(self):
+        raw = b"GET /" + b"x" * 4096 + b" HTTP/1.1\r\n\r\n"
+        assert error_status(raw, limit=1024) == 431
+
+
+class TestResponses:
+    def test_fixed_length_bytes_pinned(self):
+        assert response_bytes(200, b"hi", content_type="text/plain") \
+            == (b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain\r\n"
+                b"Content-Length: 2\r\n\r\nhi")
+
+    def test_json_bytes_pinned_and_canonical(self):
+        raw = json_response_bytes(429, {"ok": False, "a": 1},
+                                  extra_headers=(("Retry-After",
+                                                  "2"),))
+        assert raw == (b"HTTP/1.1 429 Too Many Requests\r\n"
+                       b"Content-Type: application/json\r\n"
+                       b"Content-Length: 22\r\n"
+                       b"Retry-After: 2\r\n\r\n"
+                       b'{"a": 1, "ok": false}\n')
+
+    def test_chunked_framing_pinned(self):
+        assert chunked_head_bytes() == (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n")
+        assert chunk_bytes(b"0123456789abcdef") \
+            == b"10\r\n0123456789abcdef\r\n"
+        assert last_chunk_bytes() == b"0\r\n\r\n"
